@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Each ``test_eN_*.py`` regenerates one paper artifact (table/figure) through
+``pytest-benchmark`` (one timed round — the experiments are deterministic
+end-to-end runs, not microbenchmarks), prints the regenerated table so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures it,
+and asserts the experiment's claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run an experiment once under the benchmark timer, print its table,
+    and assert its claims hold."""
+
+    def _run(run_fn, /, **params) -> ExperimentResult:
+        result = benchmark.pedantic(
+            run_fn, kwargs=params, rounds=1, iterations=1, warmup_rounds=0
+        )
+        with capsys.disabled():
+            print()
+            print(result.render())
+        failed = result.failed_claims()
+        assert not failed, "failed claims: " + "; ".join(
+            c.description for c in failed
+        )
+        return result
+
+    return _run

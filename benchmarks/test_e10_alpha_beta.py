@@ -1,0 +1,11 @@
+"""E10 — regenerate the alpha/beta ablation table for Algorithm A."""
+
+from repro.experiments.e10_alpha_beta import run
+
+
+def test_e10_alpha_beta_ablation(regenerate):
+    result = regenerate(
+        run, m=32, alphas=(3, 4, 8, 16), betas=(4, 8, 32, 258), n_jobs=12, seed=0
+    )
+    beta_rows = [r for r in result.rows if r["sweep"] == "beta"]
+    assert beta_rows[-1]["restarts"] == 0  # beta=258 never needs to double here

@@ -1,0 +1,9 @@
+"""E11 — regenerate the shaping-gap table: LPF optimal on trees only."""
+
+from repro.experiments.e11_dag_shaping_gap import run
+
+
+def test_e11_shaping_gap(regenerate):
+    result = regenerate(run, n_nodes=10, m=2, trials=60, seed=0)
+    witness_row = [r for r in result.rows if r["family"] == "pinned-witness"][0]
+    assert witness_row["max_gap"] >= 1

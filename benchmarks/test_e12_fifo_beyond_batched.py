@@ -1,0 +1,8 @@
+"""E12 — regenerate the beyond-batched probe table (conjecture evidence)."""
+
+from repro.experiments.e12_fifo_beyond_batched import run
+
+
+def test_e12_beyond_batched(regenerate):
+    result = regenerate(run, ms=(4, 8, 16, 32), n_batches=12, seed=0)
+    assert all(r["within_envelope"] for r in result.rows)

@@ -1,0 +1,10 @@
+"""E13 — regenerate the runtime-baselines table (work stealing vs FIFO)."""
+
+from repro.experiments.e13_runtime_baselines import run
+
+
+def test_e13_runtime_baselines(regenerate):
+    result = regenerate(run, m=16, n_jobs=16, elements=150, seed=0)
+    adv = {r["scheduler"]: r for r in result.rows if r["workload"] == "adversarial"}
+    # Pure work stealing has no age awareness: it blows up on the family.
+    assert adv["WorkSteal[p2]"]["ratio"] > adv["FIFO[arbitrary]"]["ratio"]

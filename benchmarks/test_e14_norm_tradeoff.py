@@ -1,0 +1,10 @@
+"""E14 — regenerate the SRPT-vs-FIFO norm trade-off table."""
+
+from repro.experiments.e14_norm_tradeoff import run
+
+
+def test_e14_norm_tradeoff(regenerate):
+    result = regenerate(run, m=16, small=32, disparities=(4, 16, 48), seed=0)
+    srpt = [r for r in result.rows if r["scheduler"].startswith("SRPT")]
+    fifo = [r for r in result.rows if r["scheduler"].startswith("FIFO")]
+    assert all(s["mean_flow"] <= f["mean_flow"] for s, f in zip(srpt, fifo))

@@ -1,0 +1,9 @@
+"""E15 — regenerate the phased-generalization table (future-work probe)."""
+
+from repro.experiments.e15_phased_generalization import run
+
+
+def test_e15_phased_generalization(regenerate):
+    result = regenerate(run, ms=(8, 16, 32), n_jobs=10, beta=8, seed=0)
+    phased = [r for r in result.rows if r["scheduler"].startswith("PhasedA")]
+    assert phased and all(r["ratio<="] <= 8 for r in phased)

@@ -1,0 +1,10 @@
+"""E16 — regenerate the augmentation-evaporation table."""
+
+from repro.experiments.e16_augmentation import run
+
+
+def test_e16_augmentation(regenerate):
+    result = regenerate(run, ms=(8, 16, 32), factors=(1, 2, 4), jobs_per_m=3)
+    f1 = [r for r in result.rows if r["augmentation"] == "1x"]
+    f2 = [r for r in result.rows if r["augmentation"] == "2x"]
+    assert all(a["ratio_vs_OPT[m]"] > b["ratio_vs_OPT[m]"] for a, b in zip(f1, f2))

@@ -1,0 +1,8 @@
+"""E17 — regenerate the non-clairvoyant lower-bound reach table."""
+
+from repro.experiments.e17_nonclairvoyant_lower_bound import run
+
+
+def test_e17_nonclairvoyant_reach(regenerate):
+    result = regenerate(run, ms=(8, 16, 32, 64), jobs_per_m=3, seed=0)
+    assert all(r["adaptive_flow"] == r["asc|last"] for r in result.rows)

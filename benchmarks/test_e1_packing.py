@@ -1,0 +1,8 @@
+"""E1 — regenerate Figure 1 (two packings of one job on three processors)."""
+
+from repro.experiments.e1_packing import run
+
+
+def test_e1_figure1_packings(regenerate):
+    result = regenerate(run, m=3)
+    assert {r["packing"] for r in result.rows} == {"LPF", "reverse"}

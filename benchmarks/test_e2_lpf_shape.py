@@ -1,0 +1,9 @@
+"""E2 — regenerate Figure 2: head/tail shape of LPF on m/alpha processors."""
+
+from repro.experiments.e2_lpf_shape import run
+
+
+def test_e2_lpf_head_tail_shape(regenerate):
+    result = regenerate(run, ms=(16, 64), alpha=4, n_nodes=400, trials=5, seed=0)
+    # Every row checked every trial.
+    assert all(r["tail_packed"] == r["trials"] for r in result.rows)

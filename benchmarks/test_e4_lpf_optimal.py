@@ -1,0 +1,10 @@
+"""E4 — regenerate the Lemma 5.3 / Corollary 5.4 table: LPF optimality."""
+
+from repro.experiments.e4_lpf_optimal import run
+
+
+def test_e4_lpf_matches_closed_form(regenerate):
+    result = regenerate(
+        run, ms=(2, 4, 8, 16), sizes=(20, 100, 400), alpha=4, trials=3, seed=0
+    )
+    assert all(r["LPF==OPT"] == r["cases"] for r in result.rows)

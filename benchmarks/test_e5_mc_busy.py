@@ -1,0 +1,8 @@
+"""E5 — regenerate the Lemma 5.5 table: MC never idles granted processors."""
+
+from repro.experiments.e5_mc_busy import run
+
+
+def test_e5_mc_busy_property(regenerate):
+    result = regenerate(run, width=8, n_nodes=300, trials=5, seed=0)
+    assert all(r["work_conserving"] == r["cases"] for r in result.rows)

@@ -1,0 +1,9 @@
+"""E6 — regenerate the Theorem 5.6 table: Algorithm A vs FIFO, semi-batched."""
+
+from repro.experiments.e6_algA_semibatched import run
+
+
+def test_e6_algA_constant_fifo_grows(regenerate):
+    result = regenerate(run, ms=(8, 16, 32, 64), n_jobs=24, seed=0, alpha=4)
+    a_rows = [r for r in result.rows if r["scheduler"].startswith("AlgA")]
+    assert max(r["ratio"] for r in a_rows) <= 8.0

@@ -1,0 +1,9 @@
+"""E7 — regenerate the Theorem 5.7 table: guess-and-double on general arrivals."""
+
+from repro.experiments.e7_algA_general import run
+
+
+def test_e7_general_algA(regenerate):
+    result = regenerate(run, ms=(8, 16, 32, 64), n_jobs=20, beta=8, seed=0)
+    a_rows = [r for r in result.rows if r["restarts"] != ""]
+    assert a_rows and all(r["ratio<="] <= 32 for r in a_rows)

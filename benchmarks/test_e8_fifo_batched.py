@@ -1,0 +1,8 @@
+"""E8 — regenerate the Theorem 6.1 table: FIFO on batched instances."""
+
+from repro.experiments.e8_fifo_batched import run
+
+
+def test_e8_fifo_batched_log_bound(regenerate):
+    result = regenerate(run, ms=(4, 8, 16, 32), n_batches=12, seed=0)
+    assert all(r["lemma6.4"] and r["lemma6.5"] for r in result.rows)

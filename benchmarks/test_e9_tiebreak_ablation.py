@@ -1,0 +1,10 @@
+"""E9 — regenerate the tie-break ablation table (intra-job policy is the flaw)."""
+
+from repro.experiments.e9_tiebreak_ablation import run
+
+
+def test_e9_tiebreak_ablation(regenerate):
+    result = regenerate(run, ms=(16, 32, 64), jobs_per_m=4, seed=0)
+    lpf = [r for r in result.rows if r["tie_break"] == "LPF"]
+    arb = [r for r in result.rows if r["tie_break"] == "arbitrary(asc)"]
+    assert all(a["ratio"] > l["ratio"] for a, l in zip(arb, lpf))

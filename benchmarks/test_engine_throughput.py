@@ -1,0 +1,67 @@
+"""Engine microbenchmarks: subjobs scheduled per second.
+
+Unlike the ``test_eN_*`` benches (one-shot experiment regenerations), these
+are classic multi-round microbenchmarks of the simulation engine itself —
+the numbers to watch when touching the hot loop in
+``repro.core.simulator`` (see the profiling notes in that module).
+"""
+
+import pytest
+
+from repro.core import Instance, Job, simulate
+from repro.schedulers import (
+    ArbitraryTieBreak,
+    FIFOScheduler,
+    LongestPathTieBreak,
+    WorkStealingScheduler,
+)
+from repro.workloads import layered_tree, quicksort_tree
+
+
+@pytest.fixture(scope="module")
+def packed_stream():
+    """8 jobs x 4000 subjobs of m-wide layered rectangles: the engine's
+    best case (always m ready nodes)."""
+    dags = [layered_tree([16] * 250, seed=s) for s in range(8)]
+    return Instance([Job(d, 100 * i, f"r{i}") for i, d in enumerate(dags)])
+
+
+@pytest.fixture(scope="module")
+def irregular_stream():
+    """24 quicksort recursion trees: irregular widths, realistic shape."""
+    dags = [quicksort_tree(1000, seed=s) for s in range(24)]
+    return Instance([Job(d, 40 * i, f"q{i}") for i, d in enumerate(dags)])
+
+
+def _throughput(benchmark, instance, scheduler_factory, m):
+    schedule = benchmark(lambda: simulate(instance, m, scheduler_factory()))
+    benchmark.extra_info["subjobs"] = instance.total_work
+    benchmark.extra_info["subjobs_per_sec"] = (
+        instance.total_work / benchmark.stats.stats.mean
+    )
+    assert schedule.is_complete
+
+
+def test_fifo_on_packed_rectangles(benchmark, packed_stream):
+    _throughput(benchmark, packed_stream, lambda: FIFOScheduler(ArbitraryTieBreak()), 16)
+
+
+def test_lpf_on_irregular_trees(benchmark, irregular_stream):
+    _throughput(
+        benchmark, irregular_stream, lambda: FIFOScheduler(LongestPathTieBreak()), 16
+    )
+
+
+def test_worksteal_on_irregular_trees(benchmark, irregular_stream):
+    _throughput(
+        benchmark, irregular_stream, lambda: WorkStealingScheduler(seed=0), 16
+    )
+
+
+def test_adversary_cosimulation_build(benchmark):
+    """Regression guard for the Section 4 co-simulation (it once lost 10x
+    to a per-step set rebuild)."""
+    from repro.workloads import build_fifo_adversary
+
+    adv = benchmark(lambda: build_fifo_adversary(32, n_jobs=64))
+    assert adv.fifo_max_flow > adv.opt_upper_bound

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: model a fork-join job, schedule it, inspect the result.
+
+Covers the core public API in ~60 lines:
+
+* build a DAG (the paper's job model: unit-time subjobs + precedence);
+* schedule a single job with LPF and verify it is optimal (Corollary 5.4);
+* schedule an online multi-job instance with FIFO;
+* render the packing (Figure 1 style) and validate feasibility.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DAG, Instance, Job, simulate
+from repro.schedulers import (
+    FIFOScheduler,
+    LongestPathTieBreak,
+    lpf_schedule,
+    max_flow_lower_bound,
+    single_forest_opt,
+)
+from repro.viz import render_gantt
+
+
+def main() -> None:
+    # A small fork-join job: a root that forks three chains of different
+    # lengths (any out-tree works; see repro.workloads for generators).
+    tree = DAG(
+        8,
+        [
+            (0, 1), (1, 2), (2, 3),   # long branch
+            (0, 4), (4, 5),           # medium branch
+            (0, 6), (0, 7),           # two leaves
+        ],
+    )
+    print(f"job: {tree}")
+    print(f"work W = {tree.work}, span P = {tree.span}")
+
+    # --- single job: LPF is optimal (Lemma 5.3 / Corollary 5.4) -----------
+    m = 3
+    schedule = lpf_schedule(tree, m)
+    opt = single_forest_opt(tree, m)
+    print(f"\nLPF on {m} processors: flow = {schedule.max_flow}, OPT = {opt}")
+    assert schedule.max_flow == opt
+    print(render_gantt(schedule, cell=lambda j, v: "ABCDEFGH"[v]))
+
+    # --- online multi-job instance: FIFO ---------------------------------
+    jobs = [
+        Job(tree, release=0, label="first"),
+        Job(tree, release=2, label="second"),
+        Job(tree, release=2, label="third"),
+    ]
+    instance = Instance(jobs)
+    fifo = FIFOScheduler(LongestPathTieBreak())  # FIFO + LPF tie-break
+    online = simulate(instance, m, fifo)
+    online.validate()  # capacity / precedence / release / completeness
+    print(f"\nFIFO[{m} procs] on 3 jobs:")
+    print(render_gantt(online))
+    print(f"per-job flows: {online.flows.tolist()}")
+    print(f"max flow     : {online.max_flow}")
+    print(f"OPT is at least {max_flow_lower_bound(instance, m)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — a reproduction of *Scheduling Out-Trees Online to Optimize
+Maximum Flow* (Agrawal, Moseley, Newman, Pruhs — SPAA 2024).
+
+The library provides:
+
+* the paper's execution model (unit-work precedence DAGs on ``m`` identical
+  processors, integer time, maximum-flow objective) — :mod:`repro.core`;
+* the algorithms it studies — FIFO with pluggable intra-job tie-breaking,
+  Longest-Path-First, the Most-Children replay algorithm, and the
+  clairvoyant O(1)-competitive Algorithm A (semi-batched core plus
+  batching/guess-and-double wrapper) — :mod:`repro.schedulers`;
+* the instance families its proofs construct — the Section 4 adversarial
+  family, packed instances with OPT known by construction, random and
+  program-shaped out-trees, arrival processes — :mod:`repro.workloads`;
+* offline optima/lower bounds, lemma checkers and the competitive-ratio
+  harness — :mod:`repro.analysis`;
+* ASCII schedule rendering — :mod:`repro.viz` — and one runnable experiment
+  per theorem/figure — :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import DAG, Job, Instance, simulate
+    from repro.schedulers import FIFOScheduler, lpf_schedule, single_forest_opt
+
+    tree = DAG(4, [(0, 1), (0, 2), (2, 3)])
+    schedule = lpf_schedule(tree, m=2)
+    assert schedule.max_flow == single_forest_opt(tree, m=2)
+"""
+
+from .core import (
+    DAG,
+    ConfigurationError,
+    CycleError,
+    EngineState,
+    GraphError,
+    InfeasibleScheduleError,
+    Instance,
+    Job,
+    NotAForestError,
+    ReproError,
+    Schedule,
+    ScheduleError,
+    Scheduler,
+    SchedulerProtocolError,
+    SimulationError,
+    SimulationObserver,
+    SolverError,
+    antichain,
+    caterpillar,
+    chain,
+    complete_kary_tree,
+    merge_jobs,
+    simulate,
+    spider,
+    star,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DAG",
+    "Job",
+    "Instance",
+    "Schedule",
+    "Scheduler",
+    "SimulationObserver",
+    "EngineState",
+    "simulate",
+    "merge_jobs",
+    "chain",
+    "antichain",
+    "star",
+    "complete_kary_tree",
+    "spider",
+    "caterpillar",
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "NotAForestError",
+    "ScheduleError",
+    "InfeasibleScheduleError",
+    "SimulationError",
+    "SchedulerProtocolError",
+    "ConfigurationError",
+    "SolverError",
+    "__version__",
+]

@@ -1,0 +1,84 @@
+"""Analyses: lower bounds, lemma checkers, the competitive-ratio harness
+and growth-law fitting."""
+
+from .bounds import (
+    depth_profile_lower_bound,
+    idle_count_curve,
+    max_flow_lower_bound,
+    remaining_work,
+    remaining_work_curve,
+    restricted_idle_steps,
+    single_forest_opt,
+    tau,
+)
+from .competitive import (
+    CaseResult,
+    OptReference,
+    compare_schedulers,
+    ratio_sweep,
+    run_case,
+)
+from .fairness import FairnessReport, fairness_report, flow_percentile
+from .invariants import (
+    CheckResult,
+    HeadTailShape,
+    check_lemma_6_4,
+    check_lemma_6_5,
+    check_lpf_ancestor_structure,
+    check_mc_busy,
+    check_work_conserving,
+    head_tail_shape,
+)
+from .stats import GrowthFit, classify_growth, fit_constant, fit_log_growth, summarize
+from .theory import (
+    PAPER_ALPHA,
+    PAPER_BETA,
+    lemma_5_1_bound,
+    lemma_6_5_rhs_2,
+    lemma_6_5_rhs_3,
+    theorem_4_2_lower_bound,
+    theorem_5_6_bound,
+    theorem_5_7_ratio,
+    theorem_6_1_bound,
+)
+
+__all__ = [
+    "remaining_work",
+    "remaining_work_curve",
+    "restricted_idle_steps",
+    "idle_count_curve",
+    "tau",
+    "depth_profile_lower_bound",
+    "max_flow_lower_bound",
+    "single_forest_opt",
+    "CaseResult",
+    "OptReference",
+    "FairnessReport",
+    "fairness_report",
+    "flow_percentile",
+    "run_case",
+    "compare_schedulers",
+    "ratio_sweep",
+    "CheckResult",
+    "HeadTailShape",
+    "check_lpf_ancestor_structure",
+    "head_tail_shape",
+    "check_mc_busy",
+    "check_work_conserving",
+    "check_lemma_6_4",
+    "check_lemma_6_5",
+    "GrowthFit",
+    "fit_log_growth",
+    "fit_constant",
+    "classify_growth",
+    "summarize",
+    "PAPER_ALPHA",
+    "PAPER_BETA",
+    "theorem_4_2_lower_bound",
+    "lemma_5_1_bound",
+    "theorem_5_6_bound",
+    "theorem_5_7_ratio",
+    "theorem_6_1_bound",
+    "lemma_6_5_rhs_2",
+    "lemma_6_5_rhs_3",
+]

@@ -1,0 +1,88 @@
+"""Per-schedule quantities from Section 6 and bound helpers.
+
+These implement the bookkeeping of the FIFO upper-bound analysis:
+
+* ``w_i(t)`` — remaining work of job ``i`` at time ``t`` (paper notation);
+* ``z_i(t)`` — idle time steps of the *restricted* schedule ``S_i`` (only
+  jobs released no later than ``r_i``) in ``(r_i, t]``;
+* ``tau(m, opt)`` — the smallest power of two that is at least
+  ``2·m·OPT`` (so ``log τ`` is integral and ``τ < 4·m·OPT``).
+
+Lower-bound functions live in :mod:`repro.schedulers.offline`; they are
+re-exported here for discoverability.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError
+from ..core.schedule import Schedule
+from ..schedulers.offline import (
+    depth_profile_lower_bound,
+    max_flow_lower_bound,
+    single_forest_opt,
+)
+
+__all__ = [
+    "remaining_work",
+    "remaining_work_curve",
+    "restricted_idle_steps",
+    "idle_count_curve",
+    "tau",
+    "depth_profile_lower_bound",
+    "max_flow_lower_bound",
+    "single_forest_opt",
+]
+
+
+def remaining_work(schedule: Schedule, i: int, t: int) -> int:
+    """``w_i(t)``: subjobs of job ``i`` not completed by time ``t``."""
+    c = schedule.completion[i]
+    return int(np.count_nonzero((c == 0) | (c > t)))
+
+
+def remaining_work_curve(schedule: Schedule, i: int, horizon: int) -> np.ndarray:
+    """``[w_i(0), w_i(1), ..., w_i(horizon)]`` (vectorized)."""
+    c = schedule.completion[i]
+    scheduled = c[c > 0]
+    finished_by = np.zeros(horizon + 1, dtype=np.int64)
+    inside = scheduled[scheduled <= horizon]
+    if inside.size:
+        finished_by = np.cumsum(np.bincount(inside, minlength=horizon + 1))
+    return schedule.instance[i].work - finished_by
+
+
+def restricted_idle_steps(schedule: Schedule, i: int) -> np.ndarray:
+    """Idle steps of the restricted schedule ``S_i`` (Section 6): steps
+    ``u`` where jobs released at or before ``r_i`` occupy fewer than ``m``
+    processors. Returns all such ``u`` in ``[1, makespan]``."""
+    r_i = schedule.instance[i].release
+    older = [
+        k for k, job in enumerate(schedule.instance) if job.release <= r_i
+    ]
+    return schedule.idle_steps(older)
+
+
+def idle_count_curve(schedule: Schedule, i: int, horizon: int) -> np.ndarray:
+    """``z_i(t)`` for ``t = 0..horizon``: idle steps of ``S_i`` in
+    ``(r_i, t]``. Entries for ``t <= r_i`` are 0. Values are *not* clamped
+    at ``C_i`` (the paper sets ``z_i(t) = ∞`` past completion; callers that
+    need that convention should mask with the completion time)."""
+    r_i = schedule.instance[i].release
+    idles = restricted_idle_steps(schedule, i)
+    idles = idles[idles > r_i]
+    marks = np.zeros(horizon + 1, dtype=np.int64)
+    inside = idles[idles <= horizon]
+    marks[inside] = 1
+    return np.cumsum(marks)
+
+
+def tau(m: int, opt: int) -> int:
+    """Section 6: the largest... (in fact smallest-power-of-two) ``τ`` with
+    ``τ >= 2·m·OPT`` and ``log τ`` integral; then ``τ < 4·m·OPT``."""
+    if m < 1 or opt < 1:
+        raise ConfigurationError("m and opt must be positive")
+    return 1 << math.ceil(math.log2(2 * m * opt))

@@ -1,0 +1,165 @@
+"""Competitive-ratio measurement harness.
+
+Every experiment table row comes through here: run a scheduler on an
+instance, validate the schedule, and divide its maximum flow by the best
+available OPT reference. References come in three kinds (recorded in the
+result so tables can state them):
+
+* ``exact``   — a provably optimal value (Corollary 5.4, the exact solver,
+  or a matching lower bound + witness pair);
+* ``witness`` — the objective of a feasible schedule (an *upper* bound on
+  OPT, so the reported ratio is a certified *lower* bound on the true
+  ratio — the right direction for lower-bound experiments);
+* ``lower``   — a lower bound on OPT (the reported ratio then
+  *over*-estimates the true ratio — the conservative direction for
+  upper-bound experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.exceptions import ConfigurationError
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..core.simulator import Scheduler, simulate
+from ..schedulers.offline import max_flow_lower_bound
+
+__all__ = ["OptReference", "CaseResult", "run_case", "compare_schedulers"]
+
+
+@dataclass(frozen=True)
+class OptReference:
+    """An OPT reference value with provenance."""
+
+    value: int
+    kind: str  # "exact" | "witness" | "lower"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("exact", "witness", "lower"):
+            raise ConfigurationError(f"unknown OPT reference kind {self.kind!r}")
+        if self.value < 1:
+            raise ConfigurationError("OPT reference must be >= 1")
+
+    @classmethod
+    def exact(cls, value: int) -> "OptReference":
+        return cls(value, "exact")
+
+    @classmethod
+    def witness(cls, schedule: Schedule) -> "OptReference":
+        return cls(schedule.max_flow, "witness")
+
+    @classmethod
+    def lower(cls, instance: Instance, m: int) -> "OptReference":
+        return cls(max_flow_lower_bound(instance, m), "lower")
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One (scheduler, instance, m) measurement."""
+
+    scheduler: str
+    clairvoyant: bool
+    m: int
+    n_jobs: int
+    total_work: int
+    max_flow: int
+    opt_reference: OptReference
+    makespan: int
+
+    @property
+    def ratio(self) -> float:
+        """``max_flow / opt_reference`` — interpretation depends on the
+        reference kind (see module docstring)."""
+        return self.max_flow / self.opt_reference.value
+
+
+def run_case(
+    instance: Instance,
+    m: int,
+    scheduler: Scheduler,
+    opt_reference: Optional[OptReference] = None,
+    *,
+    max_steps: Optional[int] = None,
+    validate: bool = True,
+) -> CaseResult:
+    """Simulate, validate, and measure one case."""
+    schedule = simulate(instance, m, scheduler, max_steps=max_steps)
+    if validate:
+        schedule.validate()
+    if opt_reference is None:
+        opt_reference = OptReference.lower(instance, m)
+    return CaseResult(
+        scheduler=scheduler.name,
+        clairvoyant=scheduler.clairvoyant,
+        m=m,
+        n_jobs=len(instance),
+        total_work=instance.total_work,
+        max_flow=schedule.max_flow,
+        opt_reference=opt_reference,
+        makespan=schedule.makespan,
+    )
+
+
+def compare_schedulers(
+    instance: Instance,
+    m: int,
+    schedulers: Sequence[Scheduler],
+    opt_reference: Optional[OptReference] = None,
+    *,
+    max_steps: Optional[int] = None,
+) -> list[CaseResult]:
+    """Run several schedulers on the same instance (same OPT reference)."""
+    if opt_reference is None:
+        opt_reference = OptReference.lower(instance, m)
+    return [
+        run_case(instance, m, s, opt_reference, max_steps=max_steps)
+        for s in schedulers
+    ]
+
+
+def ratio_sweep(
+    make_scheduler,
+    make_case,
+    ms: Sequence[int],
+    *,
+    max_steps_factor: int = 16,
+) -> tuple[list[CaseResult], str]:
+    """Sweep machine sizes and classify the ratio's growth law.
+
+    Parameters
+    ----------
+    make_scheduler:
+        ``make_scheduler(m) -> Scheduler``.
+    make_case:
+        ``make_case(m) -> (instance, OptReference)`` — the workload for
+        each machine size (callers own seeding).
+    ms:
+        Machine sizes, ascending; needs at least two distinct values for
+        the growth fit.
+
+    Returns
+    -------
+    (cases, growth):
+        Per-``m`` results plus the
+        :func:`~repro.analysis.stats.classify_growth` verdict
+        (``"constant"`` or ``"logarithmic"``).
+    """
+    from .stats import classify_growth
+
+    cases = []
+    for m in ms:
+        instance, ref = make_case(m)
+        scheduler = make_scheduler(m)
+        cases.append(
+            run_case(
+                instance,
+                m,
+                scheduler,
+                ref,
+                max_steps=instance.horizon_hint * max_steps_factor + 10_000,
+            )
+        )
+    growth = classify_growth([c.m for c in cases], [c.ratio for c in cases])
+    return cases, growth

@@ -1,0 +1,67 @@
+"""Fairness metrics: the ℓ1 / ℓ∞ contrast the paper's introduction draws.
+
+The paper targets maximum flow (ℓ∞) as the fairness-first objective and
+contrasts it with average flow (ℓ1). These helpers quantify both on a
+finished schedule, plus the standard fairness diagnostics — stretch (flow
+relative to the job's own isolated lower bound) and the tail of the flow
+distribution — so experiments can show *why* a policy wins one norm and
+loses the other (cf. E13/E14: SRPT vs FIFO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.schedule import Schedule
+
+__all__ = ["FairnessReport", "fairness_report", "flow_percentile"]
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Per-schedule fairness diagnostics."""
+
+    max_flow: int  # ℓ∞ — the paper's objective
+    total_flow: int  # ℓ1 numerator
+    mean_flow: float
+    p95_flow: float
+    max_stretch: float  # flow / per-job isolated bound max(span, ceil(W/m))
+    mean_stretch: float
+    jain_index: float  # (Σf)² / (n·Σf²): 1.0 = perfectly even flows
+
+    def as_row(self) -> dict:
+        """Flat dict for experiment tables."""
+        return {
+            "max_flow": self.max_flow,
+            "mean_flow": round(self.mean_flow, 2),
+            "p95_flow": round(self.p95_flow, 2),
+            "max_stretch": round(self.max_stretch, 2),
+            "jain": round(self.jain_index, 3),
+        }
+
+
+def flow_percentile(schedule: Schedule, q: float) -> float:
+    """The ``q``-th percentile (0..100) of per-job flows."""
+    return float(np.percentile(schedule.flows, q))
+
+
+def fairness_report(schedule: Schedule) -> FairnessReport:
+    """Compute the report (requires a complete schedule)."""
+    flows = schedule.flows.astype(float)
+    m = schedule.m
+    bounds = np.array(
+        [job.trivial_flow_lower_bound(m) for job in schedule.instance],
+        dtype=float,
+    )
+    stretch = flows / bounds
+    return FairnessReport(
+        max_flow=int(flows.max()),
+        total_flow=int(flows.sum()),
+        mean_flow=float(flows.mean()),
+        p95_flow=float(np.percentile(flows, 95)),
+        max_stretch=float(stretch.max()),
+        mean_stretch=float(stretch.mean()),
+        jain_index=float(flows.sum() ** 2 / (flows.size * (flows**2).sum())),
+    )

@@ -1,0 +1,80 @@
+"""Growth-law fitting for competitive-ratio sweeps.
+
+The headline question in the experiment tables is *how does the ratio grow
+with m* — constant (Algorithm 𝒜, Theorem 5.6/5.7), logarithmic (FIFO,
+Theorem 4.2 / Theorem 6.1), or worse. These helpers fit the two candidate
+laws by least squares and report which explains the sweep better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError
+
+__all__ = ["GrowthFit", "fit_log_growth", "fit_constant", "classify_growth", "summarize"]
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Least-squares fit of ``ratio ≈ a + b·log2(x)``."""
+
+    intercept: float
+    slope: float
+    residual: float  # root-mean-square residual
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * np.log2(x)
+
+
+def fit_log_growth(xs: Sequence[float], ys: Sequence[float]) -> GrowthFit:
+    """Fit ``y = a + b·log2(x)``; requires at least two distinct x."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size < 2 or np.unique(x).size < 2:
+        raise ConfigurationError("need at least two distinct x values")
+    design = np.stack([np.ones_like(x), np.log2(x)], axis=1)
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    resid = float(np.sqrt(np.mean((design @ coef - y) ** 2)))
+    return GrowthFit(float(coef[0]), float(coef[1]), resid)
+
+
+def fit_constant(ys: Sequence[float]) -> GrowthFit:
+    """Best constant fit (slope pinned at 0)."""
+    y = np.asarray(ys, dtype=float)
+    mean = float(y.mean())
+    resid = float(np.sqrt(np.mean((y - mean) ** 2)))
+    return GrowthFit(mean, 0.0, resid)
+
+
+def classify_growth(
+    xs: Sequence[float], ys: Sequence[float], *, slope_threshold: float = 0.15
+) -> str:
+    """Classify a sweep as ``"constant"`` or ``"logarithmic"``.
+
+    A sweep is logarithmic when the fitted log slope exceeds
+    ``slope_threshold`` *and* the log fit beats the constant fit; the
+    threshold filters out noise-level slopes on genuinely flat sweeps.
+    """
+    log_fit = fit_log_growth(xs, ys)
+    const_fit = fit_constant(ys)
+    if log_fit.slope > slope_threshold and log_fit.residual < const_fit.residual:
+        return "logarithmic"
+    return "constant"
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Mean/min/max/stdev summary of a measurement column."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("summarize requires at least one value")
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "std": float(arr.std()),
+    }

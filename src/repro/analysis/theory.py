@@ -1,0 +1,94 @@
+"""The paper's closed-form bounds, in one importable place.
+
+Every theorem's quantitative statement as a function, so experiment tables
+and user code compare measurements against the *exact* expressions rather
+than re-deriving them inline:
+
+* :func:`theorem_4_2_lower_bound` — FIFO's competitive ratio is at least
+  ``lg m − lg lg m`` (Section 4).
+* :func:`lemma_5_1_bound` — per-depth lower bound ``d + ⌈W(d)/m⌉``.
+* :func:`theorem_5_6_bound` — semi-batched Algorithm 𝒜's flow guarantee
+  ``β·OPT/2`` with the paper's constants (= 129·OPT).
+* :func:`theorem_5_7_ratio` — the general algorithm's competitive ratio
+  bound (12 × 129 = 1548).
+* :func:`theorem_6_1_bound` — batched FIFO's flow guarantee
+  ``(log₂ τ + 1)·OPT`` with ``τ`` the smallest power of two ≥ 2·m·OPT.
+* :func:`lemma_6_5_rhs_2` / :func:`lemma_6_5_rhs_3` — the right-hand sides
+  of Lemma 6.5's inequalities (2) and (3).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.exceptions import ConfigurationError
+from .bounds import tau
+
+__all__ = [
+    "theorem_4_2_lower_bound",
+    "lemma_5_1_bound",
+    "theorem_5_6_bound",
+    "theorem_5_7_ratio",
+    "theorem_6_1_bound",
+    "lemma_6_5_rhs_2",
+    "lemma_6_5_rhs_3",
+    "PAPER_ALPHA",
+    "PAPER_BETA",
+]
+
+#: Constants the paper fixes in Section 5.3.
+PAPER_ALPHA = 4
+PAPER_BETA = 258
+
+
+def theorem_4_2_lower_bound(m: int) -> float:
+    """Theorem 4.2: FIFO's competitive ratio is at least
+    ``lg m − lg lg m`` (meaningful for ``m >= 2``)."""
+    if m < 2:
+        raise ConfigurationError("Theorem 4.2 needs m >= 2")
+    return math.log2(m) - math.log2(max(math.log2(m), 1.0))
+
+
+def lemma_5_1_bound(d: int, deeper_work: int, m: int) -> int:
+    """Lemma 5.1: with ``deeper_work = W(d)`` subjobs strictly below depth
+    ``d``, any schedule needs at least ``d + ceil(W(d)/m)`` time."""
+    if m < 1:
+        raise ConfigurationError("m must be >= 1")
+    if d < 0 or deeper_work < 0:
+        raise ConfigurationError("d and deeper_work must be >= 0")
+    return d + -(-deeper_work // m)
+
+
+def theorem_5_6_bound(opt: int, beta: int = PAPER_BETA) -> int:
+    """Theorem 5.6: semi-batched 𝒜 finishes every job within
+    ``β·OPT/2`` of its release (129·OPT at the paper's β = 258)."""
+    if opt < 1:
+        raise ConfigurationError("opt must be >= 1")
+    return -(-beta * opt // 2)
+
+
+def theorem_5_7_ratio() -> int:
+    """Theorem 5.7: the general algorithm is 1548-competitive
+    (12 × the semi-batched 129)."""
+    return 12 * (PAPER_BETA // 2)
+
+
+def theorem_6_1_bound(m: int, opt: int) -> int:
+    """Theorem 6.1 (via Lemma 6.5): on batched instances every FIFO flow is
+    at most ``(log₂ τ + 1)·OPT``."""
+    return (int(math.log2(tau(m, opt))) + 1) * opt
+
+
+def lemma_6_5_rhs_2(ell: int, opt: int, min_z: float) -> float:
+    """Right-hand side of Lemma 6.5 inequality (2): ``ℓ·OPT + min_k z_k``."""
+    if ell < 0 or opt < 1:
+        raise ConfigurationError("need ell >= 0 and opt >= 1")
+    return ell * opt + min_z
+
+
+def lemma_6_5_rhs_3(ell: int, opt: int) -> float:
+    """Right-hand side of Lemma 6.5 inequality (3):
+    ``Σ_{k=1}^{ℓ+1} (1 − 2^{−k})·OPT = (ℓ + 2^{−(ℓ+1)})·OPT``."""
+    if ell < 0 or opt < 1:
+        raise ConfigurationError("need ell >= 0 and opt >= 1")
+    return sum((1 - 0.5**k) * opt for k in range(1, ell + 2))

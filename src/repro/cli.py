@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the experiment registry (id, paper artifact, description).
+``run E3 [--scale smoke|default|full] [--param ms=8,16,32]``
+    Run one experiment and print its regenerated table/figure; exits
+    non-zero if any of its claims fail. ``--scale`` picks a parameter
+    preset (smoke: seconds; full: the EXPERIMENTS.md headline sweeps);
+    ``--param`` overrides individual entries.
+``all``
+    Run every experiment at default scale.
+``report [--output report.md] [--only E1,E3]``
+    Run experiments and write a markdown report (rendered tables + claim
+    outcomes per artifact).
+``inspect schedule.npz [--gantt] [--window 0:40]``
+    Load a saved schedule archive (``repro.core.save_schedule_npz``) and
+    print its metrics, fairness report, and optionally the packing.
+``demo``
+    A 30-second guided tour (Figure 1 packing + a tiny adversarial run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+__all__ = ["main"]
+
+
+def _parse_param(raw: str) -> tuple[str, Any]:
+    """Parse ``key=value`` where value is an int, float, or comma tuple."""
+    if "=" not in raw:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {raw!r}")
+    key, value = raw.split("=", 1)
+
+    def scalar(tok: str):
+        for cast in (int, float):
+            try:
+                return cast(tok)
+            except ValueError:
+                continue
+        return tok
+
+    if "," in value:
+        return key, tuple(scalar(tok) for tok in value.split(",") if tok)
+    return key, scalar(value)
+
+
+def _cmd_list() -> int:
+    from .experiments import EXPERIMENTS
+
+    width = max(len(e.paper_artifact) for e in EXPERIMENTS.values())
+    for exp_id, exp in EXPERIMENTS.items():
+        print(f"{exp_id:<4} {exp.paper_artifact:<{width}}  {exp.description}")
+    return 0
+
+
+def _cmd_run(experiment_id: str, params: list[str], scale: str = "default") -> int:
+    from .experiments import EXPERIMENTS, run_experiment
+
+    if experiment_id not in EXPERIMENTS:
+        print(f"unknown experiment {experiment_id!r}; try `list`", file=sys.stderr)
+        return 2
+    kwargs = dict(_parse_param(p) for p in params)
+    result = run_experiment(experiment_id, scale=scale, **kwargs)
+    print(result.render())
+    return 0 if result.claims_hold() else 1
+
+
+def _cmd_all(scale: str = "default") -> int:
+    from .experiments import EXPERIMENTS
+
+    status = 0
+    for exp_id in EXPERIMENTS:
+        code = _cmd_run(exp_id, [], scale)
+        status = max(status, code)
+        print()
+    return status
+
+
+def _cmd_report(output: str, only: str | None, scale: str = "default") -> int:
+    from pathlib import Path
+
+    from .experiments import EXPERIMENTS, run_experiment
+
+    wanted = None if only is None else {tok.strip() for tok in only.split(",")}
+    lines = [
+        "# repro — regenerated experiment report",
+        "",
+        "One section per paper artifact; each ends with its checked claims.",
+        "",
+    ]
+    status = 0
+    for exp_id, exp in EXPERIMENTS.items():
+        if wanted is not None and exp_id not in wanted:
+            continue
+        result = run_experiment(exp_id, scale=scale)
+        ok = result.claims_hold()
+        status = max(status, 0 if ok else 1)
+        lines.append(f"## {exp_id} — {exp.description}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.render())
+        lines.append("```")
+        lines.append("")
+        print(f"{exp_id}: {'all claims hold' if ok else 'CLAIMS FAILED'}")
+    Path(output).write_text("\n".join(lines))
+    print(f"wrote {output}")
+    return status
+
+
+def _cmd_inspect(path: str, gantt: bool, window: str | None) -> int:
+    from .analysis import fairness_report
+    from .core import load_schedule_npz
+    from .experiments.runner import format_table
+    from .viz import render_gantt
+
+    schedule = load_schedule_npz(path)
+    schedule.validate()
+    print(f"{path}: {schedule}")
+    print(f"instance: {schedule.instance}")
+    report = fairness_report(schedule)
+    print(format_table([{
+        "m": schedule.m,
+        "max_flow": report.max_flow,
+        "mean_flow": round(report.mean_flow, 2),
+        "p95_flow": round(report.p95_flow, 2),
+        "max_stretch": round(report.max_stretch, 2),
+        "jain": round(report.jain_index, 3),
+        "makespan": schedule.makespan,
+    }]))
+    if gantt:
+        t_start, t_end = 1, min(schedule.makespan, 120)
+        if window:
+            lo, _, hi = window.partition(":")
+            t_start, t_end = max(1, int(lo)), int(hi)
+        print()
+        print(render_gantt(schedule, t_start=t_start, t_end=t_end))
+    return 0
+
+
+def _cmd_demo() -> int:
+    from .experiments import run_experiment
+    from .experiments.runner import format_table
+    from .workloads import build_fifo_adversary
+
+    print(run_experiment("E1").render())
+    print()
+    print("A taste of Theorem 4.2 (FIFO vs the adaptive adversary):")
+    rows = []
+    for m in (4, 8, 16):
+        adv = build_fifo_adversary(m, n_jobs=3 * m)
+        rows.append(
+            {
+                "m": m,
+                "FIFO flow": adv.fifo_max_flow,
+                "OPT <=": adv.opt_upper_bound,
+                "ratio >=": adv.ratio_lower_bound,
+            }
+        )
+    print(format_table(rows))
+    print("\nRun `python -m repro list` to see all experiments.")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Scheduling Out-Trees Online to "
+        "Optimize Maximum Flow' (SPAA 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the experiment registry")
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment_id", help="e.g. E3")
+    run_p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override an experiment parameter (repeatable; "
+        "comma lists become tuples, e.g. ms=8,16,32)",
+    )
+    run_p.add_argument(
+        "--scale", choices=("smoke", "default", "full"), default="default"
+    )
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument(
+        "--scale", choices=("smoke", "default", "full"), default="default"
+    )
+    report_p = sub.add_parser("report", help="write a markdown report")
+    report_p.add_argument("--output", default="report.md")
+    report_p.add_argument(
+        "--only", default=None, help="comma-separated experiment ids"
+    )
+    report_p.add_argument(
+        "--scale", choices=("smoke", "default", "full"), default="default"
+    )
+    inspect_p = sub.add_parser("inspect", help="inspect a saved schedule archive")
+    inspect_p.add_argument("path")
+    inspect_p.add_argument("--gantt", action="store_true")
+    inspect_p.add_argument(
+        "--window", default=None, metavar="START:END", help="time window to draw"
+    )
+    sub.add_parser("demo", help="a quick guided tour")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment_id, args.param, args.scale)
+    if args.command == "all":
+        return _cmd_all(args.scale)
+    if args.command == "report":
+        return _cmd_report(args.output, args.only, args.scale)
+    if args.command == "inspect":
+        return _cmd_inspect(args.path, args.gantt, args.window)
+    if args.command == "demo":
+        return _cmd_demo()
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

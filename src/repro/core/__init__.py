@@ -1,0 +1,70 @@
+"""Core model: DAGs, jobs, instances, schedules and the simulation engine.
+
+These are the paper's Section 3 preliminaries turned into code. Everything
+else in the library (schedulers, workloads, analyses, experiments) is built
+on this subpackage.
+"""
+
+from .dag import DAG, antichain, caterpillar, chain, complete_kary_tree, spider, star
+from .exceptions import (
+    ConfigurationError,
+    CycleError,
+    GraphError,
+    InfeasibleScheduleError,
+    NotAForestError,
+    ReproError,
+    ScheduleError,
+    SchedulerProtocolError,
+    SimulationError,
+    SolverError,
+)
+from .instance import Instance
+from .job import Job, merge_jobs
+from .schedule import Schedule
+from .simulator import EngineState, Scheduler, SimulationObserver, simulate
+from .io import (
+    load_instance_json,
+    load_schedule_npz,
+    save_instance_json,
+    save_schedule_npz,
+)
+from .sp import SPNode, is_series_parallel, series_segments, sp_decomposition
+from .trace import MetricsCollector, TraceSummary
+
+__all__ = [
+    "DAG",
+    "Job",
+    "Instance",
+    "Schedule",
+    "Scheduler",
+    "SimulationObserver",
+    "EngineState",
+    "MetricsCollector",
+    "TraceSummary",
+    "SPNode",
+    "is_series_parallel",
+    "sp_decomposition",
+    "series_segments",
+    "save_instance_json",
+    "load_instance_json",
+    "save_schedule_npz",
+    "load_schedule_npz",
+    "simulate",
+    "merge_jobs",
+    "chain",
+    "antichain",
+    "star",
+    "complete_kary_tree",
+    "spider",
+    "caterpillar",
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "NotAForestError",
+    "ScheduleError",
+    "InfeasibleScheduleError",
+    "SimulationError",
+    "SchedulerProtocolError",
+    "ConfigurationError",
+    "SolverError",
+]

@@ -1,0 +1,545 @@
+"""Immutable DAG representation for dynamic-multithreaded jobs.
+
+The paper (Section 3) models a job as a DAG whose vertices ("subjobs") are
+unit-time atomic computations and whose edges are precedence constraints.
+This module provides that representation plus the derived quantities the
+algorithms and analyses need:
+
+* ``depth(j)``  — number of nodes on the path from a root to ``j`` (roots
+  have depth 1), Section 5 notation ``D(j)``;
+* ``height(j)`` — number of nodes on the longest path from ``j`` to a leaf
+  (leaves have height 1), Section 5 notation ``H(j)``;
+* ``span``      — number of vertices on the longest path (``P_i``);
+* ``work``      — number of vertices (``W_i``);
+* ``deeper_than(d)`` — ``W(d)``, the number of subjobs with depth strictly
+  greater than ``d`` (used by the Lemma 5.1 lower bound and the
+  Corollary 5.4 closed form).
+
+Nodes are integers ``0..n-1``. The adjacency is stored twice in CSR form
+(children and parents) as ``int64`` numpy arrays; all derived quantities are
+computed once, on first access, by level-synchronous vectorized passes.
+Instances are immutable: every combinator returns a new DAG.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from functools import cached_property
+
+import numpy as np
+
+from .exceptions import CycleError, GraphError, NotAForestError
+from .util import as_int_array, build_csr, csr_gather, check_nonnegative_int
+
+__all__ = ["DAG", "chain", "antichain", "star", "complete_kary_tree", "spider", "caterpillar"]
+
+_INT = np.int64
+
+
+class DAG:
+    """An immutable unit-work precedence DAG.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes. Nodes are ``0..n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs meaning *u must complete before v
+        starts*. Duplicate edges are rejected.
+
+    Notes
+    -----
+    Construction is O(n + e log e); cycle detection runs eagerly so that a
+    ``DAG`` object is always valid by the time user code holds it.
+    """
+
+    __slots__ = (
+        "n",
+        "child_indptr",
+        "child_indices",
+        "parent_indptr",
+        "parent_indices",
+        "__dict__",  # for cached_property storage
+    )
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()):
+        self.n = check_nonnegative_int(n, "n")
+        if isinstance(edges, np.ndarray):
+            # Fast path: an (e, 2) integer array avoids the Python-tuple
+            # round trip (matters when freezing multi-million-node DAGs).
+            arr = np.ascontiguousarray(edges, dtype=_INT)
+        else:
+            edge_list = list(edges)
+            arr = (
+                np.asarray(edge_list, dtype=_INT)
+                if edge_list
+                else np.empty((0, 2), dtype=_INT)
+            )
+        if arr.size:
+            if arr.ndim != 2 or arr.shape[1] != 2:
+                raise GraphError("edges must be (u, v) pairs")
+            src, dst = arr[:, 0], arr[:, 1]
+        else:
+            src = dst = np.empty(0, dtype=_INT)
+        if src.size:
+            if np.any(src == dst):
+                raise CycleError("self-loop edge found")
+            pair_keys = src * np.int64(self.n) + dst
+            if np.unique(pair_keys).size != pair_keys.size:
+                raise GraphError("duplicate edge found")
+        self.child_indptr, self.child_indices = build_csr(self.n, src, dst)
+        self.parent_indptr, self.parent_indices = build_csr(self.n, dst, src)
+        # Eager acyclicity check: computing depth performs a full Kahn pass.
+        _ = self.depth
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_parents(cls, parents: Sequence[int]) -> "DAG":
+        """Build an out-forest from a parent array.
+
+        ``parents[i]`` is the (single) parent of node ``i``, or ``-1`` for a
+        root. This is the natural encoding for trees and is used by every
+        tree workload generator.
+        """
+        parr = as_int_array(parents)
+        n = parr.size
+        if parr.size and (parr.max() >= n or parr.min() < -1):
+            raise GraphError("parent id out of range")
+        child_mask = parr >= 0
+        children = np.nonzero(child_mask)[0]
+        edges = np.stack([parr[child_mask], children], axis=1)
+        return cls(n, edges)
+
+    @classmethod
+    def from_networkx(cls, graph) -> "DAG":
+        """Build from a ``networkx.DiGraph`` whose nodes are ``0..n-1``."""
+        n = graph.number_of_nodes()
+        if set(graph.nodes) != set(range(n)):
+            raise GraphError("networkx graph nodes must be exactly 0..n-1")
+        return cls(n, graph.edges())
+
+    def to_networkx(self):
+        """Export to a ``networkx.DiGraph`` (for plotting / interop)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(self.edge_list())
+        return g
+
+    # ------------------------------------------------------------------
+    # Basic structure queries
+    # ------------------------------------------------------------------
+
+    def children(self, u: int) -> np.ndarray:
+        """Direct successors of ``u`` (sorted)."""
+        return self.child_indices[self.child_indptr[u] : self.child_indptr[u + 1]]
+
+    def parents(self, u: int) -> np.ndarray:
+        """Direct predecessors of ``u`` (sorted)."""
+        return self.parent_indices[self.parent_indptr[u] : self.parent_indptr[u + 1]]
+
+    def edge_list(self) -> list[tuple[int, int]]:
+        """All edges as ``(u, v)`` tuples, sorted by ``(u, v)``."""
+        sources = np.repeat(
+            np.arange(self.n, dtype=_INT), np.diff(self.child_indptr)
+        )
+        return list(zip(sources.tolist(), self.child_indices.tolist()))
+
+    @cached_property
+    def indegree(self) -> np.ndarray:
+        """Number of parents per node (read-only)."""
+        deg = np.diff(self.parent_indptr)
+        deg.setflags(write=False)
+        return deg
+
+    @cached_property
+    def outdegree(self) -> np.ndarray:
+        """Number of children per node (read-only)."""
+        deg = np.diff(self.child_indptr)
+        deg.setflags(write=False)
+        return deg
+
+    @cached_property
+    def roots(self) -> np.ndarray:
+        """Nodes with no predecessors, ascending."""
+        r = np.nonzero(self.indegree == 0)[0]
+        r.setflags(write=False)
+        return r
+
+    @cached_property
+    def leaves(self) -> np.ndarray:
+        """Nodes with no successors, ascending."""
+        lv = np.nonzero(self.outdegree == 0)[0]
+        lv.setflags(write=False)
+        return lv
+
+    @property
+    def work(self) -> int:
+        """Total number of subjobs (``W_i`` in the paper)."""
+        return self.n
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.child_indices.size)
+
+    # ------------------------------------------------------------------
+    # Depth / height / span (level-synchronous vectorized passes)
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def depth(self) -> np.ndarray:
+        """``D(j)``: nodes on the root→j path; roots have depth 1.
+
+        Computed by a vectorized Kahn pass; raises :class:`CycleError` if the
+        edge set is cyclic (this runs at construction time).
+        """
+        n = self.n
+        depth = np.zeros(n, dtype=_INT)
+        remaining = self.indegree.copy()
+        frontier = np.nonzero(remaining == 0)[0]
+        depth[frontier] = 1
+        processed = frontier.size
+        while frontier.size:
+            kids, counts = csr_gather(self.child_indptr, self.child_indices, frontier)
+            if kids.size == 0:
+                break
+            parent_depth = np.repeat(depth[frontier] + 1, counts)
+            np.maximum.at(depth, kids, parent_depth)
+            np.subtract.at(remaining, kids, 1)
+            # A child may appear several times in `kids`; take each once.
+            candidates = np.unique(kids)
+            frontier = candidates[remaining[candidates] == 0]
+            processed += frontier.size
+        if processed != n:
+            raise CycleError(f"graph has a cycle ({n - processed} nodes unreachable)")
+        depth.setflags(write=False)
+        return depth
+
+    @cached_property
+    def height(self) -> np.ndarray:
+        """``H(j)``: nodes on the longest j→leaf path; leaves have height 1.
+
+        A node's children always have strictly larger depth, so iterating
+        depth levels from deepest to shallowest is a valid reverse
+        topological order.
+        """
+        n = self.n
+        height = np.zeros(n, dtype=_INT)
+        depth = self.depth
+        if n == 0:
+            height.setflags(write=False)
+            return height
+        order = np.argsort(depth, kind="stable")[::-1]  # deepest first
+        level_starts = np.nonzero(np.diff(depth[order]) != 0)[0] + 1
+        blocks = np.split(order, level_starts)
+        from .util import segment_max
+
+        for block in blocks:
+            kids, counts = csr_gather(self.child_indptr, self.child_indices, block)
+            height[block] = 1 + segment_max(height[kids], counts, empty=0)
+        height.setflags(write=False)
+        return height
+
+    @property
+    def span(self) -> int:
+        """``P_i``: the number of vertices on the longest path."""
+        if self.n == 0:
+            return 0
+        return int(self.depth.max())
+
+    @cached_property
+    def max_depth(self) -> int:
+        """Maximum depth of any node (equals :attr:`span`)."""
+        return self.span
+
+    @cached_property
+    def depth_counts(self) -> np.ndarray:
+        """``depth_counts[d]`` = number of nodes with depth exactly ``d``
+        (index 0 unused)."""
+        counts = np.bincount(self.depth, minlength=self.span + 1).astype(_INT)
+        counts.setflags(write=False)
+        return counts
+
+    def deeper_than(self, d: int) -> int:
+        """``W(d)``: the number of subjobs with depth strictly greater than
+        ``d`` (Section 5 notation ``W_i(d)``)."""
+        d = check_nonnegative_int(d, "d")
+        if d >= self.span:
+            return 0
+        return int(self.depth_counts[d + 1 :].sum())
+
+    @cached_property
+    def deeper_than_profile(self) -> np.ndarray:
+        """Vector ``[W(0), W(1), ..., W(span)]`` (``W(span) == 0``)."""
+        suffix = np.concatenate(
+            [np.cumsum(self.depth_counts[::-1])[::-1][1:], np.zeros(1, dtype=_INT)]
+        )
+        suffix.setflags(write=False)
+        return suffix
+
+    @cached_property
+    def topological_order(self) -> np.ndarray:
+        """Any topological order (by nondecreasing depth, ties by id)."""
+        order = np.lexsort((np.arange(self.n, dtype=_INT), self.depth))
+        order.setflags(write=False)
+        return order
+
+    # ------------------------------------------------------------------
+    # Shape predicates
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def is_out_forest(self) -> bool:
+        """True iff every node has at most one parent."""
+        return bool(np.all(self.indegree <= 1))
+
+    @cached_property
+    def is_out_tree(self) -> bool:
+        """True iff the DAG is an out-forest with exactly one root (and is
+        therefore connected)."""
+        return self.is_out_forest and self.roots.size == 1 and self.n >= 1
+
+    @cached_property
+    def is_chain(self) -> bool:
+        """True iff the DAG is a single directed path (sequential job)."""
+        if self.n <= 1:
+            return True
+        return (
+            self.is_out_tree
+            and bool(np.all(self.outdegree <= 1))
+        )
+
+    def require_out_forest(self) -> None:
+        """Raise :class:`NotAForestError` unless this is an out-forest."""
+        if not self.is_out_forest:
+            bad = int(np.nonzero(self.indegree > 1)[0][0])
+            raise NotAForestError(
+                f"node {bad} has {int(self.indegree[bad])} parents; out-forests "
+                "require at most one"
+            )
+
+    def parent_array(self) -> np.ndarray:
+        """Out-forest encoding: ``parent[i]`` or ``-1`` for roots.
+
+        Raises :class:`NotAForestError` on general DAGs.
+        """
+        self.require_out_forest()
+        parents = np.full(self.n, -1, dtype=_INT)
+        has_parent = self.indegree == 1
+        parents[has_parent] = self.parent_indices[
+            self.parent_indptr[np.nonzero(has_parent)[0]]
+        ]
+        parents.setflags(write=False)
+        return parents
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def disjoint_union(dags: Sequence["DAG"]) -> tuple["DAG", np.ndarray]:
+        """Disjoint union of ``dags``.
+
+        Returns ``(union, offsets)`` where the nodes of ``dags[i]`` appear in
+        the union as ``offsets[i] + local_id``. ``offsets`` has one extra
+        entry equal to the union's node count, so
+        ``offsets[i]:offsets[i+1]`` slices out component ``i``.
+        """
+        sizes = np.array([d.n for d in dags], dtype=_INT)
+        offsets = np.zeros(len(dags) + 1, dtype=_INT)
+        np.cumsum(sizes, out=offsets[1:])
+        edges: list[tuple[int, int]] = []
+        for off, d in zip(offsets[:-1].tolist(), dags):
+            edges.extend((off + u, off + v) for u, v in d.edge_list())
+        return DAG(int(offsets[-1]), edges), offsets
+
+    def series(self, other: "DAG") -> "DAG":
+        """Series composition: every leaf of ``self`` precedes every root of
+        ``other`` (used by the series-parallel workload builder)."""
+        union, offsets = DAG.disjoint_union([self, other])
+        off = int(offsets[1])
+        extra = [
+            (int(leaf), off + int(root))
+            for leaf in self.leaves
+            for root in other.roots
+        ]
+        return DAG(union.n, union.edge_list() + extra)
+
+    def parallel(self, other: "DAG") -> "DAG":
+        """Parallel composition: plain disjoint union."""
+        union, _ = DAG.disjoint_union([self, other])
+        return union
+
+    def transitive_reduction(self) -> "DAG":
+        """The minimal DAG with the same reachability (unique for DAGs).
+
+        Redundant edges — those implied by a longer path — are removed.
+        Precedence-equivalent: any feasible schedule for the reduction is
+        feasible for the original and vice versa. Out-forests are already
+        reduced (each node has a single parent). O(n·e) worst case; meant
+        for analysis/visualization, not hot paths.
+        """
+        if self.is_out_forest:
+            return self
+        keep: list[tuple[int, int]] = []
+        for u in range(self.n):
+            kids = self.children(u)
+            if kids.size <= 1:
+                keep.extend((u, int(v)) for v in kids)
+                continue
+            kid_set = set(int(v) for v in kids)
+            # v is redundant if reachable from another child of u.
+            redundant = set()
+            for w in kids:
+                reach = self.descendants(int(w))
+                redundant.update(kid_set.intersection(reach.tolist()))
+            keep.extend((u, v) for v in kid_set - redundant)
+        return DAG(self.n, keep)
+
+    def induced_subgraph(self, keep: Sequence[int] | np.ndarray) -> tuple["DAG", np.ndarray]:
+        """Subgraph induced on ``keep`` (edges with both endpoints kept).
+
+        Returns ``(sub, original_ids)`` where node ``k`` of ``sub``
+        corresponds to ``original_ids[k]`` of this DAG. The main use is the
+        *remainder* of a partially executed job: if the removed nodes are
+        downward-closed under "executed" (no kept node precedes a removed
+        one), the remainder of an out-forest is again an out-forest whose
+        new roots are exactly the subjobs whose parents have executed.
+        """
+        original_ids = np.unique(as_int_array(keep))
+        if original_ids.size and (
+            original_ids.min() < 0 or original_ids.max() >= self.n
+        ):
+            raise GraphError("induced_subgraph: node id out of range")
+        new_id = np.full(self.n, -1, dtype=_INT)
+        new_id[original_ids] = np.arange(original_ids.size, dtype=_INT)
+        edges = []
+        for u, v in self.edge_list():
+            if new_id[u] >= 0 and new_id[v] >= 0:
+                edges.append((int(new_id[u]), int(new_id[v])))
+        return DAG(int(original_ids.size), edges), original_ids
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def descendants(self, u: int) -> np.ndarray:
+        """All nodes reachable from ``u`` (excluding ``u``), ascending."""
+        seen = np.zeros(self.n, dtype=bool)
+        frontier = self.children(u)
+        while frontier.size:
+            fresh = frontier[~seen[frontier]]
+            seen[fresh] = True
+            frontier, _ = csr_gather(self.child_indptr, self.child_indices, fresh)
+            frontier = np.unique(frontier)
+        return np.nonzero(seen)[0]
+
+    def ancestors(self, u: int) -> np.ndarray:
+        """All nodes that reach ``u`` (excluding ``u``), ascending."""
+        seen = np.zeros(self.n, dtype=bool)
+        frontier = self.parents(u)
+        while frontier.size:
+            fresh = frontier[~seen[frontier]]
+            seen[fresh] = True
+            frontier, _ = csr_gather(self.parent_indptr, self.parent_indices, fresh)
+            frontier = np.unique(frontier)
+        return np.nonzero(seen)[0]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DAG):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and np.array_equal(self.child_indptr, other.child_indptr)
+            and np.array_equal(self.child_indices, other.child_indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.child_indices.tobytes(), self.child_indptr.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "out-tree" if self.is_out_tree else (
+            "out-forest" if self.is_out_forest else "dag"
+        )
+        return (
+            f"DAG(n={self.n}, edges={self.n_edges}, span={self.span}, kind={kind})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Canonical small shapes (deterministic builders)
+# ----------------------------------------------------------------------
+
+
+def chain(n: int) -> DAG:
+    """A sequential job: path ``0 → 1 → ... → n-1``."""
+    check_nonnegative_int(n, "n")
+    return DAG(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def antichain(n: int) -> DAG:
+    """A fully parallel job: ``n`` independent unit subjobs."""
+    check_nonnegative_int(n, "n")
+    return DAG(n, ())
+
+
+def star(n_leaves: int) -> DAG:
+    """A root (node 0) with ``n_leaves`` independent children."""
+    check_nonnegative_int(n_leaves, "n_leaves")
+    return DAG(n_leaves + 1, ((0, i) for i in range(1, n_leaves + 1)))
+
+
+def complete_kary_tree(branching: int, levels: int) -> DAG:
+    """Complete ``branching``-ary out-tree with ``levels`` levels.
+
+    ``levels=1`` is a single node; each internal node has exactly
+    ``branching`` children. Node ids follow BFS order (root = 0).
+    """
+    if branching < 1:
+        raise ValueError("branching must be >= 1")
+    check_nonnegative_int(levels, "levels")
+    if levels == 0:
+        return DAG(0)
+    sizes = [branching**i for i in range(levels)]
+    n = sum(sizes)
+    parents = np.full(n, -1, dtype=_INT)
+    ids = np.arange(1, n, dtype=_INT)
+    parents[1:] = (ids - 1) // branching
+    return DAG.from_parents(parents)
+
+
+def spider(n_legs: int, leg_length: int) -> DAG:
+    """A root with ``n_legs`` chains of ``leg_length`` nodes hanging off it.
+
+    This is the canonical "one long sequential part plus parallel slack"
+    shape when ``leg_length`` varies; with equal legs it stresses tie-breaks.
+    """
+    check_nonnegative_int(n_legs, "n_legs")
+    check_nonnegative_int(leg_length, "leg_length")
+    parents = [-1]
+    for leg in range(n_legs):
+        base = 1 + leg * leg_length
+        for k in range(leg_length):
+            parents.append(0 if k == 0 else base + k - 1)
+    return DAG.from_parents(parents)
+
+
+def caterpillar(spine: int, legs_per_node: int) -> DAG:
+    """A chain of length ``spine`` where every spine node additionally has
+    ``legs_per_node`` leaf children."""
+    check_nonnegative_int(spine, "spine")
+    check_nonnegative_int(legs_per_node, "legs_per_node")
+    parents: list[int] = []
+    spine_ids: list[int] = []
+    prev = -1
+    for _ in range(spine):
+        parents.append(prev)
+        prev = len(parents) - 1
+        spine_ids.append(prev)
+        for _ in range(legs_per_node):
+            parents.append(prev)
+    return DAG.from_parents(parents)

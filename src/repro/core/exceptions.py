@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing model errors (bad DAGs), schedule errors (infeasible
+schedules) and configuration errors (bad parameters).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "NotAForestError",
+    "ScheduleError",
+    "InfeasibleScheduleError",
+    "SimulationError",
+    "SchedulerProtocolError",
+    "ConfigurationError",
+    "SolverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """A DAG construction or query was invalid."""
+
+
+class CycleError(GraphError):
+    """The edge set supplied to a DAG constructor contains a cycle."""
+
+
+class NotAForestError(GraphError):
+    """An operation requiring an out-forest received a general DAG."""
+
+
+class ScheduleError(ReproError):
+    """A schedule object is malformed (wrong shapes, negative times...)."""
+
+
+class InfeasibleScheduleError(ScheduleError):
+    """A schedule violates capacity, precedence, release or uniqueness.
+
+    Attributes
+    ----------
+    violations:
+        Human-readable description of each violation found (the validator
+        collects all of them rather than stopping at the first).
+    """
+
+    def __init__(self, violations: list[str]):
+        self.violations = list(violations)
+        preview = "; ".join(self.violations[:5])
+        more = "" if len(self.violations) <= 5 else f" (+{len(self.violations) - 5} more)"
+        super().__init__(f"infeasible schedule: {preview}{more}")
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class SchedulerProtocolError(SimulationError):
+    """A scheduler returned an illegal selection (non-ready node, too many
+    nodes, duplicate node, unknown job...)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid parameters passed to an algorithm or workload generator."""
+
+
+class SolverError(ReproError):
+    """The exact offline solver failed (e.g. instance too large)."""

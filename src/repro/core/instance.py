@@ -1,0 +1,178 @@
+"""Instances: collections of jobs arriving over time.
+
+An :class:`Instance` is the input ``I`` of the paper: a finite set of jobs
+with release times. This module also implements the arrival-time transforms
+used in Sections 5.3/5.4 and 6:
+
+* :meth:`Instance.batched_to` — round arrivals *up* to multiples of a period
+  and merge same-time jobs (the ``I → I'`` reduction of Section 5.4, and the
+  batched-arrival assumption of Section 6);
+* :meth:`Instance.is_batched` / :meth:`Instance.is_semi_batched` —
+  predicates for the assumptions of Theorems 5.6 and 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .exceptions import ConfigurationError
+from .job import Job, merge_jobs
+from .util import check_nonnegative_int
+
+__all__ = ["Instance"]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An online scheduling instance.
+
+    Jobs are stored sorted by ``(release, original index)`` so "FIFO order"
+    is simply index order. Index in this tuple is the canonical job id used
+    by schedules and schedulers.
+    """
+
+    jobs: tuple[Job, ...]
+
+    def __init__(self, jobs: Sequence[Job]):
+        ordered = sorted(enumerate(jobs), key=lambda p: (p[1].release, p[0]))
+        object.__setattr__(self, "jobs", tuple(j for _, j in ordered))
+        if not self.jobs:
+            raise ConfigurationError("an instance must contain at least one job")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __getitem__(self, i: int) -> Job:
+        return self.jobs[i]
+
+    @property
+    def releases(self) -> np.ndarray:
+        """Release times in job-id order (nondecreasing)."""
+        return np.array([j.release for j in self.jobs], dtype=np.int64)
+
+    @property
+    def total_work(self) -> int:
+        return sum(j.work for j in self.jobs)
+
+    @property
+    def max_span(self) -> int:
+        return max(j.span for j in self.jobs)
+
+    @property
+    def horizon_hint(self) -> int:
+        """A safe upper bound on the completion time of any work-conserving
+        schedule on one processor: ``max release + total work``."""
+        return int(self.releases.max()) + self.total_work
+
+    @property
+    def is_out_forest(self) -> bool:
+        """True iff every job is an out-forest."""
+        return all(j.is_out_forest for j in self.jobs)
+
+    def arrivals_at(self, t: int) -> list[int]:
+        """Job ids released exactly at time ``t``."""
+        return [i for i, j in enumerate(self.jobs) if j.release == t]
+
+    def distinct_releases(self) -> np.ndarray:
+        return np.unique(self.releases)
+
+    # ------------------------------------------------------------------
+    # Batching predicates and transforms (Sections 5.3 / 5.4 / 6)
+    # ------------------------------------------------------------------
+
+    def is_batched(self, period: int) -> bool:
+        """True iff every release is an integer multiple of ``period`` and at
+        most one job arrives per time (after merging, which the constructor
+        does not do automatically)."""
+        check_nonnegative_int(period, "period")
+        if period == 0:
+            raise ConfigurationError("period must be positive")
+        rel = self.releases
+        if np.any(rel % period != 0):
+            return False
+        return np.unique(rel).size == rel.size
+
+    def is_semi_batched(self, half_period: int) -> bool:
+        """True iff every release is an integer multiple of ``half_period``
+        (the Section 5.3 assumption with ``half_period = OPT/2``)."""
+        check_nonnegative_int(half_period, "half_period")
+        if half_period == 0:
+            raise ConfigurationError("half_period must be positive")
+        return bool(np.all(self.releases % half_period == 0))
+
+    def batched_to(self, period: int) -> "Instance":
+        """The Section 5.4 reduction ``I → I'``.
+
+        Jobs released in ``((i-1)*period, i*period]`` are delayed to
+        ``i*period`` and merged into a single job. The optimal maximum flow
+        of the result is at most ``OPT(I) + period`` (delay the optimal
+        schedule by one period).
+        """
+        check_nonnegative_int(period, "period")
+        if period == 0:
+            raise ConfigurationError("period must be positive")
+        buckets: dict[int, list[Job]] = {}
+        for job in self.jobs:
+            slot = -(-job.release // period) * period  # ceil to multiple
+            buckets.setdefault(slot, []).append(job)
+        merged = []
+        for slot in sorted(buckets):
+            group = buckets[slot]
+            job, _ = merge_jobs(
+                [g.delayed(slot) for g in group],
+                release=slot,
+                label=f"batch@{slot}",
+            )
+            merged.append(job)
+        return Instance(merged)
+
+    def delayed_by(self, delay: int) -> "Instance":
+        """Every release shifted later by ``delay``."""
+        check_nonnegative_int(delay, "delay")
+        return Instance([j.delayed(j.release + delay) for j in self.jobs])
+
+    def restricted_to(self, job_ids: Sequence[int]) -> "Instance":
+        """Sub-instance containing only the given job ids."""
+        ids = sorted(set(int(i) for i in job_ids))
+        if not ids:
+            raise ConfigurationError("restricted_to requires at least one job id")
+        for i in ids:
+            if not (0 <= i < len(self.jobs)):
+                raise ConfigurationError(f"job id {i} out of range")
+        return Instance([self.jobs[i] for i in ids])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Summary statistics (used by experiment tables)."""
+        rel = self.releases
+        works = np.array([j.work for j in self.jobs], dtype=np.int64)
+        spans = np.array([j.span for j in self.jobs], dtype=np.int64)
+        return {
+            "n_jobs": len(self.jobs),
+            "total_work": int(works.sum()),
+            "max_work": int(works.max()),
+            "max_span": int(spans.max()),
+            "first_release": int(rel.min()),
+            "last_release": int(rel.max()),
+            "all_out_forests": self.is_out_forest,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        d = self.describe()
+        return (
+            f"Instance(n_jobs={d['n_jobs']}, total_work={d['total_work']}, "
+            f"releases=[{d['first_release']}..{d['last_release']}])"
+        )

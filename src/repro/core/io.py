@@ -1,0 +1,148 @@
+"""Serialization: persist DAGs, instances and schedules.
+
+Experiments freeze adversarial instances and witness schedules; being able
+to save them (and reload them in a later session, a notebook, or a bug
+report) is table stakes for a release. Formats:
+
+* **dict/JSON** — human-readable, good for small instances and fixtures;
+* **npz** — compact binary for large frozen families (the m=128
+  adversarial instance has 8.4M subjobs; JSON would be absurd).
+
+Round-trips are exact: ids, releases, labels, completion times.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+from .dag import DAG
+from .exceptions import ScheduleError
+from .instance import Instance
+from .job import Job
+from .schedule import Schedule
+
+__all__ = [
+    "dag_to_dict",
+    "dag_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_instance_json",
+    "load_instance_json",
+    "save_schedule_npz",
+    "load_schedule_npz",
+]
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# dict / JSON
+# ----------------------------------------------------------------------
+
+
+def dag_to_dict(dag: DAG) -> dict[str, Any]:
+    """Canonical dict form: node count + edge list."""
+    return {"n": dag.n, "edges": [[int(u), int(v)] for u, v in dag.edge_list()]}
+
+
+def dag_from_dict(data: dict[str, Any]) -> DAG:
+    return DAG(int(data["n"]), [(int(u), int(v)) for u, v in data["edges"]])
+
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    return {
+        "jobs": [
+            {
+                "release": job.release,
+                "label": job.label,
+                "dag": dag_to_dict(job.dag),
+            }
+            for job in instance
+        ]
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> Instance:
+    return Instance(
+        [
+            Job(dag_from_dict(j["dag"]), int(j["release"]), j.get("label"))
+            for j in data["jobs"]
+        ]
+    )
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    return {
+        "m": schedule.m,
+        "instance": instance_to_dict(schedule.instance),
+        "completion": [c.tolist() for c in schedule.completion],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    instance = instance_from_dict(data["instance"])
+    completion = [np.asarray(c, dtype=np.int64) for c in data["completion"]]
+    return Schedule(instance, int(data["m"]), completion)
+
+
+def save_instance_json(instance: Instance, path: PathLike) -> None:
+    """Write ``instance`` to ``path`` as JSON (see :func:`instance_to_dict`)."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance)))
+
+
+def load_instance_json(path: PathLike) -> Instance:
+    """Read an instance previously written by :func:`save_instance_json`."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# npz (binary, for large frozen families)
+# ----------------------------------------------------------------------
+
+
+def save_schedule_npz(schedule: Schedule, path: PathLike) -> None:
+    """Binary snapshot: per-job edge arrays, releases, completions.
+
+    Labels are stored as a JSON side-string inside the archive.
+    """
+    arrays: dict[str, np.ndarray] = {"m": np.array([schedule.m], dtype=np.int64)}
+    meta = []
+    for i, job in enumerate(schedule.instance):
+        dag = job.dag
+        sources = np.repeat(
+            np.arange(dag.n, dtype=np.int64), np.diff(dag.child_indptr)
+        )
+        arrays[f"job{i}_src"] = sources
+        arrays[f"job{i}_dst"] = dag.child_indices
+        arrays[f"job{i}_completion"] = np.asarray(schedule.completion[i])
+        meta.append({"n": dag.n, "release": job.release, "label": job.label})
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_schedule_npz(path: PathLike) -> Schedule:
+    """Read a schedule previously written by :func:`save_schedule_npz`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+        m = int(data["m"][0])
+        jobs = []
+        completion = []
+        for i, info in enumerate(meta):
+            edges = list(
+                zip(data[f"job{i}_src"].tolist(), data[f"job{i}_dst"].tolist())
+            )
+            dag = DAG(int(info["n"]), edges)
+            jobs.append(Job(dag, int(info["release"]), info.get("label")))
+            completion.append(np.asarray(data[f"job{i}_completion"], dtype=np.int64))
+    try:
+        return Schedule(Instance(jobs), m, completion)
+    except ScheduleError as exc:  # pragma: no cover - corrupt file path
+        raise ScheduleError(f"corrupt schedule archive {path}: {exc}") from exc

@@ -1,0 +1,122 @@
+"""Jobs: a DAG plus a release time.
+
+A :class:`Job` is the unit that arrives online (Section 3 of the paper):
+the scheduler becomes aware of job ``i`` at its release time ``r_i`` and — in
+the clairvoyant setting — learns its whole DAG at that moment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .dag import DAG
+from .exceptions import ConfigurationError
+from .util import check_nonnegative_int
+
+__all__ = ["Job", "merge_jobs"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """A dynamic-multithreaded job.
+
+    Attributes
+    ----------
+    dag:
+        Precedence structure; every node is a unit-time subjob.
+    release:
+        Arrival time ``r_i`` (non-negative integer). No subjob may run
+        before ``release``; the flow of the job in a schedule ``S`` is
+        ``C_i^S - release``.
+    label:
+        Optional human-readable name used by renderers and experiment
+        tables.
+    """
+
+    dag: DAG
+    release: int = 0
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        check_nonnegative_int(self.release, "release")
+        if self.dag.n == 0:
+            raise ConfigurationError("a job must contain at least one subjob")
+
+    # Convenience passthroughs ------------------------------------------------
+
+    @property
+    def work(self) -> int:
+        """``W_i``: number of subjobs."""
+        return self.dag.work
+
+    @property
+    def span(self) -> int:
+        """``P_i``: vertices on the longest path (lower bound on flow)."""
+        return self.dag.span
+
+    @property
+    def is_out_forest(self) -> bool:
+        return self.dag.is_out_forest
+
+    @property
+    def is_out_tree(self) -> bool:
+        return self.dag.is_out_tree
+
+    def deeper_than(self, d: int) -> int:
+        """``W_i(d)``: subjobs at depth strictly greater than ``d``."""
+        return self.dag.deeper_than(d)
+
+    def trivial_flow_lower_bound(self, m: int) -> int:
+        """``max(P_i, ceil(W_i/m))`` — valid in any schedule on ``m``
+        processors (Section 3)."""
+        if m <= 0:
+            raise ConfigurationError("m must be positive")
+        return max(self.span, -(-self.work // m))
+
+    def delayed(self, new_release: int) -> "Job":
+        """Copy of this job released at ``new_release`` (must not be
+        earlier than the current release: online algorithms may only delay)."""
+        if new_release < self.release:
+            raise ConfigurationError(
+                f"cannot move release earlier ({self.release} -> {new_release})"
+            )
+        return Job(self.dag, new_release, self.label)
+
+    def renamed(self, label: str) -> "Job":
+        return Job(self.dag, self.release, label)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = f" {self.label!r}" if self.label else ""
+        return (
+            f"Job{name}(release={self.release}, work={self.work}, span={self.span})"
+        )
+
+
+def merge_jobs(jobs: list[Job], release: Optional[int] = None, label: Optional[str] = None) -> tuple[Job, np.ndarray]:
+    """Union several jobs into one (Sections 5.3 / 6: "view all the jobs
+    arriving at the same time as being one job").
+
+    Parameters
+    ----------
+    jobs:
+        Jobs to merge; the merged DAG is their disjoint union.
+    release:
+        Release of the merged job; defaults to the latest release among
+        ``jobs`` (an online algorithm can only delay jobs, never advance
+        them).
+
+    Returns
+    -------
+    (job, offsets):
+        The merged job, plus the node-id offset of each original job inside
+        the union (length ``len(jobs) + 1``).
+    """
+    if not jobs:
+        raise ConfigurationError("merge_jobs requires at least one job")
+    union, offsets = DAG.disjoint_union([j.dag for j in jobs])
+    if release is None:
+        release = max(j.release for j in jobs)
+    return Job(union, release, label), offsets

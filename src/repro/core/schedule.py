@@ -1,0 +1,241 @@
+"""Schedules: who ran when, plus feasibility validation and flow metrics.
+
+Time semantics follow Section 3 of the paper exactly: ``S(t)`` is the set of
+subjobs executed during the unit interval ``(t-1, t]``, so a subjob in
+``S(t)`` *completes at* time ``t`` and the earliest step any subjob of a job
+released at ``r`` may occupy is ``S(r+1)``. A schedule is stored as one
+completion-time array per job (``completion[i][v] = t`` iff subjob ``v`` of
+job ``i`` is in ``S(t)``; 0 means "never scheduled", which is only legal in
+partial schedules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .exceptions import InfeasibleScheduleError, ScheduleError
+from .instance import Instance
+from .util import check_nonnegative_int
+
+__all__ = ["Schedule"]
+
+_INT = np.int64
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A (possibly partial) schedule of an :class:`Instance` on ``m``
+    processors.
+
+    Attributes
+    ----------
+    instance:
+        The instance this schedule serves.
+    m:
+        Number of processors.
+    completion:
+        ``completion[i][v]`` is the time step in which subjob ``v`` of job
+        ``i`` ran (i.e. ``v ∈ S(completion[i][v])``), or 0 if unscheduled.
+    """
+
+    instance: Instance
+    m: int
+    completion: tuple[np.ndarray, ...]
+
+    def __init__(self, instance: Instance, m: int, completion: Sequence[np.ndarray]):
+        if m <= 0:
+            raise ScheduleError("m must be positive")
+        if len(completion) != len(instance):
+            raise ScheduleError(
+                f"completion arrays ({len(completion)}) must match job count "
+                f"({len(instance)})"
+            )
+        frozen = []
+        for i, (job, arr) in enumerate(zip(instance, completion)):
+            a = np.ascontiguousarray(arr, dtype=_INT)
+            if a.shape != (job.dag.n,):
+                raise ScheduleError(
+                    f"job {i}: completion array has shape {a.shape}, "
+                    f"expected ({job.dag.n},)"
+                )
+            if a.size and a.min() < 0:
+                raise ScheduleError(f"job {i}: negative completion time")
+            a.setflags(write=False)
+            frozen.append(a)
+        object.__setattr__(self, "instance", instance)
+        object.__setattr__(self, "m", int(m))
+        object.__setattr__(self, "completion", tuple(frozen))
+
+    # ------------------------------------------------------------------
+    # Completeness / metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def is_complete(self) -> bool:
+        """True iff every subjob of every job has been scheduled."""
+        return all(bool(np.all(c > 0)) for c in self.completion)
+
+    def job_completion(self, i: int) -> int:
+        """``C_i^S``: max completion time of any subjob of job ``i``.
+
+        Raises :class:`ScheduleError` if the job is not fully scheduled.
+        """
+        c = self.completion[i]
+        if np.any(c == 0):
+            raise ScheduleError(f"job {i} is not fully scheduled")
+        return int(c.max())
+
+    def job_flow(self, i: int) -> int:
+        """``F_i^S = C_i^S - r_i``."""
+        return self.job_completion(i) - self.instance[i].release
+
+    @property
+    def flows(self) -> np.ndarray:
+        """Per-job flow times, job-id order."""
+        return np.array([self.job_flow(i) for i in range(len(self.instance))], dtype=_INT)
+
+    @property
+    def max_flow(self) -> int:
+        """``F_max^S``: the objective value of this schedule."""
+        return int(self.flows.max())
+
+    @property
+    def total_flow(self) -> int:
+        """ℓ1 norm of flows (for comparison tables only)."""
+        return int(self.flows.sum())
+
+    @property
+    def makespan(self) -> int:
+        """Largest occupied time step (0 for an empty partial schedule)."""
+        best = 0
+        for c in self.completion:
+            if c.size:
+                best = max(best, int(c.max()))
+        return best
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def usage_profile(self, job_ids: Optional[Sequence[int]] = None) -> np.ndarray:
+        """``usage[t]`` = number of subjobs in ``S(t)`` (index 0 unused).
+
+        With ``job_ids``, counts only those jobs — this is the restricted
+        schedule ``S_i`` of Section 6 when ``job_ids`` are the jobs released
+        no later than ``r_i``.
+        """
+        ids = range(len(self.instance)) if job_ids is None else job_ids
+        horizon = self.makespan
+        usage = np.zeros(horizon + 1, dtype=_INT)
+        for i in ids:
+            c = self.completion[i]
+            scheduled = c[c > 0]
+            if scheduled.size:
+                usage += np.bincount(scheduled, minlength=horizon + 1)
+        return usage
+
+    def at(self, t: int) -> list[tuple[int, int]]:
+        """``S(t)`` as a sorted list of ``(job_id, node_id)`` pairs."""
+        check_nonnegative_int(t, "t")
+        out: list[tuple[int, int]] = []
+        for i, c in enumerate(self.completion):
+            for v in np.nonzero(c == t)[0]:
+                out.append((i, int(v)))
+        return out
+
+    def job_steps(self, i: int) -> list[tuple[int, np.ndarray]]:
+        """Per-time node sets of job ``i``: sorted ``(t, nodes)`` pairs for
+        every occupied time step (input format of the MC algorithm)."""
+        c = self.completion[i]
+        scheduled = np.nonzero(c > 0)[0]
+        order = np.argsort(c[scheduled], kind="stable")
+        scheduled = scheduled[order]
+        times = c[scheduled]
+        out: list[tuple[int, np.ndarray]] = []
+        if scheduled.size == 0:
+            return out
+        boundaries = np.nonzero(np.diff(times))[0] + 1
+        for block, t0 in zip(
+            np.split(scheduled, boundaries), times[np.concatenate([[0], boundaries])]
+        ):
+            out.append((int(t0), np.sort(block)))
+        return out
+
+    def idle_steps(self, job_ids: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Time steps ``t`` in ``[1, makespan]`` where fewer than ``m``
+        subjobs (of the selected jobs) ran."""
+        usage = self.usage_profile(job_ids)
+        steps = np.arange(1, usage.size, dtype=_INT)
+        return steps[usage[1:] < self.m]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self, *, require_complete: bool = True) -> None:
+        """Check feasibility per Section 3; raise
+        :class:`InfeasibleScheduleError` listing every violation.
+
+        Checks: capacity (``|S(t)| <= m``), uniqueness (each subjob at most
+        once — guaranteed by representation — and, when ``require_complete``,
+        exactly once), precedence (``(u,v) ∈ E_i ⇒ t_u < t_v``), release
+        (``v ∈ S(t) ⇒ t > r_i``).
+        """
+        violations: list[str] = []
+        usage = self.usage_profile()
+        over = np.nonzero(usage > self.m)[0]
+        for t in over[:10]:
+            violations.append(f"capacity exceeded at t={int(t)}: {int(usage[t])} > {self.m}")
+        for i, (job, c) in enumerate(zip(self.instance, self.completion)):
+            unscheduled = np.nonzero(c == 0)[0]
+            if require_complete and unscheduled.size:
+                violations.append(
+                    f"job {i}: {unscheduled.size} subjobs never scheduled"
+                )
+            scheduled_mask = c > 0
+            early = np.nonzero(scheduled_mask & (c <= job.release))[0]
+            if early.size:
+                violations.append(
+                    f"job {i}: subjob {int(early[0])} runs at t={int(c[early[0]])} "
+                    f"<= release {job.release}"
+                )
+            dag = job.dag
+            sources = np.repeat(
+                np.arange(dag.n, dtype=_INT), np.diff(dag.child_indptr)
+            )
+            targets = dag.child_indices
+            both = scheduled_mask[sources] & scheduled_mask[targets]
+            bad = np.nonzero(both & (c[sources] >= c[targets]))[0]
+            if bad.size:
+                u, v = int(sources[bad[0]]), int(targets[bad[0]])
+                violations.append(
+                    f"job {i}: precedence ({u},{v}) violated "
+                    f"(t_u={int(c[u])} >= t_v={int(c[v])})"
+                )
+            # A scheduled child whose parent never ran is also infeasible.
+            orphan = np.nonzero(~scheduled_mask[sources] & scheduled_mask[targets])[0]
+            if orphan.size:
+                u, v = int(sources[orphan[0]]), int(targets[orphan[0]])
+                violations.append(
+                    f"job {i}: subjob {v} ran but its predecessor {u} never did"
+                )
+        if violations:
+            raise InfeasibleScheduleError(violations)
+
+    def is_feasible(self, *, require_complete: bool = True) -> bool:
+        """Boolean wrapper around :meth:`validate`."""
+        try:
+            self.validate(require_complete=require_complete)
+        except InfeasibleScheduleError:
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "complete" if self.is_complete else "partial"
+        return (
+            f"Schedule(m={self.m}, jobs={len(self.instance)}, "
+            f"makespan={self.makespan}, {state})"
+        )

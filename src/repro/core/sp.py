@@ -1,0 +1,213 @@
+"""Series-parallel recognition and decomposition.
+
+Dynamic-multithreaded programs compile to *series-parallel partial orders*
+(Section 1), and the paper's open questions single out the series-parallel
+class as the next frontier beyond out-trees. This module decides membership
+and produces the decomposition tree:
+
+* a single subjob is series-parallel;
+* a *parallel* composition of series-parallel orders is series-parallel
+  (disjoint union);
+* a *series* composition (everything in the first part precedes everything
+  in the second) is series-parallel.
+
+Recognition uses the classical characterization (Valdes–Tarjan–Lawler): a
+partial order is series-parallel iff it is **N-free**; equivalently, the
+recursive split below always succeeds. We implement the recursive split on
+the reachability (transitive-closure) matrix:
+
+* **parallel split** — connected components of the comparability graph;
+* **series split** — connected components of the *in*comparability graph,
+  which must be totally ordered blockwise.
+
+Complexity is O(n² · depth of recursion) with numpy boolean matrices —
+ample for the job sizes the experiments use (≤ a few thousand nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .dag import DAG
+from .exceptions import GraphError
+
+__all__ = ["SPNode", "sp_decomposition", "is_series_parallel"]
+
+
+@dataclass(frozen=True)
+class SPNode:
+    """A node of the series-parallel decomposition tree.
+
+    ``kind`` is ``"leaf"`` (with ``node`` set), ``"series"`` or
+    ``"parallel"`` (with ``children`` set, in order for series).
+    """
+
+    kind: str
+    node: Optional[int] = None
+    children: tuple["SPNode", ...] = ()
+
+    def leaves(self) -> list[int]:
+        """Original node ids in this subtree."""
+        if self.kind == "leaf":
+            return [self.node]  # type: ignore[list-item]
+        out: list[int] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def size(self) -> int:
+        if self.kind == "leaf":
+            return 1
+        return sum(c.size() for c in self.children)
+
+
+def _reachability(dag: DAG) -> np.ndarray:
+    """Boolean matrix R with R[u, v] iff there is a path u -> v (u != v)."""
+    n = dag.n
+    reach = np.zeros((n, n), dtype=bool)
+    # Process in reverse topological order: reach[u] = union of children's
+    # reach plus the children themselves.
+    for u in dag.topological_order[::-1]:
+        kids = dag.children(int(u))
+        if kids.size:
+            reach[u, kids] = True
+            reach[u] |= reach[kids].any(axis=0)
+    return reach
+
+
+def _components(adjacent: np.ndarray, ids: np.ndarray) -> list[np.ndarray]:
+    """Connected components of the undirected graph ``adjacent`` restricted
+    to ``ids`` (``adjacent`` indexed by original ids)."""
+    remaining = set(int(i) for i in ids)
+    comps = []
+    while remaining:
+        seed = remaining.pop()
+        comp = {seed}
+        frontier = [seed]
+        while frontier:
+            x = frontier.pop()
+            neighbours = [y for y in remaining if adjacent[x, y]]
+            for y in neighbours:
+                remaining.discard(y)
+                comp.add(y)
+                frontier.append(y)
+        comps.append(np.array(sorted(comp), dtype=np.int64))
+    return comps
+
+
+def sp_decomposition(dag: DAG) -> Optional[SPNode]:
+    """The series-parallel decomposition tree of ``dag``'s partial order,
+    or ``None`` if the order is not series-parallel (contains an N)."""
+    if dag.n == 0:
+        raise GraphError("empty DAG has no decomposition")
+    reach = _reachability(dag)
+    comparable = reach | reach.T
+    incomparable = ~comparable
+    np.fill_diagonal(incomparable, False)
+
+    def solve(ids: np.ndarray) -> Optional[SPNode]:
+        if ids.size == 1:
+            return SPNode("leaf", node=int(ids[0]))
+        # Parallel split: comparability components.
+        comps = _components(comparable, ids)
+        if len(comps) > 1:
+            children = []
+            for comp in comps:
+                child = solve(comp)
+                if child is None:
+                    return None
+                children.append(child)
+            return SPNode("parallel", children=tuple(children))
+        # Series split: incomparability components, which must be totally
+        # ordered block against block.
+        blocks = _components(incomparable, ids)
+        if len(blocks) <= 1:
+            return None  # connected and inseparable: contains an N
+        # Order blocks: block A precedes B iff some (hence, if SP, every)
+        # element of A reaches some element of B.
+        def key(block: np.ndarray):
+            # Count how many other elements reach into this block: sort by
+            # number of predecessors outside the block.
+            preds = reach[np.ix_(ids, block)].any(axis=1).sum()
+            return int(preds)
+
+        ordered = sorted(blocks, key=key)
+        # Verify total blockwise order between consecutive blocks.
+        for a, b in zip(ordered, ordered[1:]):
+            if not reach[np.ix_(a, b)].all():
+                return None
+        children = []
+        for block in ordered:
+            child = solve(block)
+            if child is None:
+                return None
+            children.append(child)
+        return SPNode("series", children=tuple(children))
+
+    return solve(np.arange(dag.n, dtype=np.int64))
+
+
+def is_series_parallel(dag: DAG) -> bool:
+    """True iff ``dag``'s induced partial order is series-parallel
+    (equivalently: N-free)."""
+    return sp_decomposition(dag) is not None
+
+
+def series_segments(dag: DAG) -> Optional[list[np.ndarray]]:
+    """Decompose ``dag`` into a maximal chain of out-forest *segments*.
+
+    The paper (Section 1) notes that programs made of a sequence of
+    parallel-for loops are "a series of out-trees" and suggests the
+    out-tree algorithm may generalize to them. This function recognizes
+    that class: it returns node-id arrays ``[S_1, S_2, ...]`` such that
+
+    * every node is in exactly one segment;
+    * each segment's *induced* sub-DAG is an out-forest;
+    * all precedence between segments flows forward (everything in ``S_i``
+      precedes everything in ``S_j`` for ``i < j``), so once ``S_i`` is
+      fully executed, ``S_{i+1}``'s roots are all ready.
+
+    Returns ``None`` when the DAG is not a series of out-forests (e.g. a
+    parallel composition of two phased programs, or a non-SP order).
+    An out-forest itself yields a single segment.
+    """
+    if dag.n == 0:
+        raise GraphError("empty DAG has no segments")
+    if dag.is_out_forest:
+        return [np.arange(dag.n, dtype=np.int64)]
+    tree = sp_decomposition(dag)
+    if tree is None or tree.kind != "series":
+        return None
+
+    segments: list[np.ndarray] = []
+
+    def flatten(node: SPNode) -> bool:
+        """Append ``node``'s leaves as one or more segments; False on
+        failure."""
+        ids = np.array(sorted(node.leaves()), dtype=np.int64)
+        sub, _ = dag.induced_subgraph(ids)
+        if sub.is_out_forest:
+            segments.append(ids)
+            return True
+        if node.kind == "series":
+            return all(flatten(child) for child in node.children)
+        return False
+
+    for child in tree.children:
+        if not flatten(child):
+            return None
+    # Merge a segment into its predecessor when the union is still an
+    # out-forest (keeps segments maximal, minimizing sequential barriers).
+    merged: list[np.ndarray] = []
+    for seg in segments:
+        if merged:
+            candidate = np.concatenate([merged[-1], seg])
+            sub, _ = dag.induced_subgraph(candidate)
+            if sub.is_out_forest:
+                merged[-1] = candidate
+                continue
+        merged.append(seg)
+    return merged

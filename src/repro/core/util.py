@@ -1,0 +1,133 @@
+"""Low-level array utilities shared across the core data structures.
+
+These helpers implement the handful of vectorized primitives that the
+schedulers and DAG algorithms are built on, following the scientific-Python
+optimization guidance: keep construction code simple, and vectorize the bulk
+operations (multi-range gathers, segmented reductions) that sit on hot paths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "as_int_array",
+    "build_csr",
+    "csr_gather",
+    "csr_counts",
+    "segment_max",
+    "repeat_by_counts",
+    "check_nonnegative_int",
+]
+
+_INT = np.int64
+
+
+def as_int_array(values: Iterable[int] | np.ndarray) -> np.ndarray:
+    """Return ``values`` as a contiguous ``int64`` ndarray (no copy if
+    already one)."""
+    arr = np.ascontiguousarray(values, dtype=_INT)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    return arr
+
+
+def check_nonnegative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def build_csr(
+    n: int, sources: np.ndarray, targets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build a CSR adjacency (indptr, indices) for ``n`` nodes from parallel
+    ``sources``/``targets`` edge arrays.
+
+    The returned ``indices`` rows are sorted by target id within each source,
+    which makes the representation canonical (two DAGs with the same edge set
+    produce identical arrays).
+    """
+    sources = as_int_array(sources)
+    targets = as_int_array(targets)
+    if sources.shape != targets.shape:
+        raise ValueError("sources and targets must have the same length")
+    if sources.size:
+        if sources.min() < 0 or sources.max() >= n:
+            raise ValueError("edge source out of range")
+        if targets.min() < 0 or targets.max() >= n:
+            raise ValueError("edge target out of range")
+    counts = np.bincount(sources, minlength=n).astype(_INT)
+    indptr = np.zeros(n + 1, dtype=_INT)
+    np.cumsum(counts, out=indptr[1:])
+    # Sort edges by (source, target) so each CSR row is sorted.
+    order = np.lexsort((targets, sources))
+    indices = targets[order]
+    return indptr, indices
+
+
+def csr_counts(indptr: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """Per-node row lengths for the given ``nodes``."""
+    return indptr[nodes + 1] - indptr[nodes]
+
+
+def csr_gather(
+    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather the concatenated CSR rows of ``nodes``.
+
+    Returns ``(values, counts)`` where ``values`` is the concatenation of
+    ``indices[indptr[u]:indptr[u+1]]`` for each ``u`` in ``nodes`` (in order)
+    and ``counts[i]`` is the length contributed by ``nodes[i]``.
+
+    This is the vectorized multi-range gather used by the level-synchronous
+    graph algorithms; it avoids a Python-level loop over frontier nodes.
+    """
+    nodes = as_int_array(nodes)
+    counts = csr_counts(indptr, nodes)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=_INT), counts
+    # For output slot k, find which node it belongs to and its offset within
+    # that node's row, then index straight into `indices`.
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    node_for_slot = np.repeat(np.arange(nodes.size, dtype=_INT), counts)
+    within = np.arange(total, dtype=_INT) - starts[node_for_slot]
+    values = indices[indptr[nodes][node_for_slot] + within]
+    return values, counts
+
+
+def repeat_by_counts(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """``np.repeat`` wrapper with dtype normalization (hot-path helper)."""
+    return np.repeat(as_int_array(values), as_int_array(counts))
+
+
+def segment_max(values: np.ndarray, counts: np.ndarray, empty: int = 0) -> np.ndarray:
+    """Max of each consecutive segment of ``values`` whose lengths are given
+    by ``counts``; empty segments yield ``empty``.
+
+    Used to compute ``height[u] = 1 + max(height[children(u)])`` one
+    depth-level at a time without a per-node Python loop.
+    """
+    counts = as_int_array(counts)
+    out = np.full(counts.size, empty, dtype=_INT)
+    nonempty = counts > 0
+    if not nonempty.any():
+        return out
+    ends = np.cumsum(counts)
+    starts = (ends - counts)[nonempty]
+    out[nonempty] = np.maximum.reduceat(values, starts)
+    return out
+
+
+def stable_unique(values: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Unique values preserving first-occurrence order."""
+    arr = as_int_array(values)
+    _, first = np.unique(arr, return_index=True)
+    return arr[np.sort(first)]

@@ -1,0 +1,25 @@
+"""Experiments: one module per reproduced table/figure (see DESIGN.md's
+per-experiment index), plus the registry and table plumbing."""
+
+from .runner import Claim, ExperimentResult, format_table, repeat_experiment
+
+__all__ = [
+    "Claim",
+    "ExperimentResult",
+    "format_table",
+    "repeat_experiment",
+    "EXPERIMENTS",
+    "SCALE_PRESETS",
+    "run_experiment",
+    "run_all",
+]
+
+
+def __getattr__(name):
+    # The registry imports every experiment module; defer that cost (and any
+    # import cycles) until someone actually asks for it.
+    if name in ("EXPERIMENTS", "SCALE_PRESETS", "run_experiment", "run_all"):
+        from . import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,108 @@
+"""E14 — the ℓ1 / ℓ∞ trade-off (Section 1, "quality-of-service norms").
+
+The paper motivates maximum flow as the fairness norm: *"minimizing the
+maximum flow ... is the most commonly considered objective when the
+overriding concern is fairness."* This experiment quantifies the norm
+trade-off the introduction alludes to, on a stream mixing many small jobs
+with a few large ones:
+
+* **SRPT** (serve the job closest to done) compresses mean flow — and
+  starves the large jobs, blowing up max flow and max stretch;
+* **FIFO** pays a little mean flow for a dramatically better worst case;
+* the gap widens with the size disparity between jobs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.fairness import fairness_report
+from ..core.simulator import simulate
+from ..schedulers.base import LongestPathTieBreak
+from ..schedulers.fifo import FIFOScheduler
+from ..schedulers.srpt import SRPTScheduler
+from ..workloads.random_trees import random_attachment_tree
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _starvation_stream(m: int, small: int, disparity: int, load: float, rng):
+    """One big job at t=0, then a sustained stream of small jobs at the
+    given machine load — the canonical SRPT-starvation scenario."""
+    from ..core.instance import Instance
+    from ..core.job import Job
+
+    big = small * disparity
+    jobs = [Job(random_attachment_tree(big, rng), 0, "big")]
+    # Enough small jobs to outlast the big job even if it ran alone.
+    gap = max(1, round(small / (load * m)))
+    n_small = 2 * (big // m) // gap + 8
+    for i in range(n_small):
+        jobs.append(
+            Job(random_attachment_tree(small, rng), 1 + i * gap, f"small{i}")
+        )
+    return Instance(jobs)
+
+
+def run(
+    m: int = 16,
+    small: int = 32,
+    disparities: tuple[int, ...] = (4, 16, 48),
+    load: float = 0.8,
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E14",
+        title="SRPT vs FIFO: mean flow against maximum flow",
+        paper_artifact="Section 1 (norm choice / fairness motivation)",
+    )
+    rng = np.random.default_rng(seed)
+    gaps = []
+    for disparity in disparities:
+        stream = _starvation_stream(m, small, disparity, load, rng)
+        for scheduler in (
+            FIFOScheduler(LongestPathTieBreak()),
+            SRPTScheduler(LongestPathTieBreak()),
+        ):
+            schedule = simulate(stream, m, scheduler)
+            schedule.validate()
+            report = fairness_report(schedule)
+            row = {
+                "disparity": disparity,
+                "scheduler": scheduler.name,
+                "big_job_flow": schedule.job_flow(0),
+            }
+            row.update(report.as_row())
+            result.rows.append(row)
+        fifo_row, srpt_row = result.rows[-2], result.rows[-1]
+        gaps.append(
+            (
+                srpt_row["max_flow"] / fifo_row["max_flow"],
+                fifo_row["mean_flow"] / max(1e-9, srpt_row["mean_flow"]),
+            )
+        )
+    result.add_claim(
+        "FIFO's maximum flow beats SRPT's at every size disparity",
+        all(srpt_over_fifo > 1.0 for srpt_over_fifo, _ in gaps),
+        f"SRPT/FIFO max-flow ratios: {[round(g, 2) for g, _ in gaps]}",
+    )
+    result.add_claim(
+        "SRPT's mean flow is at least as good as FIFO's (the other side of "
+        "the trade-off)",
+        all(fifo_over_srpt >= 1.0 - 1e-9 for _, fifo_over_srpt in gaps),
+    )
+    result.add_claim(
+        "under SRPT the starved job is the big one",
+        all(
+            r["big_job_flow"] == r["max_flow"]
+            for r in result.rows
+            if r["scheduler"].startswith("SRPT")
+        ),
+    )
+    result.notes.append(
+        "Jain index near 1 means evenly distributed flows; SRPT trades the "
+        "big jobs' flows for everyone else's — exactly the unfairness the "
+        "ℓ∞ objective exists to prevent."
+    )
+    return result

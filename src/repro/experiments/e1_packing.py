@@ -1,0 +1,93 @@
+"""E1 — Figure 1: two feasible packings of one DAG on three processors.
+
+The figure illustrates that one job admits many packings respecting its
+DAG, with different completion times. The full text does not spell out the
+example's exact 9-node edge set, so we use a representative 9-node out-tree
+and show (a) the LPF packing (optimal, Lemma 5.3) and (b) a deliberately
+bad height-ignoring packing, on m = 3 processors.
+"""
+
+from __future__ import annotations
+
+import string
+
+from ..core.dag import DAG
+from ..core.instance import Instance
+from ..core.job import Job
+from ..core.simulator import simulate
+from ..schedulers.base import ReverseTieBreak
+from ..schedulers.fifo import FIFOScheduler
+from ..schedulers.lpf import LPFScheduler
+from ..schedulers.offline import single_forest_opt
+from ..viz.gantt import render_gantt
+from .runner import ExperimentResult
+
+__all__ = ["figure1_dag", "run"]
+
+
+def figure1_dag() -> DAG:
+    """A 9-node out-tree with both a long sequential path and parallel
+    slack — the kind of piece Figure 1 packs two ways.
+
+    Shape: A→B→C→D is the critical path; A also forks leaves E, F, G
+    (four ready children against three processors — the intra-job choice
+    matters); C forks leaves H and I.
+    """
+    edges = [
+        (0, 1),  # A -> B
+        (1, 2),  # B -> C
+        (2, 3),  # C -> D
+        (0, 4),  # A -> E
+        (0, 5),  # A -> F
+        (0, 6),  # A -> G
+        (2, 7),  # C -> H
+        (2, 8),  # C -> I
+    ]
+    return DAG(9, edges)
+
+
+def run(m: int = 3) -> ExperimentResult:
+    """Regenerate Figure 1: render two packings of the same job."""
+    dag = figure1_dag()
+    instance = Instance([Job(dag, 0, label="fig1")])
+    names = string.ascii_uppercase
+
+    good = simulate(instance, m, LPFScheduler())
+    good.validate()
+    bad = simulate(instance, m, FIFOScheduler(ReverseTieBreak()))
+    bad.validate()
+    opt = single_forest_opt(dag, m)
+
+    cell = lambda job_id, node_id: names[node_id]
+    result = ExperimentResult(
+        experiment_id="E1",
+        title="Two packings of one job on three processors",
+        paper_artifact="Figure 1",
+    )
+    result.figures.append(
+        "LPF packing (optimal):\n" + render_gantt(good, cell=cell)
+    )
+    result.figures.append(
+        "Height-ignoring packing:\n" + render_gantt(bad, cell=cell)
+    )
+    result.rows = [
+        {"packing": "LPF", "flow": good.max_flow, "optimal": good.max_flow == opt},
+        {"packing": "reverse", "flow": bad.max_flow, "optimal": bad.max_flow == opt},
+    ]
+    result.notes.append(
+        "The figure's exact 9-node example is not specified in the text; "
+        "this is a representative out-tree with the same moral."
+    )
+    result.add_claim(
+        "both packings are feasible for the same DAG",
+        good.is_feasible() and bad.is_feasible(),
+    )
+    result.add_claim(
+        f"LPF attains the Corollary 5.4 optimum ({opt})", good.max_flow == opt
+    )
+    result.add_claim(
+        "the packings differ in completion time",
+        bad.max_flow > good.max_flow,
+        f"{bad.max_flow} vs {good.max_flow}",
+    )
+    return result

@@ -1,0 +1,94 @@
+"""E4 — Lemma 5.3 / Corollary 5.4: LPF is optimal for a single out-forest.
+
+Across tree generators, sizes and machine counts, check that (a) LPF's flow
+on ``m`` processors equals the Corollary 5.4 closed form *exactly*, and
+(b) LPF on ``m/α`` processors never exceeds ``α·OPT``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..schedulers.lpf import lpf_flow
+from ..schedulers.offline import single_forest_opt
+from ..workloads.random_trees import (
+    galton_watson_tree,
+    random_attachment_tree,
+    random_binary_tree,
+    random_out_forest,
+)
+from ..workloads.recursive import (
+    divide_and_conquer_tree,
+    parallel_for_tree,
+    quicksort_tree,
+)
+from ..core.dag import chain, complete_kary_tree, spider, star
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+_GENERATORS = {
+    "attachment": lambda n, rng: random_attachment_tree(n, rng),
+    "binary": lambda n, rng: random_binary_tree(n, rng),
+    "galton-watson": lambda n, rng: galton_watson_tree(n, rng),
+    "quicksort": lambda n, rng: quicksort_tree(n, rng),
+    "pfor": lambda n, rng: parallel_for_tree(max(1, n // 4), body_span=3),
+    "d&c": lambda n, rng: divide_and_conquer_tree(max(1, n // 2)),
+    "forest": lambda n, rng: random_out_forest(n, rng),
+    "chain": lambda n, rng: chain(n),
+    "star": lambda n, rng: star(n - 1) if n >= 2 else chain(1),
+    "kary": lambda n, rng: complete_kary_tree(3, max(1, int(np.log(n) / np.log(3)))),
+    "spider": lambda n, rng: spider(max(1, n // 10), 10),
+}
+
+
+def run(
+    ms: tuple[int, ...] = (2, 4, 8, 16),
+    sizes: tuple[int, ...] = (20, 100, 400),
+    alpha: int = 4,
+    trials: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E4",
+        title="LPF optimality for single out-forests",
+        paper_artifact="Lemma 5.3, Corollary 5.4",
+    )
+    rng = np.random.default_rng(seed)
+    for gen_name, gen in _GENERATORS.items():
+        cases = optimal = alpha_ok = 0
+        worst_alpha_ratio = 0.0
+        for m in ms:
+            for n in sizes:
+                for _ in range(trials):
+                    dag = gen(n, rng)
+                    opt = single_forest_opt(dag, m)
+                    flow_m = lpf_flow(dag, m)
+                    cases += 1
+                    optimal += flow_m == opt
+                    width = max(1, m // alpha)
+                    flow_frac = lpf_flow(dag, width)
+                    # With width = max(1, m // alpha), the effective factor
+                    # is ceil(m / width) >= alpha.
+                    factor = -(-m // width)
+                    alpha_ok += flow_frac <= factor * opt
+                    worst_alpha_ratio = max(worst_alpha_ratio, flow_frac / opt)
+        result.rows.append(
+            {
+                "workload": gen_name,
+                "cases": cases,
+                "LPF==OPT": optimal,
+                "LPF[m/a]<=aOPT": alpha_ok,
+                "worst_frac_ratio": worst_alpha_ratio,
+            }
+        )
+    result.add_claim(
+        "LPF equals the Corollary 5.4 closed form in every case",
+        all(r["LPF==OPT"] == r["cases"] for r in result.rows),
+        f"{sum(r['cases'] for r in result.rows)} cases",
+    )
+    result.add_claim(
+        "LPF on m/alpha processors is alpha-competitive in every case",
+        all(r["LPF[m/a]<=aOPT"] == r["cases"] for r in result.rows),
+    )
+    return result

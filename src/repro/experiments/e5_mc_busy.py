@@ -1,0 +1,119 @@
+"""E5 — Lemma 5.5: the Most-Children algorithm never idles granted
+processors.
+
+Take LPF tails (fully packed rectangles, the exact precondition of the
+lemma) of random out-trees, replay them through MC under adversarially
+fluctuating allocations ``m_t``, and verify the busy property at two
+strengths:
+
+* **work-conserving** — MC schedules ``min(m_t, ready subjobs)`` at every
+  step, the strongest property any scheduler can have. This holds in
+  100% of replays.
+* **strict (the literal Lemma 5.5 claim)** — MC schedules exactly ``m_t``
+  unless it finishes. A reproduction finding (see
+  :mod:`repro.schedulers.mc`): same-step enabling can force MC off pure
+  max-children order, after which rare inputs reach a state where *no*
+  scheduler could fill the grant; the strict claim fails there. The table
+  counts how often (typically 0 in these trials; a fraction of a percent
+  in wider sweeps over random out-forests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.invariants import check_mc_busy, head_tail_shape
+from ..schedulers.lpf import lpf_schedule
+from ..workloads.random_trees import galton_watson_tree, random_attachment_tree
+from ..workloads.recursive import quicksort_tree
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+_GENERATORS = {
+    "attachment": random_attachment_tree,
+    "galton-watson": galton_watson_tree,
+    "quicksort": quicksort_tree,
+}
+
+
+def _allocation_patterns(width: int, horizon: int, rng) -> dict[str, list[int]]:
+    """Allocation sequences m_t <= width (the MC contract)."""
+    return {
+        "constant": [width] * horizon,
+        "uniform": rng.integers(0, width + 1, size=horizon).tolist(),
+        "bursty": [
+            (width if (k // 3) % 2 == 0 else max(0, width // 4))
+            for k in range(horizon)
+        ],
+        "trickle": [1] * horizon,
+    }
+
+
+def run(
+    width: int = 8,
+    n_nodes: int = 300,
+    trials: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E5",
+        title="MC keeps every granted processor busy",
+        paper_artifact="Lemma 5.5",
+    )
+    rng = np.random.default_rng(seed)
+    for gen_name, gen in _GENERATORS.items():
+        pattern_pass: dict[str, int] = {}
+        pattern_strict: dict[str, int] = {}
+        pattern_cases: dict[str, int] = {}
+        for _ in range(trials):
+            dag = gen(n_nodes, rng)
+            sched = lpf_schedule(dag, width)
+            shape = head_tail_shape(sched, width)
+            steps = [nodes for _, nodes in sched.job_steps(0)]
+            # The MC contract: input has no idle step except possibly the
+            # last. Use the packed tail (plus generous allocations).
+            tail = steps[shape.head_length :]
+            if not tail:
+                continue
+            tail_nodes = sum(len(s) for s in tail)
+            horizon = 4 * tail_nodes + 8
+            for pat_name, alloc in _allocation_patterns(width, horizon, rng).items():
+                wc = check_mc_busy(tail, dag, alloc)
+                strict = check_mc_busy(tail, dag, alloc, strict=True)
+                pattern_cases[pat_name] = pattern_cases.get(pat_name, 0) + 1
+                pattern_pass[pat_name] = pattern_pass.get(pat_name, 0) + bool(wc)
+                pattern_strict[pat_name] = pattern_strict.get(pat_name, 0) + bool(
+                    strict
+                )
+        for pat_name in sorted(pattern_cases):
+            result.rows.append(
+                {
+                    "workload": gen_name,
+                    "allocation": pat_name,
+                    "cases": pattern_cases[pat_name],
+                    "work_conserving": pattern_pass[pat_name],
+                    "strict_lemma": pattern_strict[pat_name],
+                }
+            )
+    total = sum(r["cases"] for r in result.rows)
+    strict_ok = sum(r["strict_lemma"] for r in result.rows)
+    result.add_claim(
+        "work-conserving busyness holds in every (workload, allocation) case",
+        all(r["work_conserving"] == r["cases"] for r in result.rows),
+        f"{total} replays",
+    )
+    result.add_claim(
+        "the literal Lemma 5.5 claim holds in >= 99% of replays "
+        "(rare forced-idle states are a documented reproduction finding)",
+        strict_ok >= 0.99 * total,
+        f"{strict_ok}/{total}",
+    )
+    result.notes.append(
+        "See repro.schedulers.mc: same-step enabling can force MC off pure "
+        "max-children order; in rare resulting states no scheduler can fill "
+        "the grant, so the strict claim fails while work conservation — the "
+        "achievable optimum — holds. Theorem 5.6's constants absorb such "
+        "one-slot losses."
+    )
+    return result

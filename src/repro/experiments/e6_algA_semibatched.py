@@ -1,0 +1,131 @@
+"""E6 — Theorem 5.6: Algorithm 𝒜 is O(1)-competitive on semi-batched
+out-forest instances.
+
+Two workload families, both semi-batched:
+
+* **packed** instances (OPT known by construction) — the "hardest"
+  fully-loaded inputs the paper's Section 1 discussion identifies;
+* the **adversarial** family re-released semi-batched — the inputs that
+  defeat FIFO.
+
+On each, compare Algorithm 𝒜 (knowing OPT) against FIFO variants. The
+claim is about *shape*: 𝒜's ratio stays bounded by a small constant across
+``m`` while arbitrary FIFO's grows on the adversarial family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.competitive import OptReference, compare_schedulers
+from ..analysis.stats import classify_growth
+from ..core.instance import Instance
+from ..schedulers.base import ArbitraryTieBreak, LongestPathTieBreak
+from ..schedulers.fifo import FIFOScheduler
+from ..schedulers.outtree import SemiBatchedOutTreeScheduler
+from ..workloads.adversarial import build_fifo_adversary
+from ..workloads.packed import packed_instance
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _semibatch_adversarial(
+    m: int, n_jobs: int
+) -> tuple[Instance, OptReference, int]:
+    """The Section 4 family *is* semi-batched for 𝒜 run with
+    ``opt_param = 2·(m+1)``: its half-period ``m+1`` exactly divides the
+    releases ``i·(m+1)``. Passing an upper bound (2·OPT) instead of OPT
+    merely doubles 𝒜's constants — Section 5.4 makes the same move."""
+    adv = build_fifo_adversary(m, n_jobs)
+    return adv.instance, OptReference.witness(adv.opt_witness), 2 * (m + 1)
+
+
+def run(
+    ms: tuple[int, ...] = (8, 16, 32, 64),
+    n_jobs: int = 24,
+    seed: int = 0,
+    alpha: int = 4,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E6",
+        title="Algorithm A vs FIFO on semi-batched instances",
+        paper_artifact="Theorem 5.6 (A is 129-competitive, alpha=4, beta=258)",
+    )
+    rng = np.random.default_rng(seed)
+    ratios_a: list[float] = []
+    ratios_fifo: list[float] = []
+    for m in ms:
+        # --- packed family ------------------------------------------------
+        flow = 2 * m
+        pk = packed_instance(m, n_jobs=n_jobs // 2, flow=flow, period=flow // 2, seed=rng)
+        ref = OptReference.witness(pk.witness)
+        schedulers = [
+            SemiBatchedOutTreeScheduler(opt=flow, alpha=alpha),
+            FIFOScheduler(ArbitraryTieBreak()),
+            FIFOScheduler(LongestPathTieBreak()),
+        ]
+        horizon = pk.instance.horizon_hint * 4 + 600 * flow
+        for case in compare_schedulers(pk.instance, m, schedulers, ref, max_steps=horizon):
+            result.rows.append(
+                {
+                    "family": "packed",
+                    "m": m,
+                    "scheduler": case.scheduler,
+                    "opt_ref": f"{ref.value} ({ref.kind})",
+                    "flow": case.max_flow,
+                    "ratio": case.ratio,
+                }
+            )
+        # --- adversarial family --------------------------------------------
+        inst, ref, opt_param = _semibatch_adversarial(m, n_jobs=min(n_jobs, 4 * m))
+        schedulers = [
+            SemiBatchedOutTreeScheduler(opt=opt_param, alpha=alpha),
+            FIFOScheduler(ArbitraryTieBreak()),
+            FIFOScheduler(LongestPathTieBreak()),
+        ]
+        horizon = inst.horizon_hint * 4 + 600 * opt_param
+        for case in compare_schedulers(inst, m, schedulers, ref, max_steps=horizon):
+            result.rows.append(
+                {
+                    "family": "adversarial",
+                    "m": m,
+                    "scheduler": case.scheduler,
+                    "opt_ref": f"{ref.value} ({ref.kind})",
+                    "flow": case.max_flow,
+                    "ratio": case.ratio,
+                }
+            )
+            if case.scheduler.startswith("AlgA"):
+                ratios_a.append(case.ratio)
+            elif "arbitrary" in case.scheduler:
+                ratios_fifo.append(case.ratio)
+
+    # Theorem 5.6 guarantees 129·OPT when 𝒜 knows OPT exactly (packed
+    # family); the adversarial family hands 𝒜 the upper bound 2·(m+1),
+    # doubling the bound to 258.
+    a_rows = [r for r in result.rows if r["scheduler"].startswith("AlgA")]
+    result.add_claim(
+        "A's ratio stays below the Theorem 5.6 guarantee "
+        "(129, or 258 where OPT was over-supplied 2x)",
+        all(
+            r["ratio"] <= (129 if r["family"] == "packed" else 258)
+            for r in a_rows
+        ),
+        f"max measured {max(r['ratio'] for r in a_rows):.2f}",
+    )
+    result.add_claim(
+        "A's ratio is constant in m on the adversarial family",
+        classify_growth(list(ms), ratios_a) == "constant",
+    )
+    result.add_claim(
+        "arbitrary FIFO's ratio grows with m on the adversarial family",
+        all(b > a for a, b in zip(ratios_fifo, ratios_fifo[1:])),
+    )
+    result.notes.append(
+        "ratios divide by witness objectives (upper bounds on OPT), so "
+        "FIFO's column certifies its lower bound while A's column may "
+        "overstate A's true ratio — the conservative direction for both "
+        "claims."
+    )
+    return result

@@ -1,0 +1,118 @@
+"""Experiment plumbing: result containers and plain-text table formatting.
+
+Every ``eN_*.run()`` returns an :class:`ExperimentResult`; the benchmark
+harness prints ``result.render()`` (so ``pytest benchmarks/ | tee`` captures
+the regenerated tables) and asserts ``result.claims_hold()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Claim", "ExperimentResult", "format_table", "repeat_experiment"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checked assertion about an experiment's outcome."""
+
+    description: str
+    holds: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.holds else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"  [{mark}] {self.description}{suffix}"
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure plus its checked claims."""
+
+    experiment_id: str
+    title: str
+    paper_artifact: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    columns: Sequence[str] | None = None
+    claims: list[Claim] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    figures: list[str] = field(default_factory=list)  # preformatted ASCII blocks
+
+    def add_claim(self, description: str, holds: bool, detail: str = "") -> None:
+        self.claims.append(Claim(description, bool(holds), detail))
+
+    def claims_hold(self) -> bool:
+        return all(c.holds for c in self.claims)
+
+    def failed_claims(self) -> list[Claim]:
+        return [c for c in self.claims if not c.holds]
+
+    def render(self) -> str:
+        lines = [
+            "=" * 72,
+            f"{self.experiment_id}: {self.title}",
+            f"paper artifact: {self.paper_artifact}",
+            "=" * 72,
+        ]
+        for fig in self.figures:
+            lines.append(fig)
+            lines.append("-" * 72)
+        if self.rows:
+            lines.append(format_table(self.rows, self.columns))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        if self.claims:
+            lines.append("claims:")
+            lines.extend(c.render() for c in self.claims)
+        return "\n".join(lines)
+
+
+def repeat_experiment(
+    run_fn, seeds: Sequence[int], **params
+) -> tuple[list[ExperimentResult], dict[str, float]]:
+    """Run an experiment across several seeds and aggregate its claims.
+
+    Guards against seed luck: a claim that holds at the default seed but
+    fails elsewhere is fragile. Returns ``(results, pass_rates)`` where
+    ``pass_rates`` maps each claim description to the fraction of seeds on
+    which it held. Only meaningful for experiments taking a ``seed``
+    parameter.
+    """
+    results = [run_fn(seed=seed, **params) for seed in seeds]
+    rates: dict[str, float] = {}
+    descriptions = [c.description for c in results[0].claims]
+    for desc in descriptions:
+        holds = [
+            any(c.description == desc and c.holds for c in r.claims)
+            for r in results
+        ]
+        rates[desc] = sum(holds) / len(results)
+    return results, rates
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: list[dict[str, Any]], columns: Sequence[str] | None = None) -> str:
+    """Render ``rows`` (list of dicts) as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(c[i]) for c in cells)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in cells
+    ]
+    return "\n".join([header, sep, *body])

@@ -1,0 +1,166 @@
+"""Scheduler building blocks: intra-job tie-break policies and ready heaps.
+
+The paper's central negative result (Section 4) is that *intra-job*
+selection — which ready subjobs of a job to run when the job gets fewer
+processors than it has ready subjobs — is where FIFO can go fatally wrong.
+We therefore make the tie-break an explicit, pluggable policy object:
+
+* :class:`ArbitraryTieBreak` — deterministic "arbitrary" choice (ascending
+  node id). The Section 4 adversarial family is constructed against exactly
+  this policy.
+* :class:`ReverseTieBreak` — descending node id (a different arbitrary
+  choice, useful to show the lower bound is about *adaptivity*, not one
+  unlucky order).
+* :class:`RandomTieBreak` — uniformly random among ready subjobs.
+* :class:`DepthTieBreak` — prefer deeper subjobs; non-clairvoyant (a
+  runtime learns a node's depth when it becomes ready).
+* :class:`LongestPathTieBreak` — prefer subjobs of maximum height ``H(j)``
+  (the LPF rule of Section 5.1); clairvoyant.
+* :class:`MostChildrenTieBreak` — prefer subjobs with most children;
+  clairvoyant (children counts are unknown before execution).
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.job import Job
+
+__all__ = [
+    "TieBreak",
+    "ArbitraryTieBreak",
+    "ReverseTieBreak",
+    "RandomTieBreak",
+    "DepthTieBreak",
+    "LongestPathTieBreak",
+    "MostChildrenTieBreak",
+    "ReadyHeap",
+]
+
+
+class TieBreak(abc.ABC):
+    """Priority rule for choosing among the ready subjobs of one job.
+
+    ``key(job, node)`` returns a sortable priority; *smaller keys are
+    scheduled first*. Keys must be stable for the lifetime of a run
+    (they are computed once, when a node becomes ready).
+    """
+
+    #: True if the rule consults information a non-clairvoyant runtime
+    #: would not have (full DAG shape).
+    clairvoyant: bool = False
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Reinitialize any internal state (e.g. RNG) before a run."""
+
+    @abc.abstractmethod
+    def key(self, job: Job, node: int) -> tuple:
+        """Priority key for ``node`` of ``job`` (smaller = sooner)."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.replace("TieBreak", "").lower() or "tiebreak"
+
+
+class ArbitraryTieBreak(TieBreak):
+    """Deterministic arbitrary order: ascending node id.
+
+    This realizes the paper's "arbitrary FIFO": the adversarial instances of
+    Section 4 assign key subjobs the largest ids within their layer, so this
+    policy always leaves exactly the key subjob unscheduled.
+    """
+
+    def key(self, job: Job, node: int) -> tuple:
+        return (node,)
+
+
+class ReverseTieBreak(TieBreak):
+    """Descending node id — a second deterministic 'arbitrary' order."""
+
+    def key(self, job: Job, node: int) -> tuple:
+        return (-node,)
+
+
+class RandomTieBreak(TieBreak):
+    """Uniformly random priority per ready subjob."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        self._rng = np.random.default_rng(self._seed if seed is None else seed)
+
+    def key(self, job: Job, node: int) -> tuple:
+        return (float(self._rng.random()), node)
+
+
+class DepthTieBreak(TieBreak):
+    """Prefer subjobs of larger depth (discovered online, hence
+    non-clairvoyant): a heuristic proxy for "keep going deep"."""
+
+    def key(self, job: Job, node: int) -> tuple:
+        return (-int(job.dag.depth[node]), node)
+
+
+class LongestPathTieBreak(TieBreak):
+    """The LPF rule: prefer subjobs of maximum height ``H(j)``
+    (Section 5.1). Clairvoyant: heights require knowing the whole DAG."""
+
+    clairvoyant = True
+
+    def key(self, job: Job, node: int) -> tuple:
+        return (-int(job.dag.height[node]), node)
+
+
+class MostChildrenTieBreak(TieBreak):
+    """Prefer subjobs with the most children (a greedy width-preserving
+    rule, related in spirit to the MC algorithm of Section 5.2)."""
+
+    clairvoyant = True
+
+    def key(self, job: Job, node: int) -> tuple:
+        return (-int(job.dag.outdegree[node]), node)
+
+
+class ReadyHeap:
+    """Min-heap of ready subjobs of a single job, ordered by a tie-break.
+
+    Nodes are pushed exactly once (when they become ready) and popped
+    exactly once (when scheduled), so no lazy-deletion bookkeeping is
+    needed.
+    """
+
+    __slots__ = ("_heap", "_job", "_policy")
+
+    def __init__(self, job: Job, policy: TieBreak):
+        self._heap: list[tuple[tuple, int]] = []
+        self._job = job
+        self._policy = policy
+
+    def push_all(self, nodes: Iterable[int]) -> None:
+        for node in nodes:
+            heapq.heappush(self._heap, (self._policy.key(self._job, int(node)), int(node)))
+
+    def pop(self) -> int:
+        return heapq.heappop(self._heap)[1]
+
+    def pop_up_to(self, k: int) -> list[int]:
+        """Pop at most ``k`` nodes in priority order."""
+        out = []
+        while self._heap and len(out) < k:
+            out.append(heapq.heappop(self._heap)[1])
+        return out
+
+    def peek(self) -> int:
+        return self._heap[0][1]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,233 @@
+"""Offline optima and lower bounds.
+
+Three tiers, used by the competitive-ratio harness (strongest available tier
+is reported in every experiment table):
+
+1. **Exact, closed form** — for a *single* out-forest job,
+   ``OPT = max_d (d + ceil(W(d)/m))`` (Corollary 5.4); the witness schedule
+   is LPF itself (Lemma 5.3).
+2. **Exact, search** — for tiny multi-job instances,
+   :func:`exact_opt` binary-searches the objective and decides feasibility
+   by depth-first search over maximal executions with dominance pruning.
+3. **Lower bounds** — :func:`max_flow_lower_bound` combines the per-job
+   depth-profile bound (Lemma 5.1) with an interval load bound; dividing a
+   measured objective by it *over*-estimates the competitive ratio, which is
+   the conservative direction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from ..core.dag import DAG
+from ..core.exceptions import ConfigurationError, NotAForestError, SolverError
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..core.simulator import simulate
+from .fifo import FIFOScheduler
+from .base import LongestPathTieBreak
+
+__all__ = [
+    "depth_profile_lower_bound",
+    "single_forest_opt",
+    "max_flow_lower_bound",
+    "exact_opt",
+]
+
+
+def depth_profile_lower_bound(dag: DAG, m: int) -> int:
+    """Lemma 5.1: ``max_d (d + ceil(W(d)/m))`` over depths ``d`` in
+    ``[0, D]`` — a lower bound on the flow of this job in *any* schedule on
+    ``m`` processors (it dominates both the span and ``ceil(W/m)``).
+    """
+    if m <= 0:
+        raise ConfigurationError("m must be positive")
+    if dag.n == 0:
+        return 0
+    profile = dag.deeper_than_profile  # [W(0), ..., W(D)]
+    ds = np.arange(profile.size, dtype=np.int64)
+    return int((ds + -(-profile // m)).max())
+
+
+def single_forest_opt(dag: DAG, m: int) -> int:
+    """Corollary 5.4: the *exact* optimal maximum flow for one out-forest
+    job released at time 0 on ``m`` processors."""
+    if not dag.is_out_forest:
+        raise NotAForestError(
+            "Corollary 5.4 applies to out-forests only; use "
+            "depth_profile_lower_bound / exact_opt for general DAGs"
+        )
+    return depth_profile_lower_bound(dag, m)
+
+
+def max_flow_lower_bound(instance: Instance, m: int) -> int:
+    """A valid lower bound on the optimal maximum flow of ``instance``.
+
+    Maximum of
+
+    * per-job Lemma 5.1 bounds (each job must fit even if alone), and
+    * the interval load bound: jobs released in ``[s, t]`` cannot start
+      before ``s`` and carry total work ``W``, so the last of them has flow
+      at least ``s + ceil(W/m) - t``, for every release pair ``s <= t``.
+    """
+    if m <= 0:
+        raise ConfigurationError("m must be positive")
+    best = max(depth_profile_lower_bound(job.dag, m) for job in instance)
+    releases = instance.releases
+    works = np.array([j.work for j in instance], dtype=np.int64)
+    uniq = np.unique(releases)
+    for si in range(uniq.size):
+        s = int(uniq[si])
+        mask_s = releases >= s
+        for ti in range(si, uniq.size):
+            t = int(uniq[ti])
+            w = int(works[mask_s & (releases <= t)].sum())
+            best = max(best, s + -(-w // m) - t)
+    return max(best, 1)
+
+
+# ----------------------------------------------------------------------
+# Exact search for tiny instances
+# ----------------------------------------------------------------------
+
+
+def exact_opt(
+    instance: Instance,
+    m: int,
+    *,
+    max_nodes: int = 24,
+    max_branch_states: int = 2_000_000,
+) -> tuple[int, Schedule]:
+    """Exact optimal maximum flow via binary search + feasibility DFS.
+
+    Only intended for cross-validating the bounds and algorithms on tiny
+    instances (property tests): cost is exponential. Raises
+    :class:`SolverError` beyond ``max_nodes`` total subjobs or when the
+    search exceeds ``max_branch_states`` expansions.
+
+    Returns ``(opt, witness)`` where ``witness`` is a feasible schedule
+    attaining ``opt``.
+    """
+    total_nodes = instance.total_work
+    if total_nodes > max_nodes:
+        raise SolverError(
+            f"exact_opt limited to {max_nodes} total subjobs "
+            f"(instance has {total_nodes})"
+        )
+    lo = max_flow_lower_bound(instance, m)
+    ub_schedule = simulate(instance, m, FIFOScheduler(LongestPathTieBreak()))
+    hi = ub_schedule.max_flow
+    best_witness = ub_schedule
+    while lo < hi:
+        mid = (lo + hi) // 2
+        witness = _feasible_with_deadline(instance, m, mid, max_branch_states)
+        if witness is not None:
+            hi = mid
+            best_witness = witness
+        else:
+            lo = mid + 1
+    return hi, best_witness
+
+
+def _feasible_with_deadline(
+    instance: Instance, m: int, flow_bound: int, max_states: int
+) -> Optional[Schedule]:
+    """Is there a schedule with every job's flow <= ``flow_bound``?
+
+    DFS over time steps; at each step we branch over all maximal ready
+    subsets of size ``min(m, #ready)`` (running a maximal set is WLOG for
+    unit jobs: idling while a subjob is ready can only delay completions).
+    Dominance pruning: if a completed-set was already proven infeasible at
+    time ``t0``, it is infeasible at any ``t >= t0``.
+    """
+    jobs = list(instance)
+    deadlines = [job.release + flow_bound for job in jobs]
+    n_jobs = len(jobs)
+    heights = [job.dag.height for job in jobs]
+
+    # State: per-job bitmask of completed nodes.
+    failed_at: dict[tuple[int, ...], int] = {}
+    expansions = 0
+    completion = [np.zeros(job.dag.n, dtype=np.int64) for job in jobs]
+
+    def ready_nodes(done: tuple[int, ...], t: int) -> list[tuple[int, int]]:
+        out = []
+        for i, job in enumerate(jobs):
+            if job.release > t:
+                continue
+            mask = done[i]
+            if mask == (1 << job.dag.n) - 1:
+                continue
+            for v in range(job.dag.n):
+                if mask >> v & 1:
+                    continue
+                if all(mask >> int(p) & 1 for p in job.dag.parents(v)):
+                    out.append((i, v))
+        return out
+
+    def prune(done: tuple[int, ...], t: int, ready: list[tuple[int, int]]) -> bool:
+        # Critical-path prune: any ready subjob's downward chain must fit.
+        for i, v in ready:
+            if t + int(heights[i][v]) > deadlines[i]:
+                return True
+        # Load prune: unfinished work with deadline <= d must fit in m(d-t).
+        loads: dict[int, int] = {}
+        for i, job in enumerate(jobs):
+            left = job.dag.n - bin(done[i]).count("1")
+            if left:
+                loads[deadlines[i]] = loads.get(deadlines[i], 0) + left
+        acc = 0
+        for d in sorted(loads):
+            acc += loads[d]
+            if acc > m * max(0, d - t):
+                return True
+        return False
+
+    def dfs(done: tuple[int, ...], t: int) -> bool:
+        nonlocal expansions
+        if all(
+            done[i] == (1 << jobs[i].dag.n) - 1 for i in range(n_jobs)
+        ):
+            return True
+        known = failed_at.get(done)
+        if known is not None and t >= known:
+            return False
+        expansions += 1
+        if expansions > max_states:
+            raise SolverError(
+                f"exact_opt exceeded {max_states} states; instance too large"
+            )
+        ready = ready_nodes(done, t)
+        if not ready:
+            # Idle until the next arrival.
+            future = [j.release for j in jobs if j.release > t]
+            if not future:
+                return False
+            return dfs(done, min(future))
+        if prune(done, t, ready):
+            failed_at[done] = min(failed_at.get(done, t), t)
+            return False
+        k = min(m, len(ready))
+        for subset in itertools.combinations(ready, k):
+            nxt = list(done)
+            for i, v in subset:
+                nxt[i] |= 1 << v
+            if dfs(tuple(nxt), t + 1):
+                for i, v in subset:
+                    completion[i][v] = t + 1
+                return True
+        failed_at[done] = min(failed_at.get(done, t), t)
+        return False
+
+    start_done = tuple(0 for _ in jobs)
+    t0 = min(job.release for job in jobs)
+    for arr in completion:
+        arr[:] = 0
+    if dfs(start_done, t0):
+        schedule = Schedule(instance, m, completion)
+        schedule.validate()
+        return schedule
+    return None

@@ -1,0 +1,117 @@
+"""Generic work-conserving baselines.
+
+Any scheduler that never idles a processor while ready subjobs exist has the
+*span-reduction property* the paper discusses in Section 1 (idling implies
+every unfinished job's remaining span shrinks). These baselines bracket FIFO
+in the experiment tables:
+
+* :class:`GlobalArbitraryScheduler` — fill processors with any ready
+  subjobs, ignoring job age entirely (ready list in (job, node) order).
+* :class:`RoundRobinScheduler` — rotate one subjob at a time over
+  unfinished jobs (maximal fairness at the subjob level).
+* :class:`RandomScheduler` — fill processors with a uniform random subset
+  of ready subjobs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.simulator import Scheduler, Selection
+
+__all__ = [
+    "GlobalArbitraryScheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+]
+
+
+class _ReadyPool(Scheduler):
+    """Shared state: one flat pool of ready (job, node) pairs."""
+
+    def reset(self, instance: Instance, m: int) -> None:
+        self._ready: set[tuple[int, int]] = set()
+
+    def on_nodes_ready(self, t: int, job_id: int, nodes: np.ndarray) -> None:
+        self._ready.update((job_id, int(v)) for v in nodes)
+
+    def _take(self, pairs: list[tuple[int, int]]) -> Selection:
+        self._ready.difference_update(pairs)
+        return pairs
+
+
+class GlobalArbitraryScheduler(_ReadyPool):
+    """Deterministic work-conserving fill in (job id, node id) order."""
+
+    @property
+    def name(self) -> str:
+        return "Greedy[arbitrary]"
+
+    def select(self, t: int, capacity: int) -> Selection:
+        chosen = heapq.nsmallest(capacity, self._ready)
+        return self._take(chosen)
+
+
+class RandomScheduler(_ReadyPool):
+    """Work-conserving fill with a uniformly random ready subset."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._seed = seed
+
+    @property
+    def name(self) -> str:
+        return "Greedy[random]"
+
+    def reset(self, instance: Instance, m: int) -> None:
+        super().reset(instance, m)
+        self._rng = np.random.default_rng(self._seed)
+
+    def select(self, t: int, capacity: int) -> Selection:
+        pool = sorted(self._ready)
+        if len(pool) <= capacity:
+            return self._take(pool)
+        idx = self._rng.choice(len(pool), size=capacity, replace=False)
+        return self._take([pool[i] for i in idx])
+
+
+class RoundRobinScheduler(Scheduler):
+    """Deal processors one subjob at a time over unfinished jobs, rotating
+    the starting job each step (subjob-level processor sharing)."""
+
+    @property
+    def name(self) -> str:
+        return "RoundRobin"
+
+    def reset(self, instance: Instance, m: int) -> None:
+        self._ready: dict[int, list[int]] = {}
+        self._cursor = 0
+
+    def on_nodes_ready(self, t: int, job_id: int, nodes: np.ndarray) -> None:
+        bucket = self._ready.setdefault(job_id, [])
+        for v in nodes:
+            heapq.heappush(bucket, int(v))
+
+    def select(self, t: int, capacity: int) -> Selection:
+        job_ids = sorted(jid for jid, bucket in self._ready.items() if bucket)
+        if not job_ids:
+            return []
+        start = self._cursor % len(job_ids)
+        order = job_ids[start:] + job_ids[:start]
+        self._cursor += 1
+        selection: list[tuple[int, int]] = []
+        while len(selection) < capacity:
+            progressed = False
+            for job_id in order:
+                if len(selection) >= capacity:
+                    break
+                bucket = self._ready[job_id]
+                if bucket:
+                    selection.append((job_id, heapq.heappop(bucket)))
+                    progressed = True
+            if not progressed:
+                break
+        return selection

@@ -1,0 +1,148 @@
+"""Randomized work stealing — the scheduler real fork-join runtimes use.
+
+The paper's introduction motivates the model with Cilk/TBB-style runtimes,
+whose underlying scheduler is randomized work stealing (Blumofe–Leiserson
+1999; multiprogrammed variant Arora–Blumofe–Plaxton 1998). This module
+provides a faithful *simulation-level* work-stealing policy as a baseline:
+
+* each of the ``m`` processors owns a deque of ready subjobs;
+* when a subjob completes, its newly enabled children are pushed onto the
+  bottom of the executing processor's deque (preserving the depth-first
+  "busy-leaves" behaviour that makes work stealing efficient);
+* an idle processor pops from the bottom of its own deque, or *steals from
+  the top* of a uniformly random victim's deque;
+* roots of a newly arrived job are pushed to a random processor (one whole
+  job enters at one worker, as when a program is submitted to a runtime).
+
+Processor identity is irrelevant to the model's objective (Section 3), but
+it is what defines this policy, so the scheduler tracks it internally and
+still emits plain ``(job, node)`` selections.
+
+Work stealing is *work-conserving up to steal misses*: a processor that
+fails ``steal_attempts`` random steals in a step stays idle even if work
+exists elsewhere — exactly the slack the ABP analysis charges for. Setting
+``steal_attempts >= m`` with ``deterministic_fallback=True`` recovers a
+fully work-conserving variant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.job import Job
+from ..core.simulator import Scheduler, Selection
+
+__all__ = ["WorkStealingScheduler"]
+
+
+class WorkStealingScheduler(Scheduler):
+    """Randomized work stealing over ``m`` simulated workers.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed (victim selection and job placement).
+    steal_attempts:
+        Random victims probed per idle worker per step (default 2).
+    deterministic_fallback:
+        If True, an idle worker whose random probes all failed scans all
+        deques deterministically — making the policy work-conserving (and
+        the ``check_work_conserving`` invariant applicable).
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        *,
+        steal_attempts: int = 2,
+        deterministic_fallback: bool = False,
+    ):
+        if steal_attempts < 1:
+            raise ValueError("steal_attempts must be >= 1")
+        self._seed = seed
+        self.steal_attempts = int(steal_attempts)
+        self.deterministic_fallback = bool(deterministic_fallback)
+
+    @property
+    def name(self) -> str:
+        kind = "wc" if self.deterministic_fallback else f"p{self.steal_attempts}"
+        return f"WorkSteal[{kind}]"
+
+    def reset(self, instance: Instance, m: int) -> None:
+        self._rng = np.random.default_rng(self._seed)
+        self._instance = instance
+        self._m = m
+        self._deques: list[deque[tuple[int, int]]] = [deque() for _ in range(m)]
+        #: worker that executed the most recent completed parent of a node,
+        #: so newly enabled children land on the right deque.
+        self._owner: dict[tuple[int, int], int] = {}
+        self._entry_worker = 0
+        self._steals = 0
+        self._steal_misses = 0
+
+    # -- event handlers ----------------------------------------------------
+
+    def on_job_arrival(self, t: int, job_id: int, job: Job) -> None:
+        # The whole job enters at one random worker.
+        self._entry_worker = int(self._rng.integers(0, self._m))
+
+    def on_nodes_ready(self, t: int, job_id: int, nodes: np.ndarray) -> None:
+        for v in nodes:
+            key = (job_id, int(v))
+            worker = self._owner.pop(key, None)
+            if worker is None:
+                worker = self._entry_worker
+            self._deques[worker].append(key)  # push to bottom
+
+    # -- per-step policy -----------------------------------------------------
+
+    def select(self, t: int, capacity: int) -> Selection:
+        selection: list[tuple[int, int]] = []
+        for worker in range(min(self._m, capacity)):
+            task = self._obtain(worker)
+            if task is None:
+                continue
+            selection.append(task)
+            job_id, node = task
+            # Children enabled by this execution will belong to `worker`.
+            # (We pre-register ownership; the engine will call
+            # on_nodes_ready for those that became ready.)
+            # Note: a child with several parents ends up owned by the last
+            # parent to register — fine for a baseline policy.
+            dag = self._instance[job_id].dag
+            for child in dag.children(node):
+                self._owner[(job_id, int(child))] = worker
+        return selection
+
+    def _obtain(self, worker: int) -> Optional[tuple[int, int]]:
+        own = self._deques[worker]
+        if own:
+            return own.pop()  # bottom: depth-first on own work
+        # Steal from the top of random victims.
+        for _ in range(self.steal_attempts):
+            victim = int(self._rng.integers(0, self._m))
+            if victim != worker and self._deques[victim]:
+                self._steals += 1
+                return self._deques[victim].popleft()
+            self._steal_misses += 1
+        if self.deterministic_fallback:
+            for victim in range(self._m):
+                if victim != worker and self._deques[victim]:
+                    return self._deques[victim].popleft()
+        return None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def steal_count(self) -> int:
+        """Successful steals so far (for experiment tables)."""
+        return self._steals
+
+    @property
+    def steal_miss_count(self) -> int:
+        """Failed steal probes so far."""
+        return self._steal_misses

@@ -1,0 +1,13 @@
+"""ASCII renderers for schedules (Figure 1 packings, Figure 2 shapes)."""
+
+from .compare import render_comparison
+from .gantt import job_letter, render_gantt
+from .shape import render_head_tail, render_profile
+
+__all__ = [
+    "render_gantt",
+    "job_letter",
+    "render_profile",
+    "render_head_tail",
+    "render_comparison",
+]

@@ -1,0 +1,55 @@
+"""Side-by-side schedule comparison rendering.
+
+Experiments constantly contrast two policies on the same instance (FIFO vs
+𝒜, arbitrary vs LPF tie-break...). :func:`render_comparison` stacks their
+Gantt charts over a shared time axis and appends the per-job flow deltas,
+which is how the E1/E9-style "same tetris pieces, different packing"
+pictures are produced.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.exceptions import ScheduleError
+from ..core.schedule import Schedule
+from .gantt import render_gantt
+
+__all__ = ["render_comparison"]
+
+
+def render_comparison(
+    left: Schedule,
+    right: Schedule,
+    *,
+    labels: tuple[str, str] = ("A", "B"),
+    t_end: Optional[int] = None,
+) -> str:
+    """Render two schedules of the *same instance* one above the other.
+
+    Raises :class:`ScheduleError` when the schedules disagree about the
+    instance (comparing packings of different inputs is meaningless).
+    """
+    if left.instance is not right.instance and len(left.instance) != len(
+        right.instance
+    ):
+        raise ScheduleError("comparison requires schedules of the same instance")
+    horizon = max(left.makespan, right.makespan)
+    t_end = horizon if t_end is None else min(t_end, horizon)
+    blocks = []
+    for label, schedule in ((labels[0], left), (labels[1], right)):
+        blocks.append(
+            f"{label}  (max flow {schedule.max_flow}, makespan "
+            f"{schedule.makespan}):"
+        )
+        blocks.append(render_gantt(schedule, t_end=t_end))
+        blocks.append("")
+    rows = [
+        f"  job {i:<3d} {job.label or '':<12s} "
+        f"{labels[0]}={left.job_flow(i):<5d} {labels[1]}={right.job_flow(i):<5d} "
+        f"delta={right.job_flow(i) - left.job_flow(i):+d}"
+        for i, job in enumerate(left.instance)
+    ]
+    blocks.append("per-job flows:")
+    blocks.extend(rows)
+    return "\n".join(blocks)

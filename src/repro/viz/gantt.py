@@ -1,0 +1,79 @@
+"""ASCII Gantt rendering of schedules (the packings of Figure 1).
+
+The paper visualizes a schedule as a two-dimensional packing — processors ×
+time — of the jobs' "tetris pieces". :func:`render_gantt` draws exactly
+that: one row per processor lane, one column per time step.
+
+Processor identity is irrelevant in the model (Section 3), so lanes are an
+artifact of rendering; we assign them per step, keeping each job in a
+contiguous block ordered by job id so the piece shapes read clearly.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Callable, Optional
+
+from ..core.schedule import Schedule
+
+__all__ = ["render_gantt", "job_letter"]
+
+
+def job_letter(job_id: int) -> str:
+    """Default cell glyph: A, B, ..., Z, a, ..., z, then 0-9 cycling."""
+    alphabet = string.ascii_uppercase + string.ascii_lowercase + string.digits
+    return alphabet[job_id % len(alphabet)]
+
+
+def render_gantt(
+    schedule: Schedule,
+    *,
+    cell: Optional[Callable[[int, int], str]] = None,
+    t_start: int = 1,
+    t_end: Optional[int] = None,
+    idle_char: str = ".",
+    show_axis: bool = True,
+) -> str:
+    """Render ``schedule`` as an ASCII grid.
+
+    Parameters
+    ----------
+    cell:
+        ``cell(job_id, node_id) -> str`` giving a single-character glyph
+        per subjob; defaults to one letter per job.
+    t_start, t_end:
+        Time-step window to draw (inclusive); defaults to the full
+        schedule.
+    idle_char:
+        Glyph for idle processor-steps.
+    show_axis:
+        Append a time-axis ruler line.
+    """
+    if cell is None:
+        cell = lambda job_id, node_id: job_letter(job_id)
+    makespan = schedule.makespan
+    t_end = makespan if t_end is None else min(t_end, makespan)
+    if t_end < t_start:
+        return "(empty window)"
+    m = schedule.m
+    width = t_end - t_start + 1
+    grid = [[idle_char] * width for _ in range(m)]
+    for t in range(t_start, t_end + 1):
+        entries = sorted(schedule.at(t))
+        for lane, (job_id, node_id) in enumerate(entries):
+            glyph = cell(job_id, node_id)
+            grid[lane][t - t_start] = (glyph or idle_char)[0]
+    lines = [
+        f"p{lane + 1:<2d} |" + "".join(row) + "|" for lane, row in enumerate(grid)
+    ]
+    if show_axis:
+        ruler = [" "] * width
+        for t in range(t_start, t_end + 1):
+            if t % 5 == 0 or t == t_start:
+                mark = str(t)
+                pos = t - t_start
+                for k, ch in enumerate(mark):
+                    if pos + k < width:
+                        ruler[pos + k] = ch
+        lines.append("t   |" + "".join(ruler) + "|")
+    return "\n".join(lines)

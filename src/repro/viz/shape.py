@@ -1,0 +1,74 @@
+"""Utilization-profile rendering: the head/tail shape of Figure 2.
+
+Figure 2 depicts a generic LPF schedule on ``m/α`` processors: an
+uncontrolled *head* during the first OPT time units, then a fully packed
+rectangular *tail* of width ``m/α`` and length at most ``(α-1)·OPT``.
+:func:`render_profile` draws the per-step processor usage as a horizontal
+bar chart and marks the measured head/tail boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.invariants import HeadTailShape, head_tail_shape
+from ..core.schedule import Schedule
+
+__all__ = ["render_profile", "render_head_tail"]
+
+
+def render_profile(
+    schedule: Schedule,
+    *,
+    width: Optional[int] = None,
+    bar_char: str = "#",
+    job_ids: Optional[list[int]] = None,
+    collapse: bool = True,
+) -> str:
+    """Per-step usage bars: one line per time step, ``usage[t]`` bars.
+
+    ``width`` draws a ``|`` capacity marker at that many processors
+    (defaults to the schedule's ``m``). With ``collapse``, runs of steps
+    with identical usage are folded into one ``t=a..b`` line (the packed
+    tail of an LPF schedule would otherwise print hundreds of equal rows).
+    """
+    usage = schedule.usage_profile(job_ids)
+    cap = schedule.m if width is None else width
+    lines = []
+    t = 1
+    while t < usage.size:
+        u = int(usage[t])
+        end = t
+        if collapse:
+            while end + 1 < usage.size and int(usage[end + 1]) == u:
+                end += 1
+        bar = bar_char * u + " " * max(0, cap - u)
+        label = f"t={t}" if end == t else f"t={t}..{end}"
+        lines.append(f"{label:<12s} |{bar}| {u}")
+        t = end + 1
+    return "\n".join(lines)
+
+
+def render_head_tail(
+    schedule: Schedule, width: int, *, job_id: int = 0, opt: Optional[int] = None
+) -> str:
+    """Render a single-job LPF schedule's measured Figure-2 decomposition.
+
+    Includes the usage bars, the head/tail boundary, and — when ``opt`` is
+    supplied — the paper's predicted bounds (head ≤ OPT steps; with
+    ``width = m/α``, tail ≤ (α−1)·OPT steps).
+    """
+    shape: HeadTailShape = head_tail_shape(schedule, width, job_id)
+    lines = [render_profile(schedule, width=width, job_ids=[job_id])]
+    lines.append("-" * (width + 12))
+    lines.append(
+        f"head: steps 1..{shape.head_length}   "
+        f"tail: steps {shape.head_length + 1}..{shape.makespan} "
+        f"(fully packed: {shape.tail_fully_packed})"
+    )
+    if opt is not None:
+        lines.append(
+            f"paper bounds: head <= OPT = {opt} "
+            f"(measured {shape.head_length}); tail rectangle width {width}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Workload generators: deterministic tree shapes, random trees, recursion
+trees of fork-join programs, the Section 4 adversarial family, packed
+instances with known OPT, series-parallel DAGs, and arrival processes."""
+
+from .adversarial import AdversarialResult, build_fifo_adversary
+from .arrivals import (
+    batched_instance,
+    bursty_instance,
+    poisson_instance,
+    semi_batched_instance,
+)
+from .packed import PackedResult, packed_instance
+from .phased import phased_parallel_for, series_of_trees
+from .random_trees import (
+    galton_watson_tree,
+    layered_tree,
+    random_attachment_tree,
+    random_binary_tree,
+    random_out_forest,
+)
+from .recursive import (
+    divide_and_conquer_tree,
+    map_reduce_dag,
+    parallel_for_tree,
+    quicksort_tree,
+)
+from .seriesparallel import random_series_parallel
+
+__all__ = [
+    "AdversarialResult",
+    "build_fifo_adversary",
+    "batched_instance",
+    "semi_batched_instance",
+    "poisson_instance",
+    "bursty_instance",
+    "PackedResult",
+    "packed_instance",
+    "series_of_trees",
+    "phased_parallel_for",
+    "random_attachment_tree",
+    "random_binary_tree",
+    "galton_watson_tree",
+    "layered_tree",
+    "random_out_forest",
+    "quicksort_tree",
+    "divide_and_conquer_tree",
+    "parallel_for_tree",
+    "map_reduce_dag",
+    "random_series_parallel",
+]

@@ -1,0 +1,115 @@
+"""Arrival processes: turn a stream of DAGs into an online instance.
+
+The paper's analyses distinguish three arrival regimes:
+
+* **batched** (Section 6): at most one (merged) job per integer multiple of
+  a period;
+* **semi-batched** (Section 5.3): releases at integer multiples of a
+  half-period;
+* **general** (Section 5.4): arbitrary integer release times — generated
+  here by Poisson and bursty processes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.dag import DAG
+from ..core.exceptions import ConfigurationError
+from ..core.instance import Instance
+from ..core.job import Job
+
+__all__ = [
+    "batched_instance",
+    "semi_batched_instance",
+    "poisson_instance",
+    "bursty_instance",
+]
+
+
+def _label(prefix: str, i: int) -> str:
+    return f"{prefix}{i}"
+
+
+def batched_instance(dags: Sequence[DAG], period: int) -> Instance:
+    """One job per multiple of ``period``: ``dags[i]`` released at
+    ``i * period`` (the Section 6 arrival regime)."""
+    if period < 1:
+        raise ConfigurationError("period must be >= 1")
+    if not dags:
+        raise ConfigurationError("need at least one DAG")
+    return Instance(
+        [Job(d, i * period, _label("batch", i)) for i, d in enumerate(dags)]
+    )
+
+
+def semi_batched_instance(
+    dags: Sequence[DAG],
+    half_period: int,
+    *,
+    skip_slots: Sequence[int] = (),
+) -> Instance:
+    """Releases at multiples of ``half_period`` (Section 5.3 regime).
+
+    ``skip_slots`` omits the given slot indices, producing gaps (the
+    assumption allows any subset of multiples)."""
+    if half_period < 1:
+        raise ConfigurationError("half_period must be >= 1")
+    if not dags:
+        raise ConfigurationError("need at least one DAG")
+    skip = set(skip_slots)
+    jobs = []
+    slot = 0
+    for i, d in enumerate(dags):
+        while slot in skip:
+            slot += 1
+        jobs.append(Job(d, slot * half_period, _label("semi", i)))
+        slot += 1
+    return Instance(jobs)
+
+
+def poisson_instance(
+    dags: Sequence[DAG],
+    rate: float,
+    seed=None,
+) -> Instance:
+    """Poisson arrivals: i.i.d. geometric-ish integer inter-arrival gaps
+    with mean ``1 / rate`` (continuous exponentials rounded to integers,
+    matching the paper's integer release times)."""
+    if rate <= 0:
+        raise ConfigurationError("rate must be positive")
+    if not dags:
+        raise ConfigurationError("need at least one DAG")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    t = 0
+    jobs = []
+    for i, d in enumerate(dags):
+        jobs.append(Job(d, t, _label("poisson", i)))
+        t += int(np.round(rng.exponential(1.0 / rate)))
+    return Instance(jobs)
+
+
+def bursty_instance(
+    dags: Sequence[DAG],
+    *,
+    burst_size: int,
+    quiet_gap: int,
+    seed: Optional[int] = None,
+) -> Instance:
+    """Bursts of ``burst_size`` simultaneous jobs separated by
+    ``quiet_gap`` idle time units (stress-tests batching reductions)."""
+    if burst_size < 1:
+        raise ConfigurationError("burst_size must be >= 1")
+    if quiet_gap < 0:
+        raise ConfigurationError("quiet_gap must be >= 0")
+    if not dags:
+        raise ConfigurationError("need at least one DAG")
+    jobs = []
+    t = 0
+    for i, d in enumerate(dags):
+        if i and i % burst_size == 0:
+            t += quiet_gap
+        jobs.append(Job(d, t, _label("burst", i)))
+    return Instance(jobs)

@@ -1,0 +1,145 @@
+"""Packed instances: OPT known by construction.
+
+The paper's Section 1 argues the hardest inputs are those an optimal
+scheduler can pack into a *full rectangle* — "there are never any idle
+processors", so an online algorithm that ever falls behind on work can never
+catch up. This generator reverse-engineers exactly such inputs:
+
+1. choose release times ``i · period`` and a target flow ``F``;
+2. for every time column, split the ``m`` processors among the jobs alive
+   in it (each alive job receiving at least one);
+3. realize each job as an out-forest whose level ``k`` has exactly the
+   width allocated to it in its ``k``-th active column (any width profile is
+   an out-forest: level-``k`` nodes attach to arbitrary level-``k-1``
+   parents).
+
+The resulting witness schedule runs level ``k`` of each job at its
+``k``-th column, is feasible, achieves flow exactly ``F`` for every job, and
+fills all processors in the steady state — so ``OPT <= F``, and experiment
+tables report ratios against ``F`` (an upper bound on OPT, i.e. a *lower*
+bound on the true ratio... conservative in the opposite direction, which
+the tables state; the load lower bound typically pins OPT = F exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError
+from ..core.instance import Instance
+from ..core.job import Job
+from ..core.schedule import Schedule
+from .random_trees import layered_tree
+
+__all__ = ["PackedResult", "packed_instance"]
+
+_INT = np.int64
+
+
+@dataclass(frozen=True)
+class PackedResult:
+    """A packed instance plus its by-construction witness schedule."""
+
+    instance: Instance
+    witness: Schedule
+    flow: int
+    m: int
+
+    @property
+    def opt_upper_bound(self) -> int:
+        return self.witness.max_flow
+
+
+def packed_instance(
+    m: int,
+    n_jobs: int,
+    flow: int,
+    period: int,
+    seed=None,
+    *,
+    pad_tail: bool = True,
+) -> PackedResult:
+    """Generate a packed instance.
+
+    Parameters
+    ----------
+    m:
+        Processors.
+    n_jobs:
+        Number of jobs, released at ``0, period, 2·period, ...``.
+    flow:
+        Target flow of every job; each job occupies columns
+        ``r+1 .. r+flow``. Requires ``flow >= period`` for overlap and
+        ``m >= ceil(flow / period)`` so every alive job can get a processor.
+    period:
+        Release spacing (``period <= flow`` gives a packed steady state;
+        smaller periods mean more concurrently alive jobs).
+    pad_tail:
+        Also fill the ramp-up/ramp-down columns completely (the first and
+        last ``flow - period`` columns have fewer alive jobs; padding gives
+        those columns' full width to the alive jobs).
+    """
+    if m < 1:
+        raise ConfigurationError("m must be >= 1")
+    if n_jobs < 1:
+        raise ConfigurationError("n_jobs must be >= 1")
+    if period < 1:
+        raise ConfigurationError("period must be >= 1")
+    if flow < period:
+        raise ConfigurationError("flow must be >= period (jobs must overlap)")
+    max_alive = -(-flow // period)
+    if m < max_alive:
+        raise ConfigurationError(
+            f"m={m} too small: up to {max_alive} jobs alive at once need a "
+            "processor each"
+        )
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    releases = [i * period for i in range(n_jobs)]
+    horizon = releases[-1] + flow  # last occupied column
+    # Alive job ids per column (1-indexed columns).
+    widths = [np.zeros(flow, dtype=_INT) for _ in range(n_jobs)]
+    for col in range(1, horizon + 1):
+        alive = [
+            i for i, r in enumerate(releases) if r + 1 <= col <= r + flow
+        ]
+        if not alive:
+            continue
+        if not pad_tail and len(alive) < max_alive:
+            # Ramp columns: give each alive job just one unit.
+            for i in alive:
+                widths[i][col - releases[i] - 1] = 1
+            continue
+        # Full column: one unit each, then spread the slack randomly.
+        alloc = np.ones(len(alive), dtype=_INT)
+        slack = m - len(alive)
+        if slack > 0:
+            extra = rng.multinomial(slack, np.full(len(alive), 1.0 / len(alive)))
+            alloc += extra
+        for i, a in zip(alive, alloc):
+            widths[i][col - releases[i] - 1] = a
+
+    jobs = []
+    completions = []
+    for i, r in enumerate(releases):
+        profile = [int(w) for w in widths[i]]
+        assert all(w >= 1 for w in profile), "every column must allocate >= 1"
+        dag = layered_tree(profile, rng)
+        jobs.append(Job(dag, r, label=f"packed{i}"))
+        # Witness: level k runs in column r + k + 1. layered_tree assigns
+        # ids level-by-level, so completions follow the cumulative widths.
+        comp = np.zeros(dag.n, dtype=_INT)
+        start = 0
+        for k, w in enumerate(profile):
+            comp[start : start + w] = r + k + 1
+            start += w
+        completions.append(comp)
+
+    instance = Instance(jobs)
+    witness = Schedule(instance, m, completions)
+    witness.validate()
+    if witness.max_flow != flow:
+        raise ConfigurationError("internal error: witness flow mismatch")
+    return PackedResult(instance, witness, flow, m)

@@ -1,0 +1,68 @@
+"""Phased jobs: series compositions of out-trees.
+
+Section 1: *"many algorithms, such as those that contain a sequence of
+parallel for-loops, can be thought of as a series of out-trees."* These
+generators build exactly that shape — a chain of out-forest phases where
+every phase must fully complete before the next begins — used by the E15
+extension experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dag import DAG
+from ..core.exceptions import ConfigurationError
+from .random_trees import random_attachment_tree, random_out_forest
+
+__all__ = ["series_of_trees", "phased_parallel_for"]
+
+
+def series_of_trees(
+    n_phases: int,
+    phase_size: int,
+    seed=None,
+    *,
+    forest: bool = True,
+) -> DAG:
+    """A job made of ``n_phases`` sequential out-forest phases.
+
+    Each phase is a random out-forest (or single out-tree with
+    ``forest=False``) of ``phase_size`` nodes; every leaf of phase ``k``
+    precedes every root of phase ``k+1`` (the series composition of
+    Section 5's model, applied phase-wise).
+    """
+    if n_phases < 1:
+        raise ConfigurationError("n_phases must be >= 1")
+    if phase_size < 1:
+        raise ConfigurationError("phase_size must be >= 1")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    make = random_out_forest if forest else random_attachment_tree
+    dag = make(phase_size, rng)
+    for _ in range(n_phases - 1):
+        dag = dag.series(make(phase_size, rng))
+    return dag
+
+
+def phased_parallel_for(
+    n_loops: int,
+    iterations: int,
+    seed=None,
+) -> DAG:
+    """A sequence of parallel-for loops (the paper's concrete example):
+    loop ``k`` forks ``iterations`` independent unit bodies, and all bodies
+    join before loop ``k+1`` starts.
+
+    Each loop is a star (spawn node + bodies); the join is the series
+    composition, so the whole job is a series of out-trees.
+    """
+    if n_loops < 1:
+        raise ConfigurationError("n_loops must be >= 1")
+    if iterations < 1:
+        raise ConfigurationError("iterations must be >= 1")
+    from ..core.dag import star
+
+    dag = star(iterations)
+    for _ in range(n_loops - 1):
+        dag = dag.series(star(iterations))
+    return dag

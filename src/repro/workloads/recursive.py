@@ -1,0 +1,176 @@
+"""Recursion-tree workloads of canonical fork-join programs.
+
+Section 1 of the paper motivates out-trees as the natural structure of
+tail-recursive dynamic-multithreaded programs (Quicksort is the running
+example) and of parallel-for loops. These generators build exactly those
+recursion trees:
+
+* :func:`quicksort_tree` — the spawn tree of parallel Quicksort on ``n``
+  elements with a (possibly random) pivot split: each call node spawns the
+  two recursive calls.
+* :func:`divide_and_conquer_tree` — balanced D&C with configurable fanout,
+  leaf size, and per-call sequential prologue (a chain before the spawn).
+* :func:`parallel_for_tree` — a parallel-for loop: a spawn *spine* that
+  forks one body chain per iteration (how work-stealing runtimes unroll
+  ``cilk_for``-style loops with grain size 1).
+* :func:`map_reduce_dag` — a map stage fanned out from a root followed by a
+  reduction *in-tree* (general DAG, not an out-tree): used by the
+  beyond-tree ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dag import DAG
+from ..core.exceptions import ConfigurationError
+
+__all__ = [
+    "quicksort_tree",
+    "divide_and_conquer_tree",
+    "parallel_for_tree",
+    "map_reduce_dag",
+]
+
+
+def quicksort_tree(n_elements: int, seed=None, *, cutoff: int = 1) -> DAG:
+    """Spawn tree of parallel Quicksort on ``n_elements`` keys.
+
+    Each call on a segment of size ``s > cutoff`` is one subjob that spawns
+    two recursive calls on segments of size ``p`` and ``s - 1 - p``, where
+    the pivot rank ``p`` is uniform. Segments of size ``<= cutoff`` are
+    leaf subjobs. The result is an out-tree whose shape ranges from
+    balanced (lucky pivots) to a chain (adversarial pivots).
+    """
+    if n_elements < 1:
+        raise ConfigurationError("n_elements must be >= 1")
+    if cutoff < 1:
+        raise ConfigurationError("cutoff must be >= 1")
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+    parents: list[int] = []
+
+    def recurse(size: int, parent: int) -> None:
+        parents.append(parent)
+        me = len(parents) - 1
+        if size <= cutoff:
+            return
+        pivot = int(rng.integers(0, size))
+        left, right = pivot, size - 1 - pivot
+        if left > 0:
+            recurse(left, me)
+        if right > 0:
+            recurse(right, me)
+
+    import sys
+
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old, n_elements + 100))
+    try:
+        recurse(n_elements, -1)
+    finally:
+        sys.setrecursionlimit(old)
+    return DAG.from_parents(np.array(parents, dtype=np.int64))
+
+
+def divide_and_conquer_tree(
+    n_leaves: int, *, fanout: int = 2, prologue: int = 0
+) -> DAG:
+    """Balanced divide-and-conquer spawn tree.
+
+    Splits until segments reach size 1, producing ``n_leaves`` leaves; each
+    internal call is preceded by a sequential ``prologue``-long chain
+    (modeling per-call partitioning work, as in Quicksort's partition
+    phase).
+    """
+    if n_leaves < 1:
+        raise ConfigurationError("n_leaves must be >= 1")
+    if fanout < 2:
+        raise ConfigurationError("fanout must be >= 2")
+    if prologue < 0:
+        raise ConfigurationError("prologue must be >= 0")
+    parents: list[int] = []
+
+    def attach_chain(parent: int, length: int) -> int:
+        for _ in range(length):
+            parents.append(parent)
+            parent = len(parents) - 1
+        return parent
+
+    def recurse(size: int, parent: int) -> None:
+        parents.append(parent)
+        me = len(parents) - 1
+        if size <= 1:
+            return
+        me = attach_chain(me, prologue)
+        base = size // fanout
+        rem = size % fanout
+        for k in range(fanout):
+            child_size = base + (1 if k < rem else 0)
+            if child_size > 0:
+                recurse(child_size, me)
+
+    recurse(n_leaves, -1)
+    return DAG.from_parents(np.array(parents, dtype=np.int64))
+
+
+def parallel_for_tree(iterations: int, *, body_span: int = 1) -> DAG:
+    """A parallel-for loop as an out-tree.
+
+    The spawn spine is a chain of ``iterations`` nodes; spine node ``k``
+    forks a body chain of ``body_span`` nodes for iteration ``k``. (This is
+    the grain-1 unrolling a work-stealing runtime performs; a balanced
+    divide-and-conquer unrolling is :func:`divide_and_conquer_tree`.)
+    """
+    if iterations < 1:
+        raise ConfigurationError("iterations must be >= 1")
+    if body_span < 1:
+        raise ConfigurationError("body_span must be >= 1")
+    parents: list[int] = []
+    spine_prev = -1
+    for _ in range(iterations):
+        parents.append(spine_prev)
+        spine_prev = len(parents) - 1
+        body_prev = spine_prev
+        for _ in range(body_span):
+            parents.append(body_prev)
+            body_prev = len(parents) - 1
+    return DAG.from_parents(np.array(parents, dtype=np.int64))
+
+
+def map_reduce_dag(width: int, *, map_span: int = 1, reduce_fanin: int = 2) -> DAG:
+    """Fork-join map-reduce: root forks ``width`` map chains of length
+    ``map_span``; a ``reduce_fanin``-ary reduction tree joins them.
+
+    The join makes this a general (series-parallel) DAG — *not* an
+    out-tree — so it exercises the code paths and experiments that go
+    beyond the paper's positive results (Theorem 6.1 holds for general
+    DAGs; Algorithm 𝒜 rejects this input by design).
+    """
+    if width < 1:
+        raise ConfigurationError("width must be >= 1")
+    if map_span < 1:
+        raise ConfigurationError("map_span must be >= 1")
+    if reduce_fanin < 2:
+        raise ConfigurationError("reduce_fanin must be >= 2")
+    edges: list[tuple[int, int]] = []
+    counter = 1  # node 0 is the root
+    tails: list[int] = []
+    for _ in range(width):
+        prev = 0
+        for _ in range(map_span):
+            edges.append((prev, counter))
+            prev = counter
+            counter += 1
+        tails.append(prev)
+    layer = tails
+    while len(layer) > 1:
+        nxt: list[int] = []
+        for i in range(0, len(layer), reduce_fanin):
+            group = layer[i : i + reduce_fanin]
+            node = counter
+            counter += 1
+            for g in group:
+                edges.append((g, node))
+            nxt.append(node)
+        layer = nxt
+    return DAG(counter, edges)

@@ -1,0 +1,59 @@
+"""Random series-parallel DAGs.
+
+Dynamic-multithreaded programs compile to series-parallel DAGs (Section 1);
+the paper's positive Algorithm-𝒜 result covers only the out-tree subclass
+and poses the series-parallel case as an open problem. This generator
+produces random series-parallel DAGs by recursive series/parallel
+composition, used by the beyond-tree ablation experiments (and by the FIFO
+batched upper bound, Theorem 6.1, which holds for arbitrary DAGs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dag import DAG, chain
+from ..core.exceptions import ConfigurationError
+
+__all__ = ["random_series_parallel"]
+
+
+def random_series_parallel(
+    n_target: int,
+    seed=None,
+    *,
+    p_series: float = 0.5,
+    max_parallel: int = 4,
+) -> DAG:
+    """Random series-parallel DAG with roughly ``n_target`` nodes.
+
+    Recursively splits the node budget: with probability ``p_series`` the
+    block is a series composition of two sub-blocks (every sink of the first
+    precedes every source of the second), otherwise a parallel composition
+    of up to ``max_parallel`` sub-blocks. Budgets of 1 are single nodes.
+    """
+    if n_target < 1:
+        raise ConfigurationError("n_target must be >= 1")
+    if not (0.0 <= p_series <= 1.0):
+        raise ConfigurationError("p_series must be in [0, 1]")
+    if max_parallel < 2:
+        raise ConfigurationError("max_parallel must be >= 2")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    def build(budget: int) -> DAG:
+        if budget <= 1:
+            return chain(1)
+        if rng.random() < p_series:
+            left = int(rng.integers(1, budget))
+            return build(left).series(build(budget - left))
+        k = int(rng.integers(2, max_parallel + 1))
+        k = min(k, budget)
+        sizes = np.full(k, budget // k, dtype=np.int64)
+        sizes[: budget % k] += 1
+        block = build(int(sizes[0]))
+        for s in sizes[1:]:
+            if s > 0:
+                block = block.parallel(build(int(s)))
+        return block
+
+    return build(n_target)

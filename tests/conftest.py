@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DAG, Instance, Job, chain, complete_kary_tree, star
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_tree() -> DAG:
+    """Root 0 -> {1, 2}; 2 -> {3, 4}; 4 -> 5. Span 4, work 6."""
+    return DAG(6, [(0, 1), (0, 2), (2, 3), (2, 4), (4, 5)])
+
+
+@pytest.fixture
+def diamond() -> DAG:
+    """A general (non-forest) DAG: 0 -> {1, 2} -> 3."""
+    return DAG(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture
+def two_job_instance(small_tree) -> Instance:
+    return Instance(
+        [Job(small_tree, 0, "early"), Job(star(3), 2, "late")]
+    )
+
+
+@pytest.fixture
+def kary() -> DAG:
+    return complete_kary_tree(2, 4)  # 15 nodes, span 4
+
+
+@pytest.fixture
+def chain5() -> DAG:
+    return chain(5)

@@ -1,0 +1,89 @@
+"""Integration: Algorithm 𝒜 end-to-end on the instance families the paper
+cares about, checking both feasibility and the headline competitive shape."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import OptReference, run_case
+from repro.core import simulate
+from repro.schedulers import (
+    ArbitraryTieBreak,
+    FIFOScheduler,
+    GeneralOutTreeScheduler,
+    SemiBatchedOutTreeScheduler,
+)
+from repro.workloads import (
+    build_fifo_adversary,
+    packed_instance,
+    poisson_instance,
+    random_attachment_tree,
+    semi_batched_instance,
+)
+
+
+class TestSemiBatchedOnPacked:
+    @pytest.mark.parametrize("m", [8, 16])
+    def test_constant_ratio_on_packed(self, m):
+        flow = 2 * m
+        pk = packed_instance(m, n_jobs=8, flow=flow, period=flow // 2, seed=0)
+        alg = SemiBatchedOutTreeScheduler(opt=flow, alpha=4)
+        case = run_case(
+            pk.instance,
+            m,
+            alg,
+            OptReference.witness(pk.witness),
+            max_steps=pk.instance.horizon_hint * 8 + 1000 * flow,
+        )
+        assert case.ratio <= 6.0  # far inside the 129 guarantee
+
+    def test_all_flows_within_guarantee(self):
+        m, flow = 8, 16
+        pk = packed_instance(m, n_jobs=10, flow=flow, period=flow // 2, seed=1)
+        alg = SemiBatchedOutTreeScheduler(opt=flow, alpha=4)
+        schedule = simulate(
+            pk.instance, m, alg, max_steps=pk.instance.horizon_hint * 8 + 1000 * flow
+        )
+        schedule.validate()
+        assert int(schedule.flows.max()) <= alg.flow_guarantee()
+
+
+class TestAdversarialSeparation:
+    def test_algA_beats_fifo_at_scale(self):
+        """On the adversarial family at m=32, 𝒜 stays constant while
+        arbitrary FIFO exceeds it — the paper's separation, end to end."""
+        m = 32
+        adv = build_fifo_adversary(m, n_jobs=4 * m)
+        alg = SemiBatchedOutTreeScheduler(opt=2 * (m + 1), alpha=4)
+        s = simulate(
+            adv.instance, m, alg, max_steps=adv.instance.horizon_hint * 8 + 10_000
+        )
+        s.validate()
+        ratio_a = s.max_flow / adv.opt_upper_bound
+        assert ratio_a <= 4.5
+        assert adv.ratio_lower_bound > ratio_a
+
+
+class TestGeneralEndToEnd:
+    def test_poisson_stream(self):
+        rng = np.random.default_rng(0)
+        dags = [random_attachment_tree(64, rng) for _ in range(12)]
+        inst = poisson_instance(dags, rate=0.1, seed=rng)
+        alg = GeneralOutTreeScheduler(alpha=4, beta=8)
+        s = simulate(inst, 16, alg, max_steps=inst.horizon_hint * 16 + 50_000)
+        s.validate()
+        lb = OptReference.lower(inst, 16).value
+        assert s.max_flow <= 40 * lb  # loose sanity envelope
+
+    def test_semibatched_wrapper_consistency(self):
+        """General 𝒜 run on an already semi-batched instance behaves
+        comparably to the semi-batched core given the right guess."""
+        rng = np.random.default_rng(1)
+        dags = [random_attachment_tree(48, rng) for _ in range(6)]
+        inst = semi_batched_instance(dags, half_period=16)
+        core = SemiBatchedOutTreeScheduler(opt=32, alpha=4)
+        s_core = simulate(inst, 8, core, max_steps=inst.horizon_hint * 8 + 50_000)
+        wrapper = GeneralOutTreeScheduler(alpha=4, beta=8, initial_guess=16)
+        s_wrap = simulate(inst, 8, wrapper, max_steps=inst.horizon_hint * 8 + 50_000)
+        s_core.validate()
+        s_wrap.validate()
+        assert s_wrap.max_flow <= 4 * s_core.max_flow + 64

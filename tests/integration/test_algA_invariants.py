@@ -1,0 +1,103 @@
+"""Observer-based invariants of Algorithm 𝒜's processor budget.
+
+The Section 5.3 analysis relies on structural facts about 𝒜's schedule;
+these tests watch real executions and assert them step by step:
+
+* head phases (the verbatim LPF replays) never occupy more than
+  ``2·(m // α)`` processors — at most two cohorts are ever inside their
+  head window;
+* total usage never exceeds ``m`` (engine-enforced, asserted anyway);
+* cohort enrollments are spaced at least ``half`` apart.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, Job, SimulationObserver, simulate
+from repro.schedulers import (
+    GeneralOutTreeScheduler,
+    PhasedOutForestScheduler,
+    SemiBatchedOutTreeScheduler,
+)
+from repro.workloads import (
+    galton_watson_tree,
+    random_attachment_tree,
+    semi_batched_instance,
+    series_of_trees,
+)
+
+
+class HeadUsageObserver(SimulationObserver):
+    """Counts, per step, how many scheduled subjobs belong to cohorts that
+    are inside their head window."""
+
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+        self.max_head_usage = 0
+        self.max_total = 0
+
+    def on_step(self, t, selection, state):
+        self.max_total = max(self.max_total, len(selection))
+        heads = 0
+        for cohort in self.scheduler._cohorts:
+            if cohort.release <= t < cohort.release + cohort.head_steps:
+                members = {m.job_id for m in cohort.members}
+                heads += sum(1 for job_id, _ in selection if job_id in members)
+        self.max_head_usage = max(self.max_head_usage, heads)
+
+
+@pytest.mark.parametrize("alpha", [3, 4, 8])
+def test_semibatched_head_budget(alpha):
+    rng = np.random.default_rng(0)
+    m = 16
+    dags = [random_attachment_tree(60, rng) for _ in range(6)]
+    inst = semi_batched_instance(dags, half_period=8)
+    sched = SemiBatchedOutTreeScheduler(opt=16, alpha=alpha)
+    obs = HeadUsageObserver(sched)
+    result = simulate(inst, m, sched, observer=obs, max_steps=200_000)
+    result.validate()
+    group = m // alpha
+    assert obs.max_head_usage <= 2 * group
+    assert obs.max_total <= m
+
+
+def test_general_head_budget_with_restarts():
+    rng = np.random.default_rng(1)
+    m = 16
+    jobs = [
+        Job(random_attachment_tree(80, rng), int(r))
+        for r in (0, 3, 9, 20, 21)
+    ]
+    inst = Instance(jobs)
+    sched = GeneralOutTreeScheduler(alpha=4, beta=4, initial_guess=1)
+    obs = HeadUsageObserver(sched)
+    result = simulate(inst, m, sched, observer=obs, max_steps=400_000)
+    result.validate()
+    assert sched.n_restarts >= 1  # the scenario exercises restarts
+    assert obs.max_head_usage <= 2 * (m // 4)
+
+
+def test_phased_head_budget():
+    rng = np.random.default_rng(2)
+    m = 16
+    jobs = [Job(series_of_trees(3, 40, rng), int(r)) for r in (0, 5, 11)]
+    inst = Instance(jobs)
+    sched = PhasedOutForestScheduler(alpha=4, beta=8)
+    obs = HeadUsageObserver(sched)
+    result = simulate(inst, m, sched, observer=obs, max_steps=400_000)
+    result.validate()
+    assert obs.max_head_usage <= 2 * (m // 4)
+
+
+def test_cohort_spacing_at_least_half():
+    """Enrollment boundaries within one epoch are >= half apart."""
+    rng = np.random.default_rng(3)
+    m = 16
+    jobs = [Job(galton_watson_tree(50, rng), int(r)) for r in (0, 2, 5, 13)]
+    inst = Instance(jobs)
+    sched = GeneralOutTreeScheduler(alpha=4, beta=8, initial_guess=8)
+    result = simulate(inst, m, sched, max_steps=400_000)
+    result.validate()
+    assert sched.n_restarts == 0  # single epoch in this scenario
+    releases = sorted(c.release for c in sched._cohorts)
+    assert all(b - a >= sched.half for a, b in zip(releases, releases[1:]))

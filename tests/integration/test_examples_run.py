@@ -1,0 +1,81 @@
+"""Integration: the example scripts execute end to end (small arguments)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *argv: str, capsys=None):
+    old = sys.argv
+    sys.argv = [script, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = old
+
+
+def test_examples_directory_has_quickstart_plus_scenarios():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3
+
+
+def test_quickstart(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "LPF on 3 processors" in out
+    assert "max flow" in out
+
+
+def test_quicksort_workload(capsys):
+    _run("quicksort_workload.py", "--m", "8", "--jobs", "6", "--elements", "40")
+    out = capsys.readouterr().out
+    assert "scheduler" in out and "ratio_vs_LB" in out
+
+
+def test_adversarial_fifo(capsys):
+    _run("adversarial_fifo.py", "--jobs-per-m", "2")
+    out = capsys.readouterr().out
+    assert "ratio>=" in out
+    assert "OPT" in out
+
+
+def test_batched_server(capsys):
+    _run("batched_server.py", "--m", "8", "--batches", "5")
+    out = capsys.readouterr().out
+    assert "lemma6.4" in out and "lemma6.5" in out
+
+
+def test_shaping_demo(capsys):
+    _run("shaping_demo.py", "--m", "8", "--nodes", "80")
+    out = capsys.readouterr().out
+    assert "HOLDS" in out
+
+
+def test_fairness_tradeoff(capsys):
+    _run("fairness_tradeoff.py", "--m", "8", "--small", "16", "--disparity", "8")
+    out = capsys.readouterr().out
+    assert "SRPT" in out and "big_job_flow" in out
+
+
+def test_phased_pipeline(capsys):
+    _run("phased_pipeline.py", "--m", "8", "--jobs", "4")
+    out = capsys.readouterr().out
+    assert "PhasedA" in out and "segments" in out
+
+
+def test_cluster_report(capsys):
+    _run("cluster_report.py", "--m", "8", "--jobs", "6")
+    out = capsys.readouterr().out
+    assert "utilization" in out and "per-job flows:" in out
+
+
+def test_lemma55_gap_demo(capsys):
+    _run("lemma55_gap_demo.py")
+    out = capsys.readouterr().out
+    assert "literal Lemma 5.5 claim fails" in out
+    assert "work-conserving busyness: HOLDS" in out

@@ -1,0 +1,40 @@
+"""Integration: every registered experiment runs at reduced scale and its
+claims hold (the benchmarks run them at full scale)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+from repro.experiments.registry import SCALE_PRESETS
+
+SMOKE = "smoke"
+
+
+@pytest.mark.parametrize("experiment_id", sorted(SCALE_PRESETS[SMOKE]))
+def test_experiment_runs_and_claims_hold(experiment_id):
+    result = run_experiment(experiment_id, scale=SMOKE)
+    assert result.experiment_id == experiment_id
+    assert result.rows or result.figures
+    failed = result.failed_claims()
+    assert not failed, [c.description for c in failed]
+
+
+def test_registry_covers_design_doc_index():
+    assert len(EXPERIMENTS) == 17
+
+
+def test_smoke_preset_covers_every_experiment():
+    from repro.experiments import SCALE_PRESETS
+
+    assert set(SCALE_PRESETS["smoke"]) == set(EXPERIMENTS)
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(KeyError, match="unknown scale"):
+        run_experiment("E1", scale="galactic")
+
+
+def test_render_is_printable():
+    result = run_experiment("E1")
+    out = result.render()
+    assert "paper artifact" in out and "claims:" in out

@@ -1,0 +1,32 @@
+"""Seed robustness: experiment claims hold across multiple seeds, not just
+the default one (guards the headline tables against seed luck)."""
+
+import pytest
+
+from repro.experiments import repeat_experiment
+from repro.experiments.e5_mc_busy import run as run_e5
+from repro.experiments.e11_dag_shaping_gap import run as run_e11
+from repro.experiments.e14_norm_tradeoff import run as run_e14
+
+
+def test_repeat_experiment_aggregates():
+    results, rates = repeat_experiment(
+        run_e5, seeds=[0, 1, 2], width=4, n_nodes=60, trials=2
+    )
+    assert len(results) == 3
+    assert rates  # one entry per claim
+    assert all(0 <= v <= 1 for v in rates.values())
+
+
+@pytest.mark.parametrize(
+    "run_fn,params",
+    [
+        (run_e5, dict(width=4, n_nodes=60, trials=2)),
+        (run_e11, dict(trials=10)),
+        (run_e14, dict(m=8, small=16, disparities=(4, 16))),
+    ],
+)
+def test_claims_hold_across_seeds(run_fn, params):
+    _, rates = repeat_experiment(run_fn, seeds=[0, 7, 1234], **params)
+    fragile = {d: r for d, r in rates.items() if r < 1.0}
+    assert not fragile, fragile

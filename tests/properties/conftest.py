@@ -1,0 +1,11 @@
+"""Hypothesis configuration for the property suite."""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,  # simulations have variable per-example cost
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,64 @@
+"""Property-based tests for Algorithm 𝒜 on random semi-batched inputs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Instance, Job, simulate
+from repro.schedulers import (
+    SemiBatchedOutTreeScheduler,
+    max_flow_lower_bound,
+    single_forest_opt,
+)
+
+from .strategies import out_forests
+
+
+@st.composite
+def semibatched_cases(draw):
+    """(instance, opt_param, m): random out-forest cohorts released at
+    multiples of ceil(opt/2), with opt an upper bound on the true optimum
+    (max solo optimum — valid because batch windows can be serialized)."""
+    m = draw(st.integers(4, 12))
+    n_cohorts = draw(st.integers(1, 4))
+    dags = [draw(out_forests(max_nodes=20)) for _ in range(n_cohorts)]
+    solo = max(single_forest_opt(d, m) for d in dags)
+    # A valid upper bound on OPT of the batched release: serialize windows.
+    opt = max(2, solo * 2)
+    half = -(-opt // 2)
+    jobs = [Job(d, i * half, f"c{i}") for i, d in enumerate(dags)]
+    return Instance(jobs), opt, m
+
+
+@given(semibatched_cases())
+@settings(max_examples=25)
+def test_algA_feasible_on_random_semibatched(case):
+    instance, opt, m = case
+    scheduler = SemiBatchedOutTreeScheduler(opt=opt, alpha=4)
+    schedule = simulate(
+        instance, m, scheduler, max_steps=instance.horizon_hint * 8 + 600 * opt
+    )
+    schedule.validate()
+
+
+@given(semibatched_cases())
+@settings(max_examples=25)
+def test_algA_within_flow_guarantee(case):
+    """Every job's flow stays within the Theorem 5.6 bound β·opt/2 for the
+    opt parameter supplied."""
+    instance, opt, m = case
+    scheduler = SemiBatchedOutTreeScheduler(opt=opt, alpha=4)
+    schedule = simulate(
+        instance, m, scheduler, max_steps=instance.horizon_hint * 8 + 600 * opt
+    )
+    assert int(schedule.flows.max()) <= scheduler.flow_guarantee()
+
+
+@given(semibatched_cases())
+@settings(max_examples=20)
+def test_algA_never_beats_lower_bound(case):
+    instance, opt, m = case
+    scheduler = SemiBatchedOutTreeScheduler(opt=opt, alpha=4)
+    schedule = simulate(
+        instance, m, scheduler, max_steps=instance.horizon_hint * 8 + 600 * opt
+    )
+    assert schedule.max_flow >= max_flow_lower_bound(instance, m)

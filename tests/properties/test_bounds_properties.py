@@ -1,0 +1,58 @@
+"""Property-based cross-validation: lower bounds vs the exact solver."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Instance, Job, simulate
+from repro.schedulers import (
+    FIFOScheduler,
+    LongestPathTieBreak,
+    depth_profile_lower_bound,
+    exact_opt,
+    max_flow_lower_bound,
+    single_forest_opt,
+)
+
+from .strategies import general_dags, instances, out_forests
+
+
+@given(instances(max_jobs=3, dag_strategy=general_dags(max_nodes=5), max_release=6))
+@settings(max_examples=25)
+def test_lower_bound_never_exceeds_exact_opt(instance):
+    for m in (1, 2):
+        opt, witness = exact_opt(instance, m)
+        assert max_flow_lower_bound(instance, m) <= opt
+        witness.validate()
+        assert witness.max_flow == opt
+
+
+@given(out_forests(max_nodes=10), st.integers(1, 3))
+@settings(max_examples=25)
+def test_exact_solver_agrees_with_closed_form_on_single_forest(forest, m):
+    instance = Instance([Job(forest, 0)])
+    opt, _ = exact_opt(instance, m)
+    assert opt == single_forest_opt(forest, m)
+
+
+@given(general_dags(max_nodes=8), st.integers(1, 3))
+@settings(max_examples=25)
+def test_depth_profile_bound_is_achievable_or_below(dag, m):
+    instance = Instance([Job(dag, 0)])
+    opt, _ = exact_opt(instance, m)
+    assert depth_profile_lower_bound(dag, m) <= opt
+
+
+@given(instances(max_jobs=3, dag_strategy=general_dags(max_nodes=5), max_release=6))
+@settings(max_examples=20)
+def test_no_online_algorithm_beats_exact(instance):
+    m = 2
+    opt, _ = exact_opt(instance, m)
+    fifo = simulate(instance, m, FIFOScheduler(LongestPathTieBreak()))
+    assert fifo.max_flow >= opt
+
+
+@given(general_dags(max_nodes=8))
+@settings(max_examples=25)
+def test_bounds_monotone_in_m(dag):
+    values = [depth_profile_lower_bound(dag, m) for m in (1, 2, 3, 4)]
+    assert values == sorted(values, reverse=True)

@@ -1,0 +1,130 @@
+"""Property-based tests for DAG invariants."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import DAG
+
+from .strategies import general_dags, out_forests, out_trees
+
+
+@given(general_dags())
+def test_depth_of_roots_is_one(dag):
+    assert bool(np.all(dag.depth[dag.roots] == 1))
+
+
+@given(general_dags())
+def test_height_of_leaves_is_one(dag):
+    assert bool(np.all(dag.height[dag.leaves] == 1))
+
+
+@given(general_dags())
+def test_edge_increases_depth_and_decreases_height(dag):
+    for u, v in dag.edge_list():
+        assert dag.depth[v] >= dag.depth[u] + 1
+        assert dag.height[u] >= dag.height[v] + 1
+
+
+@given(general_dags())
+def test_span_consistency(dag):
+    """max depth == max height == longest path length."""
+    assert dag.span == int(dag.depth.max()) == int(dag.height.max())
+
+
+@given(general_dags())
+def test_depth_plus_height_bounded_by_span(dag):
+    # Each node lies on a path of depth + height - 1 nodes <= span.
+    assert bool(np.all(dag.depth + dag.height - 1 <= dag.span))
+
+
+@given(general_dags())
+def test_deeper_than_profile_monotone(dag):
+    profile = dag.deeper_than_profile
+    assert bool(np.all(np.diff(profile) <= 0))
+    assert profile[0] <= dag.work
+    assert profile[-1] == 0
+
+
+@given(general_dags())
+def test_deeper_than_zero_counts_non_roots(dag):
+    assert dag.deeper_than(1) == dag.n - int((dag.depth == 1).sum())
+
+
+@given(general_dags())
+def test_topological_order_respects_edges(dag):
+    pos = np.empty(dag.n, dtype=np.int64)
+    pos[dag.topological_order] = np.arange(dag.n)
+    for u, v in dag.edge_list():
+        assert pos[u] < pos[v]
+
+
+@given(general_dags())
+def test_indegree_outdegree_sum_to_edges(dag):
+    assert int(dag.indegree.sum()) == dag.n_edges
+    assert int(dag.outdegree.sum()) == dag.n_edges
+
+
+@given(out_trees())
+def test_out_tree_predicates(tree):
+    assert tree.is_out_tree
+    assert tree.is_out_forest
+    assert tree.roots.size == 1
+    assert tree.n_edges == tree.n - 1
+
+
+@given(out_forests())
+def test_forest_parent_array_roundtrip(forest):
+    rebuilt = DAG.from_parents(forest.parent_array())
+    assert rebuilt == forest
+
+
+@given(out_forests())
+def test_forest_components_partition_nodes(forest):
+    seen = set()
+    for root in forest.roots:
+        comp = set(forest.descendants(int(root)).tolist()) | {int(root)}
+        assert not (seen & comp)
+        seen |= comp
+    assert seen == set(range(forest.n))
+
+
+@given(general_dags(), st.integers(0, 30))
+def test_deeper_than_matches_profile(dag, d):
+    if d <= dag.span:
+        assert dag.deeper_than(d) == int(dag.deeper_than_profile[d])
+    else:
+        assert dag.deeper_than(d) == 0
+
+
+@given(out_trees(max_nodes=15))
+def test_induced_subgraph_of_executed_prefix_is_forest(tree):
+    """Removing a downward-closed 'executed' set from an out-tree leaves an
+    out-forest (the guess-and-double restart relies on this)."""
+    # Execute nodes in topological order up to half.
+    order = tree.topological_order
+    k = tree.n // 2
+    remaining = np.sort(order[k:])
+    if remaining.size == 0:
+        return
+    sub, ids = tree.induced_subgraph(remaining)
+    assert sub.is_out_forest
+    assert sub.n == remaining.size
+
+
+@given(general_dags(max_nodes=12))
+def test_union_preserves_structure(dag):
+    union, offsets = DAG.disjoint_union([dag, dag])
+    assert union.n == 2 * dag.n
+    assert union.span == dag.span
+    assert union.deeper_than(0) == 2 * dag.deeper_than(0)
+
+
+@given(out_trees(max_nodes=12), out_trees(max_nodes=12))
+def test_series_span_adds(a, b):
+    assert a.series(b).span == a.span + b.span
+
+
+@given(out_trees(max_nodes=12), out_trees(max_nodes=12))
+def test_parallel_span_maxes(a, b):
+    assert a.parallel(b).span == max(a.span, b.span)

@@ -1,0 +1,86 @@
+"""Exhaustive verification over ALL small tree/forest shapes.
+
+Stronger than sampling: for every out-forest up to 6 nodes (720 shapes per
+size-6 batch) the core claims hold without exception.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_lpf_ancestor_structure, check_mc_busy, head_tail_shape
+from repro.schedulers import lpf_flow, lpf_schedule, single_forest_opt
+from repro.workloads.enumerate_shapes import (
+    all_out_forests,
+    all_out_trees,
+    count_out_forests,
+    count_out_trees,
+)
+
+
+class TestEnumeration:
+    def test_tree_counts(self):
+        assert sum(1 for _ in all_out_trees(1)) == count_out_trees(1) == 1
+        assert sum(1 for _ in all_out_trees(4)) == count_out_trees(4) == 6
+
+    def test_forest_counts(self):
+        assert sum(1 for _ in all_out_forests(3)) == count_out_forests(3) == 6
+
+    def test_all_are_trees(self):
+        assert all(d.is_out_tree for d in all_out_trees(5))
+
+    def test_all_are_forests(self):
+        assert all(d.is_out_forest for d in all_out_forests(4))
+
+    def test_distinct_shapes_present(self):
+        spans = {d.span for d in all_out_trees(5)}
+        assert spans == {2, 3, 4, 5}  # star through chain
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            list(all_out_trees(0))
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+@pytest.mark.parametrize("m", [1, 2, 3])
+def test_corollary_5_4_exhaustive(n, m):
+    """LPF flow equals the closed form on EVERY out-forest of size n."""
+    for forest in all_out_forests(n):
+        assert lpf_flow(forest, m) == single_forest_opt(forest, m)
+
+
+@pytest.mark.parametrize("width", [2, 3])
+def test_lemma_5_2_exhaustive(width):
+    """The ancestor-chain structure holds on every out-tree up to size 6."""
+    for tree in all_out_trees(6):
+        schedule = lpf_schedule(tree, width)
+        assert check_lpf_ancestor_structure(schedule, width).ok
+
+
+@pytest.mark.parametrize("width", [2])
+def test_lemma_5_5_exhaustive(width):
+    """MC's busy property holds on the LPF tail of every out-tree up to
+    size 5, under a fixed awkward allocation pattern."""
+    for tree in all_out_trees(5):
+        schedule = lpf_schedule(tree, width)
+        shape = head_tail_shape(schedule, width)
+        steps = [nodes for _, nodes in schedule.job_steps(0)][shape.head_length :]
+        if not steps:
+            continue
+        alloc = [1, width, 0, width, 1] * (2 * tree.n + 2)
+        assert check_mc_busy(steps, tree, alloc).ok
+
+
+def test_tail_rectangle_exhaustive():
+    """Figure 2's packed tail holds for every out-forest of size 5 at
+    every width."""
+    for forest in all_out_forests(5):
+        for width in (1, 2, 3):
+            schedule = lpf_schedule(forest, width)
+            assert head_tail_shape(schedule, width).tail_fully_packed
+
+
+def test_corollary_5_4_exhaustive_n7_trees():
+    """All 720 out-tree shapes on 7 nodes, m = 2: LPF equals the closed
+    form (trees only — the forest sweep at n=7 would be 5040 shapes)."""
+    for tree in all_out_trees(7):
+        assert lpf_flow(tree, 2) == single_forest_opt(tree, 2)

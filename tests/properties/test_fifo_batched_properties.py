@@ -1,0 +1,85 @@
+"""Property-based tests of the Section 6 invariants on random batched
+instances (the paper proves these for arbitrary DAG jobs — we generate
+general DAGs, not just trees)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_lemma_6_4, check_lemma_6_5
+from repro.core import simulate
+from repro.schedulers import FIFOScheduler, exact_opt
+from repro.workloads import batched_instance
+
+from .strategies import general_dags, out_forests
+
+
+@st.composite
+def batched_with_exact_opt(draw, dag_strategy, max_batches=4):
+    """Small batched instance + its exact OPT (via the search solver on the
+    single worst batch, which is exact because batch windows are
+    disjoint... verified by taking the max over per-batch exact optima)."""
+    from repro.core import Instance, Job
+
+    n = draw(st.integers(1, max_batches))
+    dags = [draw(dag_strategy) for _ in range(n)]
+    m = draw(st.integers(1, 3))
+    per_batch = []
+    for d in dags:
+        opt, _ = exact_opt(Instance([Job(d, 0)]), m)
+        per_batch.append(opt)
+    period = max(per_batch)
+    return batched_instance(dags, period), m, period
+
+
+@given(batched_with_exact_opt(general_dags(max_nodes=6)))
+@settings(max_examples=25)
+def test_lemma_6_4_on_random_batched_dags(case):
+    instance, m, opt = case
+    schedule = simulate(instance, m, FIFOScheduler())
+    assert check_lemma_6_4(schedule, opt).ok
+
+
+@given(batched_with_exact_opt(general_dags(max_nodes=6)))
+@settings(max_examples=25)
+def test_lemma_6_5_on_random_batched_dags(case):
+    instance, m, opt = case
+    schedule = simulate(instance, m, FIFOScheduler())
+    assert check_lemma_6_5(schedule, opt).ok
+
+
+@given(batched_with_exact_opt(out_forests(max_nodes=8)))
+@settings(max_examples=25)
+def test_lemma_6_5_on_random_batched_forests(case):
+    instance, m, opt = case
+    schedule = simulate(instance, m, FIFOScheduler())
+    assert check_lemma_6_5(schedule, opt).ok
+
+
+@given(batched_with_exact_opt(general_dags(max_nodes=6)))
+@settings(max_examples=20)
+def test_theorem_6_1_flow_bound(case):
+    """FIFO's max flow stays within (log2 tau + 1) * OPT."""
+    import math
+
+    from repro.analysis import tau
+
+    instance, m, opt = case
+    schedule = simulate(instance, m, FIFOScheduler())
+    bound = (int(math.log2(tau(m, opt))) + 1) * opt
+    assert schedule.max_flow <= bound
+
+
+@given(batched_with_exact_opt(general_dags(max_nodes=6)))
+@settings(max_examples=20)
+def test_z_never_exceeds_opt_before_completion(case):
+    """Proposition 6.2 consequence: z_i(t) <= OPT while job i is alive."""
+    from repro.analysis import idle_count_curve
+
+    instance, m, opt = case
+    schedule = simulate(instance, m, FIFOScheduler())
+    horizon = schedule.makespan
+    for i in range(len(instance)):
+        c_i = schedule.job_completion(i)
+        z = idle_count_curve(schedule, i, horizon)
+        assert int(z[min(c_i, horizon)]) <= opt

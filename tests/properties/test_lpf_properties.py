@@ -1,0 +1,73 @@
+"""Property-based tests for Lemma 5.2 / 5.3 / Corollary 5.4."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_lpf_ancestor_structure, head_tail_shape
+from repro.schedulers import depth_profile_lower_bound, lpf_flow, lpf_schedule, single_forest_opt
+
+from .strategies import general_dags, out_forests, out_trees
+
+
+@given(out_forests(), st.integers(1, 8))
+def test_lpf_is_optimal_on_forests(forest, m):
+    """Corollary 5.4: LPF's flow equals the closed form exactly."""
+    assert lpf_flow(forest, m) == single_forest_opt(forest, m)
+
+
+@given(out_trees(), st.integers(1, 8))
+def test_lpf_is_optimal_on_trees(tree, m):
+    assert lpf_flow(tree, m) == single_forest_opt(tree, m)
+
+
+@given(out_forests(), st.integers(2, 8), st.integers(2, 4))
+@settings(max_examples=30)
+def test_lemma_5_3_alpha_competitive(forest, m, alpha):
+    """LPF on fewer processors degrades by at most the processor ratio."""
+    width = max(1, m // alpha)
+    factor = -(-m // width)  # ceil(m / width)
+    assert lpf_flow(forest, width) <= factor * single_forest_opt(forest, m)
+
+
+@given(out_forests(), st.integers(1, 6))
+@settings(max_examples=30)
+def test_lemma_5_2_structure(forest, width):
+    schedule = lpf_schedule(forest, width)
+    assert check_lpf_ancestor_structure(schedule, width).ok
+
+
+@given(out_forests(), st.integers(1, 6))
+@settings(max_examples=30)
+def test_tail_is_rectangle(forest, width):
+    """Figure 2: after the last idle step, LPF uses all `width` processors
+    every step except possibly the final one."""
+    schedule = lpf_schedule(forest, width)
+    assert head_tail_shape(schedule, width).tail_fully_packed
+
+
+@given(out_forests(), st.integers(2, 8))
+@settings(max_examples=30)
+def test_head_ends_within_opt(forest, m):
+    """The last idle step of LPF[m/4] falls within OPT[m] time units."""
+    width = max(1, m // 4)
+    schedule = lpf_schedule(forest, width)
+    shape = head_tail_shape(schedule, width)
+    assert shape.head_length <= single_forest_opt(forest, m)
+
+
+@given(general_dags(), st.integers(1, 6))
+@settings(max_examples=30)
+def test_lpf_not_below_lower_bound_on_dags(dag, m):
+    """On general DAGs LPF is not optimal, but can never beat the
+    depth-profile lower bound."""
+    assert lpf_flow(dag, m) >= depth_profile_lower_bound(dag, m)
+
+
+@given(out_forests())
+def test_one_processor_serializes(forest):
+    assert lpf_flow(forest, 1) == forest.work
+
+
+@given(out_forests())
+def test_many_processors_reach_span(forest):
+    assert lpf_flow(forest, forest.work) == forest.span

@@ -1,0 +1,87 @@
+"""Exhaustive cross-validation of series-parallel recognition.
+
+The Valdes–Tarjan–Lawler characterization: a partial order is
+series-parallel iff it contains no induced "N" (a < c, b < c, b < d, and no
+other relations among {a, b, c, d}). We brute-force that definition over
+the transitive closure and compare against ``is_series_parallel`` for
+EVERY dag on up to 5 nodes (all 2^10 = 1024 edge subsets at n = 5).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import DAG, is_series_parallel
+
+
+def _closure(dag: DAG) -> np.ndarray:
+    n = dag.n
+    reach = np.zeros((n, n), dtype=bool)
+    for u in dag.topological_order[::-1]:
+        kids = dag.children(int(u))
+        if kids.size:
+            reach[u, kids] = True
+            reach[u] |= reach[kids].any(axis=0)
+    return reach
+
+
+def _has_induced_n(reach: np.ndarray) -> bool:
+    """Brute-force N detection on the partial order's closure."""
+    n = reach.shape[0]
+
+    def rel(x, y):
+        if reach[x, y]:
+            return "<"
+        if reach[y, x]:
+            return ">"
+        return "|"
+
+    for quad in itertools.permutations(range(n), 4):
+        a, b, c, d = quad
+        if (
+            rel(a, c) == "<"
+            and rel(b, c) == "<"
+            and rel(b, d) == "<"
+            and rel(a, b) == "|"
+            and rel(a, d) == "|"
+            and rel(c, d) == "|"
+        ):
+            return True
+    return False
+
+
+def _all_dags(n: int):
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    for mask in range(1 << len(pairs)):
+        edges = [pairs[k] for k in range(len(pairs)) if mask >> k & 1]
+        yield DAG(n, edges)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_recognizer_matches_n_free_definition_small(n):
+    for dag in _all_dags(n):
+        expected = not _has_induced_n(_closure(dag))
+        assert is_series_parallel(dag) == expected, dag.edge_list()
+
+
+def test_recognizer_matches_n_free_definition_n5():
+    mismatches = []
+    for dag in _all_dags(5):
+        expected = not _has_induced_n(_closure(dag))
+        if is_series_parallel(dag) != expected:
+            mismatches.append(dag.edge_list())
+    assert not mismatches, mismatches[:5]
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_transitive_reduction_exhaustive(n):
+    """Reduction preserves reachability and is minimal for every small DAG."""
+    for dag in _all_dags(n):
+        reduced = dag.transitive_reduction()
+        assert np.array_equal(_closure(reduced), _closure(dag))
+        # Minimality: removing any edge of the reduction changes closure.
+        edges = reduced.edge_list()
+        for k in range(len(edges)):
+            smaller = DAG(dag.n, edges[:k] + edges[k + 1 :])
+            assert not np.array_equal(_closure(smaller), _closure(dag))

@@ -1,0 +1,106 @@
+"""Property-based tests for SP recognition, segmentation and serialization."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Instance,
+    Job,
+    is_series_parallel,
+    series_segments,
+    simulate,
+    sp_decomposition,
+)
+from repro.core.io import (
+    instance_from_dict,
+    instance_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.schedulers import FIFOScheduler, PhasedOutForestScheduler, SRPTScheduler
+
+from .strategies import general_dags, instances, out_forests, out_trees
+
+
+@given(out_forests())
+def test_every_out_forest_is_series_parallel(forest):
+    assert is_series_parallel(forest)
+
+
+@given(out_trees(max_nodes=15), out_trees(max_nodes=15))
+def test_compositions_stay_sp(a, b):
+    assert is_series_parallel(a.series(b))
+    assert is_series_parallel(a.parallel(b))
+
+
+@given(general_dags(max_nodes=12))
+def test_decomposition_leaves_partition(dag):
+    tree = sp_decomposition(dag)
+    if tree is not None:
+        assert sorted(tree.leaves()) == list(range(dag.n))
+
+
+@given(out_trees(max_nodes=12), out_trees(max_nodes=12))
+@settings(max_examples=30)
+def test_series_segments_of_composed_trees(a, b):
+    dag = a.series(b)
+    segments = series_segments(dag)
+    assert segments is not None
+    assert sum(len(s) for s in segments) == dag.n
+    for seg in segments:
+        sub, _ = dag.induced_subgraph(seg)
+        assert sub.is_out_forest
+
+
+@given(general_dags(max_nodes=10))
+@settings(max_examples=30)
+def test_segments_imply_sp(dag):
+    """If a DAG decomposes into segments, it must be series-parallel."""
+    if series_segments(dag) is not None:
+        assert is_series_parallel(dag)
+
+
+@given(instances(max_jobs=3))
+@settings(max_examples=25)
+def test_instance_dict_roundtrip(instance):
+    back = instance_from_dict(instance_to_dict(instance))
+    assert len(back) == len(instance)
+    for a, b in zip(back, instance):
+        assert a.dag == b.dag and a.release == b.release
+
+
+@given(instances(max_jobs=3), st.integers(1, 4))
+@settings(max_examples=25)
+def test_schedule_dict_roundtrip(instance, m):
+    schedule = simulate(instance, m, FIFOScheduler())
+    back = schedule_from_dict(schedule_to_dict(schedule))
+    assert back.max_flow == schedule.max_flow
+    for a, b in zip(back.completion, schedule.completion):
+        assert np.array_equal(a, b)
+
+
+@given(instances(max_jobs=3), st.integers(1, 5))
+@settings(max_examples=25)
+def test_srpt_always_feasible(instance, m):
+    schedule = simulate(instance, m, SRPTScheduler())
+    schedule.validate()
+
+
+@given(
+    st.lists(
+        st.tuples(out_trees(max_nodes=8), st.integers(0, 10)),
+        min_size=1,
+        max_size=3,
+    ),
+    st.integers(4, 8),
+)
+@settings(max_examples=20)
+def test_phased_feasible_on_tree_streams(jobs_spec, m):
+    """Out-trees are one-segment phased jobs; PhasedA must handle any
+    stream of them."""
+    instance = Instance([Job(dag, r) for dag, r in jobs_spec])
+    schedule = simulate(
+        instance, m, PhasedOutForestScheduler(beta=4), max_steps=200_000
+    )
+    schedule.validate()

@@ -1,0 +1,61 @@
+"""Property-based tests: renderers and fairness metrics agree with the
+schedules they summarize."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import fairness_report, flow_percentile
+from repro.core import simulate
+from repro.schedulers import FIFOScheduler
+from repro.viz import render_gantt, render_profile
+
+from .strategies import instances
+
+
+@given(instances(max_jobs=3), st.integers(1, 5))
+@settings(max_examples=25)
+def test_gantt_glyph_counts_match_usage(instance, m):
+    """Each rendered column contains exactly usage[t] non-idle glyphs."""
+    schedule = simulate(instance, m, FIFOScheduler())
+    out = render_gantt(schedule, show_axis=False, idle_char=".")
+    rows = [line.split("|")[1] for line in out.splitlines()]
+    usage = schedule.usage_profile()
+    for col in range(schedule.makespan):
+        glyphs = sum(1 for row in rows if row[col] != ".")
+        assert glyphs == int(usage[col + 1])
+
+
+@given(instances(max_jobs=3), st.integers(1, 5))
+@settings(max_examples=25)
+def test_profile_counts_match_usage(instance, m):
+    schedule = simulate(instance, m, FIFOScheduler())
+    out = render_profile(schedule, collapse=False)
+    usage = schedule.usage_profile()
+    for line, t in zip(out.splitlines(), range(1, schedule.makespan + 1)):
+        assert line.rstrip().endswith(str(int(usage[t])))
+
+
+@given(instances(max_jobs=4), st.integers(1, 5))
+@settings(max_examples=25)
+def test_fairness_report_consistency(instance, m):
+    schedule = simulate(instance, m, FIFOScheduler())
+    report = fairness_report(schedule)
+    flows = schedule.flows
+    assert report.max_flow == int(flows.max()) == schedule.max_flow
+    assert report.total_flow == int(flows.sum())
+    assert report.mean_flow == float(flows.mean())
+    assert 0 < report.jain_index <= 1 + 1e-12
+    assert report.max_stretch >= 1.0 - 1e-12  # nothing beats its own bound
+    assert report.p95_flow <= report.max_flow + 1e-12
+    assert flow_percentile(schedule, 0) <= flow_percentile(schedule, 100)
+
+
+@given(instances(max_jobs=2), st.integers(2, 5))
+@settings(max_examples=20)
+def test_single_flow_value_gives_jain_one(instance, m):
+    """If all jobs happen to have equal flows, Jain's index is exactly 1."""
+    schedule = simulate(instance, m, FIFOScheduler())
+    report = fairness_report(schedule)
+    if len(set(schedule.flows.tolist())) == 1:
+        assert report.jain_index == 1.0

@@ -1,0 +1,78 @@
+"""Unit tests for the adversary's key-placement parameter (E17 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigurationError, simulate
+from repro.schedulers import ArbitraryTieBreak, FIFOScheduler, ReverseTieBreak
+from repro.workloads import build_fifo_adversary
+
+
+class TestPlacementInvariance:
+    @pytest.mark.parametrize("m", [4, 8, 16])
+    def test_trace_flow_identical_across_placements(self, m):
+        flows = {
+            placement: build_fifo_adversary(
+                m, 2 * m, key_placement=placement, seed=1
+            ).fifo_max_flow
+            for placement in ("last", "first", "random")
+        }
+        assert len(set(flows.values())) == 1
+
+    def test_trace_usage_profile_identical(self):
+        a = build_fifo_adversary(8, 16, key_placement="last")
+        b = build_fifo_adversary(8, 16, key_placement="first")
+        assert np.array_equal(
+            a.fifo_schedule.usage_profile(), b.fifo_schedule.usage_profile()
+        )
+
+    def test_per_job_flows_identical(self):
+        a = build_fifo_adversary(8, 16, key_placement="last")
+        b = build_fifo_adversary(8, 16, key_placement="random", seed=9)
+        assert a.fifo_schedule.flows.tolist() == b.fifo_schedule.flows.tolist()
+
+
+class TestPlacementStructure:
+    def test_first_placement_keys_have_smallest_ids(self):
+        adv = build_fifo_adversary(6, 6, key_placement="first")
+        for job in adv.instance:
+            dag = job.dag
+            for d in range(1, dag.span):
+                level = np.nonzero(dag.depth == d)[0]
+                internal = level[dag.outdegree[level] > 0]
+                assert internal.size == 1
+                assert int(internal[0]) == int(level.min())
+
+    def test_random_placement_reproducible(self):
+        a = build_fifo_adversary(6, 6, key_placement="random", seed=3)
+        b = build_fifo_adversary(6, 6, key_placement="random", seed=3)
+        for ja, jb in zip(a.instance, b.instance):
+            assert ja.dag == jb.dag
+
+    def test_witness_valid_for_every_placement(self):
+        for placement in ("last", "first", "random"):
+            adv = build_fifo_adversary(6, 6, key_placement=placement, seed=0)
+            adv.opt_witness.validate()
+            assert adv.opt_upper_bound <= 7
+
+    def test_invalid_placement_rejected(self):
+        with pytest.raises(ConfigurationError, match="key_placement"):
+            build_fifo_adversary(4, 4, key_placement="middle")
+
+
+class TestMatchedReplays:
+    def test_desc_on_first_equals_adaptive(self):
+        adv = build_fifo_adversary(8, 16, key_placement="first")
+        replay = simulate(adv.instance, 8, FIFOScheduler(ReverseTieBreak()))
+        assert replay.max_flow == adv.fifo_max_flow
+
+    def test_asc_on_first_escapes(self):
+        adv = build_fifo_adversary(8, 16, key_placement="first")
+        replay = simulate(adv.instance, 8, FIFOScheduler(ArbitraryTieBreak()))
+        assert replay.max_flow <= adv.opt_upper_bound
+
+    def test_asc_on_last_still_exact(self):
+        adv = build_fifo_adversary(8, 16, key_placement="last")
+        replay = simulate(adv.instance, 8, FIFOScheduler(ArbitraryTieBreak()))
+        for a, b in zip(replay.completion, adv.fifo_schedule.completion):
+            assert np.array_equal(a, b)

@@ -1,0 +1,87 @@
+"""Unit tests for the Section 6 per-schedule quantities (w_i, z_i, tau)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    idle_count_curve,
+    remaining_work,
+    remaining_work_curve,
+    restricted_idle_steps,
+    tau,
+)
+from repro.core import ConfigurationError, Instance, Job, Schedule, chain, star
+
+
+@pytest.fixture
+def sched():
+    # m=2; chain(3) at r=0 runs 1,2,3; star(2) (3 nodes) at r=2 runs 3,4,5.
+    inst = Instance([Job(chain(3), 0), Job(star(2), 2)])
+    return Schedule(inst, 2, [np.array([1, 2, 3]), np.array([3, 4, 5])])
+
+
+class TestRemainingWork:
+    def test_at_release(self, sched):
+        assert remaining_work(sched, 0, 0) == 3
+        assert remaining_work(sched, 1, 2) == 3
+
+    def test_midway(self, sched):
+        assert remaining_work(sched, 0, 2) == 1
+
+    def test_at_completion(self, sched):
+        assert remaining_work(sched, 0, 3) == 0
+        assert remaining_work(sched, 1, 5) == 0
+
+    def test_curve_matches_pointwise(self, sched):
+        curve = remaining_work_curve(sched, 0, 6)
+        assert curve.tolist() == [
+            remaining_work(sched, 0, t) for t in range(7)
+        ]
+
+    def test_curve_for_late_job(self, sched):
+        curve = remaining_work_curve(sched, 1, 6)
+        assert curve.tolist() == [3, 3, 3, 2, 1, 0, 0]
+
+
+class TestIdleCounts:
+    def test_restricted_idle_steps_excludes_younger(self, sched):
+        # S_0 = schedule restricted to job 0 only: usage 1,1,1 then 0 —
+        # every step of [1, makespan] is idle for m=2.
+        idles = restricted_idle_steps(sched, 0)
+        assert idles.tolist() == [1, 2, 3, 4, 5]
+
+    def test_restricted_includes_same_release(self):
+        inst = Instance([Job(chain(2), 0), Job(chain(2), 0)])
+        s = Schedule(inst, 2, [np.array([1, 2]), np.array([1, 2])])
+        assert restricted_idle_steps(s, 0).size == 0  # both full
+
+    def test_idle_count_curve_starts_after_release(self, sched):
+        z1 = idle_count_curve(sched, 1, 6)
+        # job 1 released at 2; S_1 = whole schedule; usage: [.,1,1,2,1,1]
+        # idle steps > r_1: t=4 (usage1 <2)? t=3 usage 2 full; t=4:1 idle; t=5:1 idle
+        assert z1.tolist() == [0, 0, 0, 0, 1, 2, 2]
+
+    def test_idle_curve_monotone(self, sched):
+        z = idle_count_curve(sched, 0, 6)
+        assert bool(np.all(np.diff(z) >= 0))
+
+
+class TestTau:
+    def test_power_of_two(self):
+        t = tau(4, 3)
+        assert t >= 2 * 4 * 3
+        assert t & (t - 1) == 0  # power of two
+
+    def test_tight_when_exact_power(self):
+        assert tau(4, 4) == 32  # 2*4*4 = 32 already a power of two
+
+    def test_less_than_4_m_opt(self):
+        for m in (2, 3, 7, 16):
+            for opt in (1, 5, 9):
+                assert 2 * m * opt <= tau(m, opt) < 4 * m * opt
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            tau(0, 1)
+        with pytest.raises(ConfigurationError):
+            tau(1, 0)

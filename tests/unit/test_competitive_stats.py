@@ -1,0 +1,114 @@
+"""Unit tests for the competitive harness and growth-law fitting."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    OptReference,
+    classify_growth,
+    compare_schedulers,
+    fit_constant,
+    fit_log_growth,
+    run_case,
+    summarize,
+)
+from repro.core import ConfigurationError, Instance, Job, chain, star
+from repro.schedulers import FIFOScheduler, LPFScheduler, lpf_schedule
+
+
+@pytest.fixture
+def inst():
+    return Instance([Job(star(5), 0), Job(chain(4), 2)])
+
+
+class TestOptReference:
+    def test_exact(self):
+        ref = OptReference.exact(7)
+        assert ref.value == 7 and ref.kind == "exact"
+
+    def test_witness_reads_max_flow(self):
+        s = lpf_schedule(chain(3), 2)
+        ref = OptReference.witness(s)
+        assert ref.value == 3 and ref.kind == "witness"
+
+    def test_lower(self, inst):
+        ref = OptReference.lower(inst, 2)
+        assert ref.kind == "lower" and ref.value >= 1
+
+    def test_bad_kind(self):
+        with pytest.raises(ConfigurationError):
+            OptReference(3, "guess")
+
+    def test_bad_value(self):
+        with pytest.raises(ConfigurationError):
+            OptReference(0, "exact")
+
+
+class TestRunCase:
+    def test_fields(self, inst):
+        case = run_case(inst, 2, FIFOScheduler(), OptReference.exact(4))
+        assert case.scheduler == "FIFO[arbitrary]"
+        assert case.m == 2
+        assert case.n_jobs == 2
+        assert case.total_work == 10
+        assert case.max_flow >= 1
+        assert case.ratio == case.max_flow / 4
+
+    def test_defaults_to_lower_bound(self, inst):
+        case = run_case(inst, 2, FIFOScheduler())
+        assert case.opt_reference.kind == "lower"
+
+    def test_compare_shares_reference(self, inst):
+        cases = compare_schedulers(inst, 2, [FIFOScheduler(), LPFScheduler()])
+        assert cases[0].opt_reference == cases[1].opt_reference
+        assert {c.scheduler for c in cases} == {"FIFO[arbitrary]", "LPF"}
+
+
+class TestFits:
+    def test_log_fit_recovers_coefficients(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [1.0 + 0.5 * math.log2(x) for x in xs]
+        fit = fit_log_growth(xs, ys)
+        assert fit.intercept == pytest.approx(1.0, abs=1e-9)
+        assert fit.slope == pytest.approx(0.5, abs=1e-9)
+        assert fit.residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_predict(self):
+        fit = fit_log_growth([2, 4], [1.0, 2.0])
+        assert fit.predict(8) == pytest.approx(3.0)
+
+    def test_needs_two_distinct_x(self):
+        with pytest.raises(ConfigurationError):
+            fit_log_growth([4, 4], [1, 2])
+
+    def test_constant_fit(self):
+        fit = fit_constant([2.0, 2.0, 2.0])
+        assert fit.intercept == 2.0 and fit.slope == 0.0 and fit.residual == 0.0
+
+    def test_classify_logarithmic(self):
+        xs = [4, 8, 16, 32, 64]
+        ys = [math.log2(x) for x in xs]
+        assert classify_growth(xs, ys) == "logarithmic"
+
+    def test_classify_constant(self):
+        xs = [4, 8, 16, 32, 64]
+        ys = [3.0, 3.1, 2.9, 3.05, 3.0]
+        assert classify_growth(xs, ys) == "constant"
+
+    def test_classify_noise_below_threshold(self):
+        xs = [4, 8, 16, 32]
+        ys = [1.0, 1.05, 1.1, 1.12]  # slope ~0.04 per doubling
+        assert classify_growth(xs, ys) == "constant"
+
+
+class TestSummarize:
+    def test_values(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["n"] == 3
+        assert s["mean"] == 2.0
+        assert s["min"] == 1.0 and s["max"] == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])

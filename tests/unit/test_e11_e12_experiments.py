@@ -1,0 +1,90 @@
+"""Unit tests for the E11/E12 extension experiments' building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, Job, chain
+from repro.experiments.e11_dag_shaping_gap import (
+    known_counterexample,
+    lpf_optimality_gap,
+)
+from repro.experiments.e12_fifo_beyond_batched import semi_batched_known_opt
+from repro.schedulers import exact_opt, lpf_flow, single_forest_opt
+from repro.workloads import build_fifo_adversary
+
+
+class TestKnownCounterexample:
+    def test_gap_is_positive(self):
+        dag, m = known_counterexample()
+        assert lpf_optimality_gap(dag, m) > 0
+
+    def test_not_a_forest(self):
+        dag, _ = known_counterexample()
+        assert not dag.is_out_forest
+
+    def test_exact_values(self):
+        dag, m = known_counterexample()
+        opt, witness = exact_opt(Instance([Job(dag, 0)]), m)
+        assert lpf_flow(dag, m) == 5
+        assert opt == 4
+        witness.validate()
+
+
+class TestLpfGap:
+    def test_zero_on_trees(self, small_tree):
+        for m in (1, 2, 3):
+            assert lpf_optimality_gap(small_tree, m) == 0
+
+    def test_zero_on_chain(self):
+        assert lpf_optimality_gap(chain(6), 2) == 0
+
+
+class TestSemiBatchedKnownOpt:
+    def test_opt_is_exact(self):
+        rng = np.random.default_rng(0)
+        inst, opt, witness = semi_batched_known_opt(8, 5, depth=16, rng=rng)
+        witness.validate()
+        assert witness.max_flow == opt
+        # Lower bound matches: the rectangle batch alone needs `opt`.
+        assert single_forest_opt(inst[0].dag, 8) == opt
+
+    def test_arrivals_every_half(self):
+        rng = np.random.default_rng(1)
+        inst, opt, _ = semi_batched_known_opt(4, 4, depth=8, rng=rng)
+        assert inst.releases.tolist() == [0, 4, 8, 12]
+
+    def test_needs_two_processors(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            semi_batched_known_opt(1, 3, depth=4, rng=rng)
+
+
+class TestFastAdversary:
+    def test_custom_period_releases(self):
+        adv = build_fifo_adversary(8, n_jobs=6, period=4)
+        assert adv.instance.releases.tolist() == [0, 4, 8, 12, 16, 20]
+        assert adv.period == 4
+
+    def test_no_witness_below_m_plus_1(self):
+        from repro.core import ConfigurationError
+
+        adv = build_fifo_adversary(8, n_jobs=6, period=4)
+        assert adv.opt_witness is None
+        with pytest.raises(ConfigurationError):
+            _ = adv.opt_upper_bound
+        assert adv.opt_lower_bound >= 1
+
+    def test_witness_for_slow_periods(self):
+        adv = build_fifo_adversary(6, n_jobs=5, period=10)
+        assert adv.opt_witness is not None
+        adv.opt_witness.validate()
+
+    def test_fast_schedule_still_feasible(self):
+        adv = build_fifo_adversary(8, n_jobs=10, period=4)
+        adv.fifo_schedule.validate()
+
+    def test_period_validation(self):
+        from repro.core import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            build_fifo_adversary(4, 2, period=0)

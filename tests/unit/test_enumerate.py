@@ -1,0 +1,52 @@
+"""Unit tests for the exhaustive shape enumeration."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.workloads.enumerate_shapes import (
+    all_out_forests,
+    all_out_trees,
+    count_out_forests,
+    count_out_trees,
+)
+
+
+class TestCounts:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 1), (3, 2), (5, 24)])
+    def test_tree_count_formula(self, n, expected):
+        assert count_out_trees(n) == expected
+        assert sum(1 for _ in all_out_trees(n)) == expected
+
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (4, 24)])
+    def test_forest_count_formula(self, n, expected):
+        assert count_out_forests(n) == expected
+        assert sum(1 for _ in all_out_forests(n)) == expected
+
+
+class TestShapes:
+    def test_trees_all_distinct_parent_arrays(self):
+        seen = set()
+        for tree in all_out_trees(5):
+            key = tuple(tree.parent_array().tolist())
+            assert key not in seen
+            seen.add(key)
+
+    def test_forests_include_antichain_and_chain(self):
+        spans = {d.span for d in all_out_forests(4)}
+        assert 1 in spans  # antichain (all roots)
+        assert 4 in spans  # chain
+
+    def test_every_size_present(self):
+        assert all(d.n == 4 for d in all_out_trees(4))
+
+
+class TestValidation:
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(all_out_trees(0))
+        with pytest.raises(ConfigurationError):
+            list(all_out_forests(0))
+        with pytest.raises(ConfigurationError):
+            count_out_trees(0)
+        with pytest.raises(ConfigurationError):
+            count_out_forests(-1)

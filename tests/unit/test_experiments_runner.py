@@ -1,0 +1,132 @@
+"""Unit tests for experiment plumbing (tables, claims, registry)."""
+
+import pytest
+
+from repro.experiments import Claim, ExperimentResult, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 223, "b": "z"}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert len(lines) == 4  # header, separator, 2 rows
+
+    def test_explicit_columns_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_table(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_float_formatting(self):
+        out = format_table([{"x": 1.23456}])
+        assert "1.235" in out
+
+    def test_bool_formatting(self):
+        out = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in out and "no" in out
+
+    def test_missing_keys_blank(self):
+        out = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert out  # does not raise
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+
+class TestExperimentResult:
+    def _result(self):
+        r = ExperimentResult("EX", "title", "Theorem 0")
+        r.rows = [{"k": 1}]
+        return r
+
+    def test_claims_hold(self):
+        r = self._result()
+        r.add_claim("fine", True)
+        assert r.claims_hold()
+        r.add_claim("broken", False, "boom")
+        assert not r.claims_hold()
+        assert [c.description for c in r.failed_claims()] == ["broken"]
+
+    def test_render_contains_everything(self):
+        r = self._result()
+        r.notes.append("a note")
+        r.figures.append("ASCII ART")
+        r.add_claim("fine", True)
+        out = r.render()
+        assert "EX: title" in out
+        assert "Theorem 0" in out
+        assert "ASCII ART" in out
+        assert "note: a note" in out
+        assert "[PASS] fine" in out
+
+    def test_claim_render_marks(self):
+        assert "[PASS]" in Claim("d", True).render()
+        assert "[FAIL]" in Claim("d", False).render()
+        assert "(why)" in Claim("d", False, "why").render()
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 18)}
+
+    def test_entries_well_formed(self):
+        from repro.experiments import EXPERIMENTS
+
+        for exp in EXPERIMENTS.values():
+            assert callable(exp.run)
+            assert exp.paper_artifact
+            assert exp.description
+
+    def test_run_experiment_dispatches(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("E1")
+        assert result.experiment_id == "E1"
+        assert result.claims_hold()
+
+    def test_unknown_id(self):
+        from repro.experiments import run_experiment
+
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+
+class TestRunAll:
+    def test_run_all_with_shrunk_registry(self, monkeypatch):
+        from repro.experiments import registry
+
+        shrunk = {"E1": registry.EXPERIMENTS["E1"]}
+        monkeypatch.setattr(registry, "EXPERIMENTS", shrunk)
+        results = registry.run_all()
+        assert [r.experiment_id for r in results] == ["E1"]
+        assert results[0].claims_hold()
+
+    def test_run_all_forwards_overrides(self, monkeypatch):
+        from repro.experiments import registry
+
+        shrunk = {"E5": registry.EXPERIMENTS["E5"]}
+        monkeypatch.setattr(registry, "EXPERIMENTS", shrunk)
+        results = registry.run_all(E5={"trials": 1, "n_nodes": 40})
+        assert sum(r["cases"] for r in results[0].rows) == 12  # 3 workloads x 1 trial x 4 patterns
+
+
+class TestScalePresets:
+    def test_preset_keys_are_registered_experiments(self):
+        from repro.experiments import EXPERIMENTS, SCALE_PRESETS
+
+        for scale, table in SCALE_PRESETS.items():
+            assert set(table) <= set(EXPERIMENTS), scale
+
+    def test_preset_params_match_run_signatures(self):
+        import inspect
+
+        from repro.experiments import EXPERIMENTS, SCALE_PRESETS
+
+        for scale, table in SCALE_PRESETS.items():
+            for exp_id, params in table.items():
+                sig = inspect.signature(EXPERIMENTS[exp_id].run)
+                for key in params:
+                    assert key in sig.parameters, f"{scale}/{exp_id}: {key}"

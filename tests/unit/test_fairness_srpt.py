@@ -1,0 +1,91 @@
+"""Unit tests for fairness metrics and the SRPT baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fairness_report, flow_percentile
+from repro.core import Instance, Job, Schedule, antichain, chain, simulate, star
+from repro.schedulers import FIFOScheduler, SRPTScheduler
+
+
+@pytest.fixture
+def uneven_schedule():
+    # Two jobs with flows 2 and 6 on m=1.
+    inst = Instance([Job(chain(2), 0), Job(chain(4), 0)])
+    return Schedule(inst, 1, [np.array([1, 2]), np.array([3, 4, 5, 6])])
+
+
+class TestFairnessReport:
+    def test_norms(self, uneven_schedule):
+        report = fairness_report(uneven_schedule)
+        assert report.max_flow == 6
+        assert report.total_flow == 8
+        assert report.mean_flow == 4.0
+
+    def test_stretch(self, uneven_schedule):
+        report = fairness_report(uneven_schedule)
+        # chain(2) bound 2, flow 2 -> 1.0; chain(4) bound 4, flow 6 -> 1.5
+        assert report.max_stretch == pytest.approx(1.5)
+        assert report.mean_stretch == pytest.approx(1.25)
+
+    def test_jain_index_range(self, uneven_schedule):
+        report = fairness_report(uneven_schedule)
+        assert 0 < report.jain_index <= 1
+        # Perfectly even flows -> 1.
+        inst = Instance([Job(chain(2), 0), Job(chain(2), 2)])
+        even = Schedule(inst, 1, [np.array([1, 2]), np.array([3, 4])])
+        assert fairness_report(even).jain_index == pytest.approx(1.0)
+
+    def test_percentile(self, uneven_schedule):
+        assert flow_percentile(uneven_schedule, 100) == 6.0
+        assert flow_percentile(uneven_schedule, 0) == 2.0
+
+    def test_as_row_keys(self, uneven_schedule):
+        row = fairness_report(uneven_schedule).as_row()
+        assert {"max_flow", "mean_flow", "p95_flow", "max_stretch", "jain"} <= set(row)
+
+
+class TestSRPT:
+    def test_feasible(self, two_job_instance):
+        s = simulate(two_job_instance, 2, SRPTScheduler())
+        s.validate()
+
+    def test_prefers_nearly_done_job(self):
+        # big job (8 nodes) at 0, tiny job (2 nodes) at 1, m=1:
+        # SRPT switches to the tiny job immediately at its arrival.
+        inst = Instance([Job(antichain(8), 0), Job(antichain(2), 1)])
+        s = simulate(inst, 1, SRPTScheduler())
+        assert s.job_completion(1) == 3  # runs at steps 2 and 3
+        fifo = simulate(inst, 1, FIFOScheduler())
+        assert fifo.job_completion(1) == 10  # FIFO drains the big job first
+
+    def test_max_flow_vs_fifo_on_starvation_stream(self):
+        jobs = [Job(antichain(12), 0, "big")] + [
+            Job(antichain(2), 1 + 2 * i, f"s{i}") for i in range(10)
+        ]
+        inst = Instance(jobs)
+        srpt = simulate(inst, 1, SRPTScheduler())
+        fifo = simulate(inst, 1, FIFOScheduler())
+        assert srpt.job_flow(0) > fifo.job_flow(0)
+        assert srpt.max_flow >= fifo.max_flow
+
+    def test_mean_flow_advantage(self):
+        jobs = [Job(antichain(12), 0, "big")] + [
+            Job(antichain(2), 1 + 2 * i, f"s{i}") for i in range(10)
+        ]
+        inst = Instance(jobs)
+        srpt = simulate(inst, 1, SRPTScheduler())
+        fifo = simulate(inst, 1, FIFOScheduler())
+        assert srpt.flows.mean() <= fifo.flows.mean()
+
+    def test_name_and_clairvoyance(self):
+        s = SRPTScheduler()
+        assert s.name == "SRPT[arbitrary]"
+        assert s.clairvoyant
+
+    def test_work_conserving(self):
+        from repro.analysis import check_work_conserving
+
+        inst = Instance([Job(star(6), 0), Job(chain(4), 1)])
+        s = simulate(inst, 2, SRPTScheduler())
+        assert check_work_conserving(s).ok

@@ -1,0 +1,134 @@
+"""Unit tests for Instance: ordering, batching transforms, predicates."""
+
+import pytest
+
+from repro.core import ConfigurationError, Instance, Job, chain, star
+
+
+def _inst(*release_times):
+    return Instance([Job(chain(3), r, f"j{i}") for i, r in enumerate(release_times)])
+
+
+class TestOrdering:
+    def test_sorted_by_release(self):
+        inst = _inst(5, 0, 3)
+        assert inst.releases.tolist() == [0, 3, 5]
+
+    def test_stable_for_ties(self):
+        inst = Instance([Job(chain(2), 4, "a"), Job(chain(2), 4, "b")])
+        assert [j.label for j in inst] == ["a", "b"]
+
+    def test_len_iter_getitem(self):
+        inst = _inst(0, 1)
+        assert len(inst) == 2
+        assert [j.release for j in inst] == [0, 1]
+        assert inst[1].release == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Instance([])
+
+
+class TestAggregates:
+    def test_total_work(self):
+        assert _inst(0, 0, 0).total_work == 9
+
+    def test_max_span(self):
+        inst = Instance([Job(chain(7), 0), Job(star(3), 0)])
+        assert inst.max_span == 7
+
+    def test_horizon_hint(self):
+        inst = _inst(0, 10)
+        assert inst.horizon_hint == 10 + 6
+
+    def test_is_out_forest(self, diamond):
+        assert _inst(0, 1).is_out_forest
+        assert not Instance([Job(diamond, 0)]).is_out_forest
+
+    def test_arrivals_at(self):
+        inst = _inst(0, 2, 2, 5)
+        assert inst.arrivals_at(2) == [1, 2]
+        assert inst.arrivals_at(1) == []
+
+    def test_distinct_releases(self):
+        assert _inst(0, 2, 2, 5).distinct_releases().tolist() == [0, 2, 5]
+
+    def test_describe(self):
+        d = _inst(0, 4).describe()
+        assert d["n_jobs"] == 2
+        assert d["total_work"] == 6
+        assert d["last_release"] == 4
+        assert d["all_out_forests"] is True
+
+
+class TestBatchPredicates:
+    def test_batched_true(self):
+        assert _inst(0, 3, 6).is_batched(3)
+
+    def test_batched_false_offgrid(self):
+        assert not _inst(0, 4).is_batched(3)
+
+    def test_batched_false_duplicate_slot(self):
+        assert not _inst(0, 3, 3).is_batched(3)
+
+    def test_semi_batched(self):
+        assert _inst(0, 3, 3, 9).is_semi_batched(3)
+        assert not _inst(0, 2).is_semi_batched(3)
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _inst(0).is_batched(0)
+        with pytest.raises(ConfigurationError):
+            _inst(0).is_semi_batched(0)
+
+
+class TestBatchedTo:
+    def test_merges_same_slot(self):
+        inst = _inst(1, 2, 3).batched_to(4)
+        assert len(inst) == 1
+        assert inst[0].release == 4
+        assert inst[0].work == 9
+
+    def test_exact_multiples_stay(self):
+        inst = _inst(0, 4, 8).batched_to(4)
+        assert len(inst) == 3
+        assert inst.releases.tolist() == [0, 4, 8]
+
+    def test_rounding_up(self):
+        inst = _inst(5).batched_to(4)
+        assert inst[0].release == 8
+
+    def test_result_is_batched(self):
+        inst = _inst(0, 1, 5, 6, 9).batched_to(4)
+        assert inst.is_batched(4)
+
+    def test_work_preserved(self):
+        src = _inst(0, 1, 2, 3, 9)
+        assert src.batched_to(5).total_work == src.total_work
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _inst(0).batched_to(0)
+
+
+class TestTransforms:
+    def test_delayed_by(self):
+        inst = _inst(0, 3).delayed_by(2)
+        assert inst.releases.tolist() == [2, 5]
+
+    def test_delayed_by_zero(self):
+        assert _inst(1).delayed_by(0).releases.tolist() == [1]
+
+    def test_restricted_to(self):
+        inst = _inst(0, 1, 2)
+        sub = inst.restricted_to([0, 2])
+        assert len(sub) == 2
+        assert sub.releases.tolist() == [0, 2]
+
+    def test_restricted_bad_id(self):
+        with pytest.raises(ConfigurationError):
+            _inst(0).restricted_to([5])
+
+    def test_restricted_empty(self):
+        with pytest.raises(ConfigurationError):
+            _inst(0).restricted_to([])

@@ -1,0 +1,183 @@
+"""Unit tests for the lemma checkers — positive AND negative cases."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    check_lemma_6_4,
+    check_lemma_6_5,
+    check_lpf_ancestor_structure,
+    check_mc_busy,
+    check_work_conserving,
+    head_tail_shape,
+)
+from repro.core import (
+    ConfigurationError,
+    Instance,
+    Job,
+    Schedule,
+    chain,
+    complete_kary_tree,
+    simulate,
+    star,
+)
+from repro.schedulers import ArbitraryTieBreak, FIFOScheduler, lpf_schedule
+from repro.workloads import batched_instance, build_fifo_adversary
+
+
+class TestLpfAncestorStructure:
+    def test_holds_on_lpf(self, kary):
+        s = lpf_schedule(kary, 3)
+        assert check_lpf_ancestor_structure(s, 3).ok
+
+    def test_holds_on_chain(self):
+        s = lpf_schedule(chain(5), 2)
+        assert check_lpf_ancestor_structure(s, 2).ok
+
+    def test_full_rectangle_trivially_ok(self):
+        s = lpf_schedule(star(3), 1)  # width 1: never "idle"
+        assert check_lpf_ancestor_structure(s, 1).ok
+
+    def test_detects_violation(self):
+        # Hand-build a NON-LPF schedule of a spider that parks a non-leaf
+        # at an idle step without its ancestor chain aligned.
+        from repro.core import spider
+
+        dag = spider(2, 3)  # root 0 + chains 1-2-3 and 4-5-6
+        inst = Instance([Job(dag, 0)])
+        # t1 {0}; t2 {1,4}; t3 {2}; t4 {5}; t5 {3,6}. The last idle step
+        # before completion is t=4 running non-leaf 5, whose 1-hop ancestor
+        # (4) is not in S(3) — violating the Lemma 5.2 structure.
+        comp = np.array([1, 2, 3, 5, 2, 4, 5])
+        s = Schedule(inst, 2, [comp])
+        s.validate()
+        assert not check_lpf_ancestor_structure(s, 2).ok
+
+    def test_rejects_non_forest(self, diamond):
+        inst = Instance([Job(diamond, 0)])
+        s = simulate(inst, 2, FIFOScheduler())
+        with pytest.raises(ConfigurationError):
+            check_lpf_ancestor_structure(s, 2)
+
+
+class TestHeadTailShape:
+    def test_rectangle_tail(self, kary):
+        s = lpf_schedule(kary, 2)
+        shape = head_tail_shape(s, 2)
+        assert shape.tail_fully_packed
+        assert shape.head_length + shape.tail_length == shape.makespan
+
+    def test_pure_rectangle_has_no_head(self):
+        from repro.workloads import layered_tree
+
+        dag = layered_tree([2, 2, 2], seed=0)
+        s = lpf_schedule(dag, 2)
+        shape = head_tail_shape(s, 2)
+        assert shape.head_length == 0
+        assert shape.tail_fully_packed
+
+    def test_detects_ragged_tail(self):
+        # A hand-built schedule with an interior idle step right before the
+        # end still reports packed=True only for the portion after it.
+        inst = Instance([Job(star(4), 0)])
+        comp = np.array([1, 2, 2, 3, 4])
+        s = Schedule(inst, 2, [comp])
+        shape = head_tail_shape(s, 2)
+        assert shape.last_idle_step == 3
+        assert shape.tail_fully_packed  # nothing between 3 and makespan 4
+
+
+class TestMcBusyChecker:
+    def test_passes_on_packed_input(self, kary):
+        s = lpf_schedule(kary, 3)
+        shape = head_tail_shape(s, 3)
+        steps = [nodes for _, nodes in s.job_steps(0)][shape.head_length :]
+        assert check_mc_busy(steps, kary, [3] * 40).ok
+
+    def test_fails_when_allocations_run_out(self, kary):
+        s = lpf_schedule(kary, 3)
+        steps = [nodes for _, nodes in s.job_steps(0)]
+        res = check_mc_busy(steps, kary, [1])
+        assert not res.ok
+        assert "exhausted" in res.detail
+
+    def test_fails_on_unpacked_input_strict(self):
+        """Feed MC an input violating its precondition (interior idle step
+        narrower than the grant): the strict Lemma 5.5 property breaks
+        (work conservation, of course, still holds — only one subjob is
+        ever ready on a chain)."""
+        dag = chain(3)
+        steps = [np.array([0]), np.array([1]), np.array([2])]
+        assert not check_mc_busy(steps, dag, [2, 2, 2, 2], strict=True).ok
+        assert check_mc_busy(steps, dag, [2, 2, 2, 2]).ok
+
+    def test_zero_allocations_tolerated(self, kary):
+        s = lpf_schedule(kary, 3)
+        shape = head_tail_shape(s, 3)
+        steps = [nodes for _, nodes in s.job_steps(0)][shape.head_length :]
+        alloc = [0, 3] * 40
+        assert check_mc_busy(steps, kary, alloc).ok
+
+
+class TestWorkConserving:
+    def test_fifo_passes(self, two_job_instance):
+        s = simulate(two_job_instance, 2, FIFOScheduler())
+        assert check_work_conserving(s).ok
+
+    def test_detects_idling(self):
+        inst = Instance([Job(star(2), 0)])
+        # root at 1, leaves at 3 and 4: idles at t=2 although ready.
+        s = Schedule(inst, 2, [np.array([1, 3, 4])])
+        s.validate()
+        res = check_work_conserving(s)
+        assert not res.ok
+        assert "idle" in res.detail
+
+
+class TestLemma64:
+    def test_holds_on_fifo_batched(self):
+        adv = build_fifo_adversary(8, n_jobs=16)
+        assert check_lemma_6_4(adv.fifo_schedule, adv.opt_upper_bound).ok
+
+    def test_fails_with_understated_opt(self):
+        """Passing an OPT far below the truth must break the inequality."""
+        adv = build_fifo_adversary(8, n_jobs=16)
+        assert not check_lemma_6_4(adv.fifo_schedule, 1).ok
+
+
+class TestLemma65:
+    def test_holds_on_adversarial_family(self):
+        adv = build_fifo_adversary(8, n_jobs=16)
+        assert check_lemma_6_5(adv.fifo_schedule, adv.opt_upper_bound).ok
+
+    def test_requires_batched_instance(self):
+        inst = Instance([Job(chain(2), 0), Job(chain(2), 3)])
+        s = simulate(inst, 2, FIFOScheduler(ArbitraryTieBreak()))
+        with pytest.raises(ConfigurationError, match="batched"):
+            check_lemma_6_5(s, 2)
+
+    def test_holds_on_random_batched(self, rng):
+        from repro.workloads import random_out_forest
+
+        dags = [random_out_forest(24, rng) for _ in range(5)]
+        period = max(
+            __import__("repro.schedulers", fromlist=["single_forest_opt"])
+            .single_forest_opt(d, 4)
+            for d in dags
+        )
+        inst = batched_instance(dags, period)
+        s = simulate(inst, 4, FIFOScheduler())
+        assert check_lemma_6_5(s, period).ok
+
+
+class TestHeadTailShapeFields:
+    def test_usage_field_matches_profile(self, kary):
+        s = lpf_schedule(kary, 3)
+        shape = head_tail_shape(s, 3)
+        assert list(shape.usage) == s.usage_profile([0]).tolist()
+
+    def test_lengths_partition_makespan(self, kary):
+        s = lpf_schedule(kary, 3)
+        shape = head_tail_shape(s, 3)
+        assert shape.head_length >= 0
+        assert shape.head_length + shape.tail_length == shape.makespan

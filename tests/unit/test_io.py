@@ -1,0 +1,98 @@
+"""Unit tests for serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DAG,
+    Instance,
+    Job,
+    chain,
+    load_instance_json,
+    load_schedule_npz,
+    save_instance_json,
+    save_schedule_npz,
+    simulate,
+    star,
+)
+from repro.core.io import (
+    dag_from_dict,
+    dag_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.schedulers import FIFOScheduler
+from repro.workloads import build_fifo_adversary
+
+
+@pytest.fixture
+def instance(small_tree):
+    return Instance([Job(small_tree, 0, "a"), Job(star(3), 2, "b")])
+
+
+@pytest.fixture
+def schedule(instance):
+    return simulate(instance, 2, FIFOScheduler())
+
+
+class TestDictRoundtrips:
+    def test_dag(self, small_tree):
+        assert dag_from_dict(dag_to_dict(small_tree)) == small_tree
+
+    def test_dag_no_edges(self):
+        d = DAG(3)
+        assert dag_from_dict(dag_to_dict(d)) == d
+
+    def test_instance(self, instance):
+        back = instance_from_dict(instance_to_dict(instance))
+        assert len(back) == len(instance)
+        for a, b in zip(back, instance):
+            assert a.dag == b.dag
+            assert a.release == b.release
+            assert a.label == b.label
+
+    def test_schedule(self, schedule):
+        back = schedule_from_dict(schedule_to_dict(schedule))
+        assert back.m == schedule.m
+        assert back.max_flow == schedule.max_flow
+        for a, b in zip(back.completion, schedule.completion):
+            assert np.array_equal(a, b)
+        back.validate()
+
+    def test_dict_is_json_safe(self, schedule):
+        import json
+
+        json.dumps(schedule_to_dict(schedule))
+
+
+class TestFileRoundtrips:
+    def test_instance_json(self, instance, tmp_path):
+        path = tmp_path / "inst.json"
+        save_instance_json(instance, path)
+        back = load_instance_json(path)
+        assert back.releases.tolist() == instance.releases.tolist()
+        assert [j.label for j in back] == [j.label for j in instance]
+
+    def test_schedule_npz(self, schedule, tmp_path):
+        path = tmp_path / "sched.npz"
+        save_schedule_npz(schedule, path)
+        back = load_schedule_npz(path)
+        assert back.m == schedule.m
+        assert back.flows.tolist() == schedule.flows.tolist()
+        back.validate()
+
+    def test_npz_roundtrip_of_adversarial_family(self, tmp_path):
+        adv = build_fifo_adversary(4, n_jobs=6)
+        path = tmp_path / "adv.npz"
+        save_schedule_npz(adv.fifo_schedule, path)
+        back = load_schedule_npz(path)
+        assert back.max_flow == adv.fifo_max_flow
+        for a, b in zip(back.completion, adv.fifo_schedule.completion):
+            assert np.array_equal(a, b)
+
+    def test_npz_accepts_str_paths(self, schedule, tmp_path):
+        path = str(tmp_path / "s.npz")
+        save_schedule_npz(schedule, path)
+        assert load_schedule_npz(path).max_flow == schedule.max_flow

@@ -1,0 +1,96 @@
+"""Unit tests for Job and merge_jobs."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigurationError, DAG, Job, chain, merge_jobs, star
+
+
+class TestJobBasics:
+    def test_defaults(self, small_tree):
+        job = Job(small_tree)
+        assert job.release == 0 and job.label is None
+
+    def test_passthroughs(self, small_tree):
+        job = Job(small_tree, 3, "x")
+        assert job.work == 6
+        assert job.span == 4
+        assert job.is_out_tree and job.is_out_forest
+        assert job.deeper_than(2) == 3
+
+    def test_negative_release_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            Job(small_tree, -1)
+
+    def test_empty_dag_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Job(DAG(0))
+
+    def test_frozen(self, small_tree):
+        job = Job(small_tree)
+        with pytest.raises(AttributeError):
+            job.release = 5
+
+    def test_repr_contains_label(self, small_tree):
+        assert "myjob" in repr(Job(small_tree, 0, "myjob"))
+
+
+class TestTrivialLowerBound:
+    def test_span_dominates(self):
+        job = Job(chain(10))
+        assert job.trivial_flow_lower_bound(4) == 10
+
+    def test_work_dominates(self):
+        job = Job(star(15))  # work 16, span 2
+        assert job.trivial_flow_lower_bound(4) == 4
+
+    def test_rounding_up(self):
+        job = Job(star(4))  # work 5
+        assert job.trivial_flow_lower_bound(2) == 3
+
+    def test_bad_m(self, small_tree):
+        with pytest.raises(ConfigurationError):
+            Job(small_tree).trivial_flow_lower_bound(0)
+
+
+class TestDelayRename:
+    def test_delayed(self, small_tree):
+        job = Job(small_tree, 2, "a")
+        later = job.delayed(7)
+        assert later.release == 7 and later.label == "a"
+        assert later.dag is job.dag
+
+    def test_delay_backwards_rejected(self, small_tree):
+        with pytest.raises(ConfigurationError):
+            Job(small_tree, 5).delayed(3)
+
+    def test_renamed(self, small_tree):
+        assert Job(small_tree, 1, "a").renamed("b").label == "b"
+
+
+class TestMergeJobs:
+    def test_merge_two(self, small_tree, chain5):
+        merged, offsets = merge_jobs([Job(small_tree, 3), Job(chain5, 1)])
+        assert merged.work == 11
+        assert merged.release == 3  # latest release
+        assert offsets.tolist() == [0, 6, 11]
+
+    def test_merge_single(self, small_tree):
+        merged, offsets = merge_jobs([Job(small_tree, 2)])
+        assert merged.work == 6 and merged.release == 2
+
+    def test_merge_explicit_release(self, small_tree):
+        merged, _ = merge_jobs([Job(small_tree, 0)], release=10, label="batch")
+        assert merged.release == 10 and merged.label == "batch"
+
+    def test_merge_preserves_forest(self, small_tree, chain5):
+        merged, _ = merge_jobs([Job(small_tree, 0), Job(chain5, 0)])
+        assert merged.is_out_forest and not merged.is_out_tree
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_jobs([])
+
+    def test_merged_span_is_max(self, small_tree, chain5):
+        merged, _ = merge_jobs([Job(small_tree, 0), Job(chain5, 0)])
+        assert merged.span == max(small_tree.span, chain5.span)

@@ -1,0 +1,99 @@
+"""Unit tests for Longest-Path-First (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    DAG,
+    Instance,
+    Job,
+    chain,
+    complete_kary_tree,
+    simulate,
+    spider,
+    star,
+)
+from repro.schedulers import LPFScheduler, lpf_flow, lpf_schedule, single_forest_opt
+
+
+class TestSingleJobLPF:
+    def test_chain_serializes(self):
+        s = lpf_schedule(chain(5), 3)
+        assert s.max_flow == 5
+
+    def test_star_saturates(self):
+        s = lpf_schedule(star(6), 3)
+        # root at 1, then 6 leaves over 2 steps
+        assert s.max_flow == 3
+
+    def test_accepts_job_and_ignores_release(self):
+        job = Job(chain(3), release=50)
+        s = lpf_schedule(job, 2)
+        assert s.max_flow == 3
+        assert s.completion[0].tolist() == [1, 2, 3]
+
+    def test_matches_closed_form_on_fixtures(self, small_tree, kary):
+        for dag in (small_tree, kary, spider(4, 3)):
+            for m in (1, 2, 3, 7):
+                assert lpf_flow(dag, m) == single_forest_opt(dag, m)
+
+    def test_heights_scheduled_in_nonincreasing_order_per_step(self, kary):
+        s = lpf_schedule(kary, 3)
+        heights = kary.height
+        for t in range(1, s.makespan):
+            now = [heights[v] for _, v in s.at(t)]
+            later_ready = []
+            # any node ready at t-1 but run later must have height <= all run now
+            c = s.completion[0]
+            for v in range(kary.n):
+                if c[v] > t and all(0 < c[p] <= t - 1 for p in kary.parents(v)):
+                    later_ready.append(heights[v])
+            if later_ready and now:
+                assert max(later_ready) <= min(now)
+
+    def test_bad_m(self):
+        with pytest.raises(ConfigurationError):
+            lpf_schedule(chain(2), 0)
+
+    def test_label_forwarded(self):
+        s = lpf_schedule(chain(2), 1, label="mine")
+        assert s.instance[0].label == "mine"
+
+
+class TestLPFAlphaCompetitive:
+    @pytest.mark.parametrize("alpha", [2, 4])
+    @pytest.mark.parametrize("m", [8, 16])
+    def test_lemma_5_3(self, alpha, m, kary):
+        opt = single_forest_opt(kary, m)
+        assert lpf_flow(kary, m // alpha) <= alpha * opt
+
+
+class TestMultiJobLPFScheduler:
+    def test_name(self):
+        assert LPFScheduler().name == "LPF"
+
+    def test_is_clairvoyant(self):
+        assert LPFScheduler().clairvoyant
+
+    def test_multi_job_feasible(self, two_job_instance):
+        s = simulate(two_job_instance, 2, LPFScheduler())
+        s.validate()
+
+    def test_single_job_equals_lpf_schedule(self, kary):
+        via_scheduler = simulate(Instance([Job(kary, 0)]), 4, LPFScheduler())
+        via_helper = lpf_schedule(kary, 4)
+        assert np.array_equal(via_scheduler.completion[0], via_helper.completion[0])
+
+
+class TestLPFOptimalOnForests:
+    def test_forest_with_two_trees(self):
+        forest, _ = DAG.disjoint_union([chain(4), complete_kary_tree(2, 3)])
+        for m in (1, 2, 3):
+            assert lpf_flow(forest, m) == single_forest_opt(forest, m)
+
+    def test_pathological_wide_then_deep(self):
+        # Wide star plus a long chain: LPF must prioritize the chain.
+        forest, _ = DAG.disjoint_union([chain(10), star(30)])
+        m = 4
+        assert lpf_flow(forest, m) == single_forest_opt(forest, m)

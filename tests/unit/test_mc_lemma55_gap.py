@@ -1,0 +1,122 @@
+"""Regression tests for the Lemma 5.5 subtlety (see repro.schedulers.mc).
+
+Randomized search over LPF tails of small out-forests found inputs where a
+*literal* reading of the paper's MC algorithm — strict max-children order
+with arbitrary tie-breaking, minimal-level discipline — cannot keep all
+granted processors busy: same-step enabling forces a deviation from
+max-children order, after which the proof's dichotomy no longer holds.
+
+These pinned instances exercise exactly that state; the shipped MC (height
+tie-break + work-conserving fallback sweep) must keep the busy property on
+all of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_mc_busy, head_tail_shape
+from repro.core import DAG
+from repro.schedulers import lpf_schedule
+
+#: (parents, width, allocation seed) triples found by randomized search
+#: against the pre-fix implementation (strict order, id tie-break, no
+#: fallback): each made it idle a granted processor mid-replay.
+COUNTEREXAMPLES = [
+    ([-1, -1, 1, 2, 0, 2, 5, 5, 5, 2, 8, -1], 2, 668121),
+    ([-1, -1, 1, 2, 1, 4, 5, -1, 7, 1, 5], 3, 630904),
+    ([-1, 0, 0, -1, 1, 3, 3, 5, 7, 7, 2, 9, 8], 2, 837868),
+]
+
+
+def _tail_and_alloc(parents, width, seed):
+    forest = DAG.from_parents(np.array(parents, dtype=np.int64))
+    schedule = lpf_schedule(forest, width)
+    shape = head_tail_shape(schedule, width)
+    steps = [nodes for _, nodes in schedule.job_steps(0)][shape.head_length :]
+    rng = np.random.default_rng(seed)
+    alloc = rng.integers(
+        0, width + 1, size=4 * sum(len(s) for s in steps) + 8
+    ).tolist()
+    return forest, steps, alloc
+
+
+@pytest.mark.parametrize("parents,width,seed", COUNTEREXAMPLES)
+def test_pinned_counterexamples_now_pass(parents, width, seed):
+    forest, steps, alloc = _tail_and_alloc(parents, width, seed)
+    assert steps, "fixture invariant: non-empty packed tail"
+    result = check_mc_busy(steps, forest, alloc)
+    assert result.ok, result.detail
+
+
+@pytest.mark.parametrize("parents,width,seed", COUNTEREXAMPLES)
+def test_tails_satisfy_lemma_preconditions(parents, width, seed):
+    """The counterexamples are legitimate Lemma 5.5 inputs: fully packed
+    except possibly the final step."""
+    forest, steps, _ = _tail_and_alloc(parents, width, seed)
+    widths = [len(s) for s in steps]
+    assert all(w == width for w in widths[:-1])
+    assert 1 <= widths[-1] <= width
+
+
+def test_forced_deviation_state_reached():
+    """On the first counterexample, replaying with constant full grants
+    passes through the forced-deviation state (a blocked max-children
+    subjob) and still stays busy."""
+    forest, steps, _ = _tail_and_alloc(*COUNTEREXAMPLES[0])
+    assert check_mc_busy(steps, forest, [2] * 40).ok
+
+
+def test_randomized_confidence_sweep():
+    """A broader randomized sweep (500 forests x random allocations) with
+    the fixed MC: zero busy-property violations."""
+    rng = np.random.default_rng(7)
+    failures = 0
+    for _ in range(500):
+        n = int(rng.integers(4, 16))
+        parents = [-1] + [int(rng.integers(-1, i)) for i in range(1, n)]
+        forest = DAG.from_parents(np.array(parents, dtype=np.int64))
+        width = int(rng.integers(2, 5))
+        schedule = lpf_schedule(forest, width)
+        shape = head_tail_shape(schedule, width)
+        steps = [nodes for _, nodes in schedule.job_steps(0)][shape.head_length :]
+        if not steps:
+            continue
+        alloc = rng.integers(
+            0, width + 1, size=4 * sum(len(s) for s in steps) + 8
+        ).tolist()
+        failures += not check_mc_busy(steps, forest, alloc).ok
+    assert failures == 0
+
+
+class TestForcedIdleState:
+    """A state where NO scheduler can fill the grant: after {2,3,5,6,8}
+    complete, the only remaining subjobs are {4,7,10} (ready) and {9},
+    whose parent 7 runs in the same step. Granted 4 processors, at most 3
+    subjobs can feasibly run — the literal Lemma 5.5 claim fails while
+    work conservation (the achievable optimum) holds."""
+
+    PARENTS = [-1, -1, 0, 2, 2, 1, 0, 5, 0, 7, 2]
+    WIDTH = 4
+    ALLOC = [1, 0, 4, 4, 4, 4, 4]
+
+    def _tail(self):
+        forest = DAG.from_parents(np.array(self.PARENTS, dtype=np.int64))
+        schedule = lpf_schedule(forest, self.WIDTH)
+        shape = head_tail_shape(schedule, self.WIDTH)
+        steps = [n for _, n in schedule.job_steps(0)][shape.head_length :]
+        return forest, steps
+
+    def test_strict_lemma_fails(self):
+        forest, steps = self._tail()
+        res = check_mc_busy(steps, forest, self.ALLOC, strict=True)
+        assert not res.ok
+        assert "strict" in res.detail
+
+    def test_work_conservation_holds(self):
+        forest, steps = self._tail()
+        assert check_mc_busy(steps, forest, self.ALLOC).ok
+
+    def test_input_satisfies_lemma_preconditions(self):
+        _, steps = self._tail()
+        widths = [len(s) for s in steps]
+        assert all(w == self.WIDTH for w in widths[:-1])

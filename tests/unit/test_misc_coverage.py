@@ -1,0 +1,127 @@
+"""Coverage for corners the main suites skip: solver limits, CLI `all`,
+boundary arithmetic, cached properties."""
+
+import numpy as np
+import pytest
+
+from repro.core import DAG, Instance, Job, SolverError, antichain, chain, star
+from repro.schedulers import GeneralOutTreeScheduler, exact_opt
+
+
+class TestSolverLimits:
+    def test_branch_state_cap(self):
+        # Drive the feasibility DFS directly with an impossible deadline and
+        # a tiny expansion budget: the guard must trip before exhaustion.
+        from repro.schedulers.offline import _feasible_with_deadline
+
+        inst = Instance([Job(chain(6), 0)])
+        with pytest.raises(SolverError, match="states"):
+            _feasible_with_deadline(inst, 1, flow_bound=6, max_states=2)
+
+
+class TestDagCachedProps:
+    def test_max_depth_equals_span(self, kary):
+        assert kary.max_depth == kary.span
+
+    def test_n_edges(self, kary):
+        assert kary.n_edges == kary.n - 1
+
+    def test_hash_usable_in_sets(self, small_tree, kary):
+        assert len({small_tree, kary, small_tree}) == 2
+
+
+class TestEpochBoundaries:
+    def test_next_boundary_arithmetic(self):
+        alg = GeneralOutTreeScheduler(initial_guess=4)
+        inst = Instance([Job(chain(2), 0)])
+        alg.reset(inst, 8)
+        assert alg._next_boundary(0) == 0
+        assert alg._next_boundary(1) == 4
+        assert alg._next_boundary(4) == 4
+        assert alg._next_boundary(5) == 8
+        alg.epoch_start = 3
+        assert alg._next_boundary(3) == 3
+        assert alg._next_boundary(4) == 7
+
+    def test_half_tracks_aopt(self):
+        alg = GeneralOutTreeScheduler(initial_guess=2)
+        inst = Instance([Job(chain(2), 0)])
+        alg.reset(inst, 8)
+        assert alg.half == 2
+        alg.aopt = 16
+        assert alg.half == 16
+
+
+class TestScheduleAtOrdering:
+    def test_at_returns_sorted_pairs(self):
+        from repro.core import Schedule
+
+        inst = Instance([Job(star(2), 0), Job(star(2), 0)])
+        s = Schedule(
+            inst, 4, [np.array([1, 2, 2]), np.array([1, 2, 2])]
+        )
+        assert s.at(2) == sorted(s.at(2))
+
+
+class TestCliAll:
+    def test_all_with_shrunk_registry(self, monkeypatch, capsys):
+        from repro.cli import main
+        from repro.experiments import registry
+
+        shrunk = {"E1": registry.EXPERIMENTS["E1"]}
+        monkeypatch.setattr(registry, "EXPERIMENTS", shrunk)
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+
+class TestClairvoyanceMatrix:
+    """The information-model flags match the paper's Section 3 taxonomy."""
+
+    def test_nonclairvoyant_policies(self):
+        from repro.schedulers import (
+            ArbitraryTieBreak,
+            DepthTieBreak,
+            FIFOScheduler,
+            GlobalArbitraryScheduler,
+            RandomScheduler,
+            RandomTieBreak,
+            ReverseTieBreak,
+            RoundRobinScheduler,
+            WorkStealingScheduler,
+        )
+
+        for sched in (
+            FIFOScheduler(ArbitraryTieBreak()),
+            FIFOScheduler(ReverseTieBreak()),
+            FIFOScheduler(RandomTieBreak(0)),
+            FIFOScheduler(DepthTieBreak()),
+            GlobalArbitraryScheduler(),
+            RandomScheduler(0),
+            RoundRobinScheduler(),
+            WorkStealingScheduler(0),
+        ):
+            assert not sched.clairvoyant, sched.name
+
+    def test_clairvoyant_policies(self):
+        from repro.schedulers import (
+            GeneralOutTreeScheduler,
+            LongestPathTieBreak,
+            LPFScheduler,
+            FIFOScheduler,
+            MostChildrenTieBreak,
+            PhasedOutForestScheduler,
+            SemiBatchedOutTreeScheduler,
+            SRPTScheduler,
+        )
+
+        for sched in (
+            FIFOScheduler(LongestPathTieBreak()),
+            FIFOScheduler(MostChildrenTieBreak()),
+            LPFScheduler(),
+            SemiBatchedOutTreeScheduler(opt=4),
+            GeneralOutTreeScheduler(),
+            PhasedOutForestScheduler(),
+            SRPTScheduler(),
+        ):
+            assert sched.clairvoyant, sched.name

@@ -1,0 +1,139 @@
+"""Unit tests for offline optima and lower bounds."""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    DAG,
+    Instance,
+    Job,
+    NotAForestError,
+    SolverError,
+    antichain,
+    chain,
+    complete_kary_tree,
+    star,
+)
+from repro.schedulers import (
+    depth_profile_lower_bound,
+    exact_opt,
+    max_flow_lower_bound,
+    single_forest_opt,
+)
+
+
+class TestDepthProfileBound:
+    def test_chain(self):
+        assert depth_profile_lower_bound(chain(7), 3) == 7
+
+    def test_antichain(self):
+        assert depth_profile_lower_bound(antichain(10), 3) == 4
+
+    def test_star(self):
+        # star(6): root then 6 leaves; on 3 procs: 1 + ceil(6/3) = 3
+        assert depth_profile_lower_bound(star(6), 3) == 3
+
+    def test_kary(self, kary):
+        # 15 nodes span 4 on m=3: d=0 -> 5; d=1 -> 1+ceil(14/3)=6 ...
+        assert depth_profile_lower_bound(kary, 3) == 6
+
+    def test_single_processor_equals_work(self, kary):
+        assert depth_profile_lower_bound(kary, 1) == kary.work
+
+    def test_many_processors_equals_span(self, kary):
+        assert depth_profile_lower_bound(kary, 1000) == kary.span
+
+    def test_dominates_trivial_bounds(self, small_tree):
+        for m in (1, 2, 3):
+            b = depth_profile_lower_bound(small_tree, m)
+            assert b >= small_tree.span
+            assert b >= -(-small_tree.work // m)
+
+    def test_works_on_general_dags(self, diamond):
+        assert depth_profile_lower_bound(diamond, 2) == 3
+
+    def test_empty_dag(self):
+        assert depth_profile_lower_bound(DAG(0), 2) == 0
+
+    def test_bad_m(self, kary):
+        with pytest.raises(ConfigurationError):
+            depth_profile_lower_bound(kary, 0)
+
+
+class TestSingleForestOpt:
+    def test_requires_forest(self, diamond):
+        with pytest.raises(NotAForestError):
+            single_forest_opt(diamond, 2)
+
+    def test_equals_bound_on_forest(self, small_tree):
+        assert single_forest_opt(small_tree, 2) == depth_profile_lower_bound(
+            small_tree, 2
+        )
+
+
+class TestMaxFlowLowerBound:
+    def test_single_job(self, kary):
+        inst = Instance([Job(kary, 0)])
+        assert max_flow_lower_bound(inst, 3) == 6
+
+    def test_interval_load_bound(self):
+        # Two big antichains released together overload the machine.
+        inst = Instance([Job(antichain(10), 0), Job(antichain(10), 0)])
+        assert max_flow_lower_bound(inst, 2) == 10
+
+    def test_staggered_releases(self):
+        # jobs at 0 and 2, each work 6, m=2: window [0,2]: 12 work ->
+        # 0 + ceil(12/2) - 2 = 4; single job bound = 3.
+        inst = Instance([Job(antichain(6), 0), Job(antichain(6), 2)])
+        assert max_flow_lower_bound(inst, 2) == 4
+
+    def test_at_least_one(self):
+        inst = Instance([Job(chain(1), 100)])
+        assert max_flow_lower_bound(inst, 50) == 1
+
+    def test_bad_m(self, two_job_instance):
+        with pytest.raises(ConfigurationError):
+            max_flow_lower_bound(two_job_instance, -1)
+
+
+class TestExactOpt:
+    def test_single_forest_matches_closed_form(self, small_tree):
+        inst = Instance([Job(small_tree, 0)])
+        opt, witness = exact_opt(inst, 2)
+        assert opt == single_forest_opt(small_tree, 2)
+        witness.validate()
+        assert witness.max_flow == opt
+
+    def test_two_jobs(self):
+        inst = Instance([Job(chain(3), 0), Job(star(3), 1)])
+        opt, witness = exact_opt(inst, 2)
+        assert witness.max_flow == opt
+        assert opt >= max_flow_lower_bound(inst, 2)
+
+    def test_overload_forces_queueing(self):
+        inst = Instance([Job(antichain(4), 0), Job(antichain(4), 0)])
+        opt, witness = exact_opt(inst, 2)
+        assert opt == 4
+
+    def test_witness_is_feasible(self):
+        inst = Instance(
+            [Job(chain(2), 0), Job(star(2), 0), Job(antichain(2), 3)]
+        )
+        opt, witness = exact_opt(inst, 2)
+        witness.validate()
+
+    def test_size_guard(self):
+        inst = Instance([Job(antichain(30), 0)])
+        with pytest.raises(SolverError, match="limited"):
+            exact_opt(inst, 2, max_nodes=24)
+
+    def test_respects_release_times(self):
+        inst = Instance([Job(chain(2), 5)])
+        opt, witness = exact_opt(inst, 1)
+        assert opt == 2
+        assert witness.completion[0].min() >= 6
+
+    def test_exact_at_least_every_lower_bound(self):
+        inst = Instance([Job(star(4), 0), Job(chain(4), 2)])
+        opt, _ = exact_opt(inst, 2)
+        assert opt >= max_flow_lower_bound(inst, 2)

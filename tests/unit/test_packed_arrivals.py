@@ -1,0 +1,155 @@
+"""Unit tests for packed instances and arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigurationError, chain, star
+from repro.workloads import (
+    batched_instance,
+    bursty_instance,
+    packed_instance,
+    poisson_instance,
+    random_series_parallel,
+    semi_batched_instance,
+)
+
+
+class TestPackedInstance:
+    def test_witness_flow_exact(self):
+        pk = packed_instance(m=6, n_jobs=5, flow=8, period=4, seed=0)
+        assert pk.witness.max_flow == 8
+        assert pk.flow == 8
+        pk.witness.validate()
+
+    def test_steady_state_fully_packed(self):
+        pk = packed_instance(m=6, n_jobs=6, flow=8, period=4, seed=1)
+        usage = pk.witness.usage_profile()
+        # Steady-state columns (after ramp-up, before ramp-down) are full.
+        start = pk.flow + 1
+        end = pk.instance.releases.max()
+        assert bool(np.all(usage[start : end + 1] == 6))
+
+    def test_per_job_flow_uniform(self):
+        pk = packed_instance(m=8, n_jobs=4, flow=6, period=3, seed=2)
+        assert pk.witness.flows.tolist() == [6, 6, 6, 6]
+
+    def test_releases(self):
+        pk = packed_instance(m=4, n_jobs=3, flow=4, period=2, seed=0)
+        assert pk.instance.releases.tolist() == [0, 2, 4]
+
+    def test_jobs_are_forests(self):
+        pk = packed_instance(m=4, n_jobs=3, flow=4, period=2, seed=0)
+        assert pk.instance.is_out_forest
+
+    def test_m_too_small_rejected(self):
+        with pytest.raises(ConfigurationError, match="too small"):
+            packed_instance(m=2, n_jobs=4, flow=9, period=3, seed=0)
+
+    def test_flow_period_relation(self):
+        with pytest.raises(ConfigurationError, match="flow must be >= period"):
+            packed_instance(m=4, n_jobs=2, flow=2, period=3, seed=0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            packed_instance(m=0, n_jobs=1, flow=2, period=2)
+        with pytest.raises(ConfigurationError):
+            packed_instance(m=2, n_jobs=0, flow=2, period=2)
+        with pytest.raises(ConfigurationError):
+            packed_instance(m=2, n_jobs=1, flow=2, period=0)
+
+
+class TestBatchedInstance:
+    def test_releases(self):
+        inst = batched_instance([chain(2), chain(2), chain(2)], period=5)
+        assert inst.releases.tolist() == [0, 5, 10]
+        assert inst.is_batched(5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            batched_instance([], 4)
+        with pytest.raises(ConfigurationError):
+            batched_instance([chain(1)], 0)
+
+
+class TestSemiBatchedInstance:
+    def test_consecutive_slots(self):
+        inst = semi_batched_instance([chain(2)] * 3, half_period=4)
+        assert inst.releases.tolist() == [0, 4, 8]
+        assert inst.is_semi_batched(4)
+
+    def test_skip_slots(self):
+        inst = semi_batched_instance([chain(2)] * 3, 4, skip_slots=[1])
+        assert inst.releases.tolist() == [0, 8, 12]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            semi_batched_instance([], 4)
+        with pytest.raises(ConfigurationError):
+            semi_batched_instance([chain(1)], 0)
+
+
+class TestPoisson:
+    def test_nondecreasing_releases(self):
+        inst = poisson_instance([star(2)] * 20, rate=0.5, seed=0)
+        rel = inst.releases
+        assert bool(np.all(np.diff(rel) >= 0))
+
+    def test_first_job_at_zero(self):
+        inst = poisson_instance([chain(2)] * 3, rate=1.0, seed=1)
+        assert inst.releases.min() == 0
+
+    def test_rate_scales_density(self):
+        slow = poisson_instance([chain(2)] * 50, rate=0.1, seed=2)
+        fast = poisson_instance([chain(2)] * 50, rate=10.0, seed=2)
+        assert slow.releases.max() > fast.releases.max()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            poisson_instance([chain(1)], rate=0)
+        with pytest.raises(ConfigurationError):
+            poisson_instance([], rate=1.0)
+
+
+class TestBursty:
+    def test_burst_structure(self):
+        inst = bursty_instance([chain(2)] * 6, burst_size=3, quiet_gap=10)
+        assert inst.releases.tolist() == [0, 0, 0, 10, 10, 10]
+
+    def test_zero_gap(self):
+        inst = bursty_instance([chain(2)] * 4, burst_size=2, quiet_gap=0)
+        assert inst.releases.tolist() == [0, 0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bursty_instance([chain(1)], burst_size=0, quiet_gap=1)
+        with pytest.raises(ConfigurationError):
+            bursty_instance([chain(1)], burst_size=1, quiet_gap=-1)
+        with pytest.raises(ConfigurationError):
+            bursty_instance([], burst_size=1, quiet_gap=1)
+
+
+class TestSeriesParallel:
+    def test_size_close_to_target(self):
+        d = random_series_parallel(60, seed=0)
+        assert 40 <= d.n <= 80
+
+    def test_acyclic_by_construction(self):
+        for seed in range(5):
+            d = random_series_parallel(30, seed=seed)
+            assert d.span >= 1  # depth computation implies acyclicity
+
+    def test_pure_series_is_chain(self):
+        d = random_series_parallel(10, seed=0, p_series=1.0)
+        assert d.is_chain
+
+    def test_pure_parallel_is_antichain(self):
+        d = random_series_parallel(10, seed=0, p_series=0.0)
+        assert d.span == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_series_parallel(0)
+        with pytest.raises(ConfigurationError):
+            random_series_parallel(5, p_series=1.5)
+        with pytest.raises(ConfigurationError):
+            random_series_parallel(5, max_parallel=1)

@@ -1,0 +1,144 @@
+"""Unit tests for phased jobs: segment decomposition + phased scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    DAG,
+    Instance,
+    Job,
+    antichain,
+    chain,
+    series_segments,
+    simulate,
+    star,
+)
+from repro.schedulers import GeneralOutTreeScheduler, PhasedOutForestScheduler
+from repro.workloads import phased_parallel_for, series_of_trees
+
+
+class TestSeriesSegments:
+    def test_forest_is_one_segment(self, small_tree):
+        segs = series_segments(small_tree)
+        assert len(segs) == 1
+        assert segs[0].tolist() == list(range(small_tree.n))
+
+    def test_two_phase_job(self):
+        dag = star(3).series(star(2))
+        segs = series_segments(dag)
+        assert len(segs) == 2
+        assert sum(len(s) for s in segs) == dag.n
+
+    def test_segments_cover_and_are_forests(self):
+        dag = series_of_trees(4, 20, seed=0)
+        segs = series_segments(dag)
+        assert segs is not None
+        covered = np.concatenate(segs)
+        assert sorted(covered.tolist()) == list(range(dag.n))
+        for seg in segs:
+            sub, _ = dag.induced_subgraph(seg)
+            assert sub.is_out_forest
+
+    def test_segments_ordered_forward(self):
+        dag = series_of_trees(3, 10, seed=1)
+        segs = series_segments(dag)
+        depth = dag.depth
+        for a, b in zip(segs, segs[1:]):
+            assert depth[a].max() < depth[b].min()
+
+    def test_parallel_phased_jobs_rejected(self):
+        phased = star(2).series(star(2))
+        dag = phased.parallel(phased)
+        assert series_segments(dag) is None
+
+    def test_non_sp_rejected(self):
+        n_dag = DAG(4, [(0, 2), (1, 2), (1, 3)])
+        assert series_segments(n_dag) is None
+
+    def test_pfor_pipeline_segment_count(self):
+        dag = phased_parallel_for(5, 4)
+        segs = series_segments(dag)
+        assert len(segs) == 5
+
+    def test_diamond_has_segments(self, diamond):
+        # 0 -> {1,2} -> 3: segments {0,1,2} (still an out-tree after the
+        # maximal merge) followed by {3}.
+        segs = series_segments(diamond)
+        assert segs is not None
+        assert [len(s) for s in segs] == [3, 1]
+
+
+class TestPhasedWorkloads:
+    def test_series_of_trees_shape(self):
+        dag = series_of_trees(3, 15, seed=0)
+        assert dag.n == 45
+        assert not dag.is_out_forest  # the joins add multi-parents
+
+    def test_single_phase_is_forest(self):
+        assert series_of_trees(1, 10, seed=0).is_out_forest
+
+    def test_pfor_counts(self):
+        dag = phased_parallel_for(3, 5)
+        assert dag.n == 3 * 6
+        assert dag.span == 3 * 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            series_of_trees(0, 5)
+        with pytest.raises(ConfigurationError):
+            series_of_trees(2, 0)
+        with pytest.raises(ConfigurationError):
+            phased_parallel_for(0, 3)
+        with pytest.raises(ConfigurationError):
+            phased_parallel_for(3, 0)
+
+
+class TestPhasedScheduler:
+    def test_feasible_on_phased_stream(self):
+        rng = np.random.default_rng(0)
+        jobs = [
+            Job(series_of_trees(3, 24, rng), r, f"p{r}") for r in (0, 4, 9)
+        ]
+        inst = Instance(jobs)
+        s = simulate(inst, 8, PhasedOutForestScheduler(beta=8), max_steps=200_000)
+        s.validate()
+
+    def test_plain_forests_still_work(self, two_job_instance):
+        s = simulate(
+            two_job_instance, 8, PhasedOutForestScheduler(beta=8), max_steps=50_000
+        )
+        s.validate()
+
+    def test_base_algorithm_rejects_phased(self):
+        inst = Instance([Job(star(2).series(star(2)), 0)])
+        with pytest.raises(ConfigurationError, match="out-forest"):
+            simulate(inst, 8, GeneralOutTreeScheduler())
+
+    def test_phased_rejects_non_sp(self):
+        n_dag = DAG(4, [(0, 2), (1, 2), (1, 3)])
+        inst = Instance([Job(n_dag, 0)])
+        with pytest.raises(ConfigurationError, match="series of out-forests"):
+            simulate(inst, 8, PhasedOutForestScheduler())
+
+    def test_segments_execute_in_order(self):
+        dag = phased_parallel_for(3, 4)
+        inst = Instance([Job(dag, 0)])
+        s = simulate(inst, 8, PhasedOutForestScheduler(beta=8), max_steps=100_000)
+        s.validate()
+        segs = series_segments(dag)
+        comp = s.completion[0]
+        for a, b in zip(segs, segs[1:]):
+            assert comp[a].max() < comp[b].min() + 1  # later segments later
+
+    def test_restarts_with_phases(self):
+        rng = np.random.default_rng(2)
+        jobs = [Job(series_of_trees(4, 60, rng), 0)]
+        inst = Instance(jobs)
+        alg = PhasedOutForestScheduler(beta=2, initial_guess=1)
+        s = simulate(inst, 8, alg, max_steps=500_000)
+        s.validate()
+        assert alg.n_restarts >= 1
+
+    def test_name(self):
+        assert PhasedOutForestScheduler(beta=8).name == "PhasedA[a=4,b=8]"

@@ -1,0 +1,42 @@
+"""Unit tests for the ratio_sweep helper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import OptReference, ratio_sweep
+from repro.schedulers import ArbitraryTieBreak, FIFOScheduler, LPFScheduler
+from repro.workloads import build_fifo_adversary, packed_instance
+
+
+class TestRatioSweep:
+    def test_adversarial_sweep_classified_logarithmic(self):
+        def case(m):
+            adv = build_fifo_adversary(m, n_jobs=3 * m)
+            return adv.instance, OptReference.witness(adv.opt_witness)
+
+        cases, growth = ratio_sweep(
+            lambda m: FIFOScheduler(ArbitraryTieBreak()), case, (8, 16, 32)
+        )
+        assert growth == "logarithmic"
+        assert [c.m for c in cases] == [8, 16, 32]
+
+    def test_packed_sweep_classified_constant(self):
+        rng = np.random.default_rng(0)
+
+        def case(m):
+            pk = packed_instance(m, n_jobs=6, flow=2 * m, period=m, seed=rng)
+            return pk.instance, OptReference.witness(pk.witness)
+
+        cases, growth = ratio_sweep(lambda m: LPFScheduler(), case, (8, 16, 32))
+        assert growth == "constant"
+        assert all(c.ratio <= 2.0 for c in cases)
+
+    def test_needs_two_ms(self):
+        def case(m):
+            pk = packed_instance(m, n_jobs=2, flow=m, period=m, seed=0)
+            return pk.instance, OptReference.witness(pk.witness)
+
+        from repro.core import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ratio_sweep(lambda m: LPFScheduler(), case, (8,))

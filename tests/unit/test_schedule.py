@@ -1,0 +1,170 @@
+"""Unit tests for Schedule: metrics, structure queries, validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InfeasibleScheduleError,
+    Instance,
+    Job,
+    Schedule,
+    ScheduleError,
+    chain,
+    star,
+)
+
+
+@pytest.fixture
+def inst():
+    # chain(3) released at 0, star(2) (3 nodes) released at 1
+    return Instance([Job(chain(3), 0, "c"), Job(star(2), 1, "s")])
+
+
+@pytest.fixture
+def sched(inst):
+    # m=2. chain: 1,2,3. star: root at 2, leaves at 3,4.
+    return Schedule(
+        inst,
+        2,
+        [np.array([1, 2, 3]), np.array([2, 3, 4])],
+    )
+
+
+class TestConstruction:
+    def test_bad_m(self, inst):
+        with pytest.raises(ScheduleError):
+            Schedule(inst, 0, [np.zeros(3, int), np.zeros(3, int)])
+
+    def test_wrong_number_of_arrays(self, inst):
+        with pytest.raises(ScheduleError, match="must match job count"):
+            Schedule(inst, 2, [np.zeros(3, int)])
+
+    def test_wrong_array_shape(self, inst):
+        with pytest.raises(ScheduleError, match="shape"):
+            Schedule(inst, 2, [np.zeros(4, int), np.zeros(3, int)])
+
+    def test_negative_time(self, inst):
+        with pytest.raises(ScheduleError, match="negative"):
+            Schedule(inst, 2, [np.array([-1, 1, 2]), np.zeros(3, int)])
+
+    def test_completion_frozen(self, sched):
+        with pytest.raises(ValueError):
+            sched.completion[0][0] = 9
+
+
+class TestMetrics:
+    def test_job_completion(self, sched):
+        assert sched.job_completion(0) == 3
+        assert sched.job_completion(1) == 4
+
+    def test_job_flow_subtracts_release(self, sched):
+        assert sched.job_flow(0) == 3
+        assert sched.job_flow(1) == 3  # 4 - release 1
+
+    def test_flows_and_max_flow(self, sched):
+        assert sched.flows.tolist() == [3, 3]
+        assert sched.max_flow == 3
+
+    def test_total_flow(self, sched):
+        assert sched.total_flow == 6
+
+    def test_makespan(self, sched):
+        assert sched.makespan == 4
+
+    def test_is_complete(self, sched, inst):
+        assert sched.is_complete
+        partial = Schedule(inst, 2, [np.array([1, 2, 0]), np.zeros(3, int)])
+        assert not partial.is_complete
+
+    def test_incomplete_job_completion_raises(self, inst):
+        partial = Schedule(inst, 2, [np.array([1, 0, 0]), np.zeros(3, int)])
+        with pytest.raises(ScheduleError, match="not fully scheduled"):
+            partial.job_completion(0)
+
+    def test_empty_partial_makespan(self, inst):
+        partial = Schedule(inst, 2, [np.zeros(3, int), np.zeros(3, int)])
+        assert partial.makespan == 0
+
+
+class TestStructure:
+    def test_usage_profile(self, sched):
+        assert sched.usage_profile().tolist() == [0, 1, 2, 2, 1]
+
+    def test_usage_profile_restricted(self, sched):
+        assert sched.usage_profile([0]).tolist() == [0, 1, 1, 1, 0]
+
+    def test_at(self, sched):
+        assert sched.at(2) == [(0, 1), (1, 0)]
+        assert sched.at(99) == []
+
+    def test_job_steps(self, sched):
+        steps = sched.job_steps(1)
+        assert [t for t, _ in steps] == [2, 3, 4]
+        assert [s.tolist() for _, s in steps] == [[0], [1], [2]]
+
+    def test_job_steps_groups_same_time(self, inst):
+        s = Schedule(inst, 3, [np.array([1, 2, 3]), np.array([2, 3, 3])])
+        steps = s.job_steps(1)
+        assert [t for t, _ in steps] == [2, 3]
+        assert steps[1][1].tolist() == [1, 2]
+
+    def test_job_steps_partial(self, inst):
+        s = Schedule(inst, 2, [np.array([1, 0, 0]), np.zeros(3, int)])
+        assert [t for t, _ in s.job_steps(0)] == [1]
+        assert s.job_steps(1) == []
+
+    def test_idle_steps(self, sched):
+        # usage [_,1,2,2,1] with m=2: idle at t=1 and t=4
+        assert sched.idle_steps().tolist() == [1, 4]
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self, sched):
+        sched.validate()
+        assert sched.is_feasible()
+
+    def test_capacity_violation(self, inst):
+        s = Schedule(inst, 1, [np.array([1, 2, 3]), np.array([2, 3, 3])])
+        with pytest.raises(InfeasibleScheduleError, match="capacity"):
+            s.validate()
+
+    def test_precedence_violation(self, inst):
+        s = Schedule(inst, 2, [np.array([2, 1, 3]), np.array([2, 3, 4])])
+        with pytest.raises(InfeasibleScheduleError, match="precedence"):
+            s.validate()
+
+    def test_simultaneous_parent_child_rejected(self, inst):
+        s = Schedule(inst, 2, [np.array([1, 1, 2]), np.array([2, 3, 4])])
+        with pytest.raises(InfeasibleScheduleError, match="precedence"):
+            s.validate()
+
+    def test_release_violation(self, inst):
+        # star released at 1 cannot complete a node at t=1
+        s = Schedule(inst, 2, [np.array([1, 2, 3]), np.array([1, 2, 3])])
+        with pytest.raises(InfeasibleScheduleError, match="release"):
+            s.validate()
+
+    def test_incomplete_rejected_when_required(self, inst):
+        s = Schedule(inst, 2, [np.array([1, 2, 0]), np.array([2, 3, 4])])
+        with pytest.raises(InfeasibleScheduleError, match="never scheduled"):
+            s.validate()
+        # ... but accepted as a partial schedule
+        s.validate(require_complete=False)
+
+    def test_orphan_child_rejected_even_partial(self, inst):
+        s = Schedule(inst, 2, [np.array([0, 2, 0]), np.zeros(3, int)])
+        with pytest.raises(InfeasibleScheduleError, match="predecessor"):
+            s.validate(require_complete=False)
+
+    def test_collects_multiple_violations(self, inst):
+        s = Schedule(inst, 1, [np.array([2, 1, 3]), np.array([1, 1, 1])])
+        with pytest.raises(InfeasibleScheduleError) as exc:
+            s.validate()
+        assert len(exc.value.violations) >= 2
+
+    def test_is_feasible_false(self, inst):
+        s = Schedule(inst, 1, [np.array([1, 2, 3]), np.array([2, 3, 3])])
+        assert not s.is_feasible()
+
+    def test_repr(self, sched):
+        assert "complete" in repr(sched)

@@ -1,0 +1,80 @@
+"""Additional Schedule surface: restricted profiles, window metrics,
+multi-job step grouping — the pieces the Section 6 analysis leans on."""
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, Job, Schedule, antichain, chain, simulate, star
+from repro.schedulers import FIFOScheduler
+
+
+@pytest.fixture
+def three_jobs():
+    return Instance(
+        [
+            Job(chain(3), 0, "a"),
+            Job(star(2), 2, "b"),
+            Job(antichain(2), 4, "c"),
+        ]
+    )
+
+
+class TestRestrictedProfiles:
+    def test_restriction_is_monotone_in_job_sets(self, three_jobs):
+        s = simulate(three_jobs, 2, FIFOScheduler())
+        full = s.usage_profile()
+        partial = s.usage_profile([0, 1])
+        smallest = s.usage_profile([0])
+        assert (partial <= full).all()
+        assert (smallest <= partial).all()
+
+    def test_restriction_sums_to_work(self, three_jobs):
+        s = simulate(three_jobs, 2, FIFOScheduler())
+        for i, job in enumerate(three_jobs):
+            assert int(s.usage_profile([i]).sum()) == job.work
+
+    def test_idle_steps_of_restriction_superset(self, three_jobs):
+        """Fewer jobs -> at least as many idle steps in the restriction."""
+        s = simulate(three_jobs, 2, FIFOScheduler())
+        idle_full = set(s.idle_steps().tolist())
+        idle_restricted = set(s.idle_steps([0]).tolist())
+        assert idle_full <= idle_restricted
+
+
+class TestStepGrouping:
+    def test_job_steps_cover_all_nodes(self, three_jobs):
+        s = simulate(three_jobs, 2, FIFOScheduler())
+        for i, job in enumerate(three_jobs):
+            total = sum(len(nodes) for _, nodes in s.job_steps(i))
+            assert total == job.work
+
+    def test_job_steps_times_increasing(self, three_jobs):
+        s = simulate(three_jobs, 2, FIFOScheduler())
+        for i in range(len(three_jobs)):
+            times = [t for t, _ in s.job_steps(i)]
+            assert times == sorted(times)
+            assert len(set(times)) == len(times)
+
+    def test_at_consistent_with_job_steps(self, three_jobs):
+        s = simulate(three_jobs, 2, FIFOScheduler())
+        for i in range(len(three_jobs)):
+            for t, nodes in s.job_steps(i):
+                at = {v for j, v in s.at(t) if j == i}
+                assert at == set(nodes.tolist())
+
+
+class TestFlowsVector:
+    def test_flows_align_with_job_flow(self, three_jobs):
+        s = simulate(three_jobs, 2, FIFOScheduler())
+        for i in range(len(three_jobs)):
+            assert s.flows[i] == s.job_flow(i)
+
+    def test_total_flow_is_sum(self, three_jobs):
+        s = simulate(three_jobs, 2, FIFOScheduler())
+        assert s.total_flow == int(s.flows.sum())
+
+    def test_makespan_equals_last_completion(self, three_jobs):
+        s = simulate(three_jobs, 2, FIFOScheduler())
+        assert s.makespan == max(
+            s.job_completion(i) for i in range(len(three_jobs))
+        )

@@ -1,0 +1,101 @@
+"""Unit tests for series-parallel recognition."""
+
+import pytest
+
+from repro.core import (
+    DAG,
+    GraphError,
+    antichain,
+    chain,
+    complete_kary_tree,
+    is_series_parallel,
+    sp_decomposition,
+    star,
+)
+from repro.workloads import (
+    map_reduce_dag,
+    parallel_for_tree,
+    quicksort_tree,
+    random_series_parallel,
+)
+
+
+class TestPositive:
+    def test_single_node(self):
+        assert is_series_parallel(chain(1))
+        assert sp_decomposition(chain(1)).kind == "leaf"
+
+    def test_chain(self):
+        tree = sp_decomposition(chain(4))
+        assert tree.kind == "series"
+        assert tree.size() == 4
+
+    def test_antichain(self):
+        tree = sp_decomposition(antichain(3))
+        assert tree.kind == "parallel"
+        assert len(tree.children) == 3
+
+    def test_star(self):
+        tree = sp_decomposition(star(3))
+        assert tree.kind == "series"
+        assert [c.kind for c in tree.children] == ["leaf", "parallel"]
+
+    def test_all_out_trees_are_sp(self):
+        for dag in (complete_kary_tree(3, 3), quicksort_tree(40, 0), parallel_for_tree(6, body_span=2)):
+            assert is_series_parallel(dag)
+
+    def test_fork_join_is_sp(self):
+        assert is_series_parallel(map_reduce_dag(8, map_span=2))
+
+    def test_builder_outputs_recognized(self):
+        for seed in range(6):
+            assert is_series_parallel(random_series_parallel(25, seed=seed))
+
+    def test_compositions_recognized(self):
+        dag = (chain(2).parallel(chain(3))).series(star(2))
+        assert is_series_parallel(dag)
+
+    def test_diamond_is_sp(self, diamond):
+        # 0 -> {1,2} -> 3 is series(leaf, parallel, leaf) as a partial order.
+        assert is_series_parallel(diamond)
+
+
+class TestNegative:
+    def test_the_n(self):
+        # a -> c, b -> c, b -> d: the canonical forbidden pattern.
+        assert not is_series_parallel(DAG(4, [(0, 2), (1, 2), (1, 3)]))
+
+    def test_n_embedded_in_larger_dag(self):
+        edges = [(0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (4, 5)]
+        assert not is_series_parallel(DAG(6, edges))
+
+    def test_known_lpf_counterexample_not_sp(self):
+        from repro.experiments.e11_dag_shaping_gap import known_counterexample
+
+        dag, _ = known_counterexample()
+        assert not is_series_parallel(dag)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            sp_decomposition(DAG(0))
+
+
+class TestDecompositionStructure:
+    def test_leaves_partition_nodes(self):
+        dag = random_series_parallel(30, seed=1)
+        tree = sp_decomposition(dag)
+        assert sorted(tree.leaves()) == list(range(dag.n))
+
+    def test_series_children_ordered(self):
+        dag = chain(2).series(chain(2))
+        tree = sp_decomposition(dag)
+        assert tree.kind == "series"
+        # First series child's leaves strictly precede the last child's.
+        first = set(tree.children[0].leaves())
+        last = set(tree.children[-1].leaves())
+        reach_sets = {u: set(dag.descendants(u).tolist()) for u in range(dag.n)}
+        assert all(v in reach_sets[u] for u in first for v in last)
+
+    def test_size_matches(self):
+        dag = random_series_parallel(20, seed=2)
+        assert sp_decomposition(dag).size() == dag.n

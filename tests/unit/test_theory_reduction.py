@@ -1,0 +1,112 @@
+"""Unit tests for the theorem-bounds module and transitive reduction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    PAPER_ALPHA,
+    PAPER_BETA,
+    lemma_5_1_bound,
+    lemma_6_5_rhs_2,
+    lemma_6_5_rhs_3,
+    theorem_4_2_lower_bound,
+    theorem_5_6_bound,
+    theorem_5_7_ratio,
+    theorem_6_1_bound,
+)
+from repro.core import ConfigurationError, DAG, chain, complete_kary_tree
+
+
+class TestTheoremBounds:
+    def test_paper_constants(self):
+        assert PAPER_ALPHA == 4 and PAPER_BETA == 258
+
+    def test_theorem_4_2_values(self):
+        assert theorem_4_2_lower_bound(16) == pytest.approx(4 - 2)
+        assert theorem_4_2_lower_bound(256) == pytest.approx(8 - 3)
+
+    def test_theorem_4_2_monotone(self):
+        vals = [theorem_4_2_lower_bound(m) for m in (4, 8, 16, 32, 64)]
+        assert vals == sorted(vals)
+
+    def test_theorem_4_2_needs_m_2(self):
+        with pytest.raises(ConfigurationError):
+            theorem_4_2_lower_bound(1)
+
+    def test_lemma_5_1(self):
+        assert lemma_5_1_bound(3, 10, 4) == 3 + 3
+        assert lemma_5_1_bound(0, 0, 2) == 0
+
+    def test_lemma_5_1_matches_depth_profile_bound(self, kary):
+        from repro.analysis import depth_profile_lower_bound
+
+        m = 3
+        best = max(
+            lemma_5_1_bound(d, kary.deeper_than(d), m)
+            for d in range(kary.span + 1)
+        )
+        assert best == depth_profile_lower_bound(kary, m)
+
+    def test_theorem_5_6(self):
+        assert theorem_5_6_bound(10) == 1290
+        assert theorem_5_6_bound(1) == 129
+        assert theorem_5_6_bound(4, beta=8) == 16
+
+    def test_theorem_5_7(self):
+        assert theorem_5_7_ratio() == 1548
+
+    def test_theorem_6_1(self):
+        # tau(4, 4) = 32, log2 = 5 -> (5+1)*4 = 24
+        assert theorem_6_1_bound(4, 4) == 24
+
+    def test_lemma_6_5_rhs(self):
+        assert lemma_6_5_rhs_2(2, 10, 3.0) == 23.0
+        # (3) at ell=0: (1 - 1/2)*OPT
+        assert lemma_6_5_rhs_3(0, 10) == pytest.approx(5.0)
+        # (3) at ell=1: (1/2 + 3/4)*OPT
+        assert lemma_6_5_rhs_3(1, 8) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lemma_5_1_bound(-1, 0, 2)
+        with pytest.raises(ConfigurationError):
+            theorem_5_6_bound(0)
+        with pytest.raises(ConfigurationError):
+            lemma_6_5_rhs_3(-1, 4)
+
+
+class TestTransitiveReduction:
+    def test_removes_shortcut_edge(self):
+        dag = DAG(3, [(0, 1), (1, 2), (0, 2)])
+        reduced = dag.transitive_reduction()
+        assert reduced.edge_list() == [(0, 1), (1, 2)]
+
+    def test_forest_unchanged(self, small_tree):
+        assert small_tree.transitive_reduction() is small_tree
+
+    def test_diamond_unchanged(self, diamond):
+        reduced = diamond.transitive_reduction()
+        assert reduced == diamond  # no redundant edges
+
+    def test_preserves_reachability(self):
+        dag = DAG(
+            6,
+            [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (1, 4), (4, 5), (0, 5)],
+        )
+        reduced = dag.transitive_reduction()
+        for u in range(dag.n):
+            assert np.array_equal(dag.descendants(u), reduced.descendants(u))
+
+    def test_only_removes_edges(self):
+        dag = DAG(5, [(0, 1), (0, 2), (1, 3), (2, 3), (1, 2), (0, 4), (2, 4)])
+        reduced = dag.transitive_reduction()
+        assert set(reduced.edge_list()) <= set(dag.edge_list())
+        assert reduced.n_edges < dag.n_edges
+
+    def test_depth_and_span_preserved(self):
+        dag = DAG(4, [(0, 1), (1, 2), (0, 2), (2, 3), (0, 3)])
+        reduced = dag.transitive_reduction()
+        assert reduced.span == dag.span
+        assert np.array_equal(reduced.depth, dag.depth)

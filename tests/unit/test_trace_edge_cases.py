@@ -1,0 +1,71 @@
+"""Edge cases for trace collection and the remaining small surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Instance,
+    Job,
+    MetricsCollector,
+    TraceSummary,
+    antichain,
+    chain,
+    simulate,
+)
+from repro.schedulers import FIFOScheduler, WorkStealingScheduler
+
+
+class TestTraceEdges:
+    def test_empty_utilization_profile(self):
+        assert MetricsCollector().utilization_profile().size == 0
+
+    def test_gap_between_arrivals_not_observed(self):
+        """Fast-forwarded dead time produces no observed steps."""
+        inst = Instance([Job(chain(2), 0), Job(chain(2), 100)])
+        collector = MetricsCollector()
+        simulate(inst, 1, FIFOScheduler(), observer=collector, max_steps=200)
+        assert collector.times == [0, 1, 100, 101]
+
+    def test_summary_is_frozen_dataclass(self):
+        inst = Instance([Job(antichain(4), 0)])
+        collector = MetricsCollector()
+        simulate(inst, 2, FIFOScheduler(), observer=collector)
+        summary = collector.summary()
+        assert isinstance(summary, TraceSummary)
+        with pytest.raises(AttributeError):
+            summary.n_steps = 99
+
+    def test_worksteal_counters_reset_between_runs(self):
+        inst = Instance([Job(antichain(20), 0)])
+        ws = WorkStealingScheduler(seed=0, steal_attempts=4)
+        simulate(inst, 4, ws)
+        first = ws.steal_count
+        simulate(inst, 4, ws)
+        assert ws.steal_count == first  # reset() zeroed and re-accumulated
+
+    def test_collector_reusable_is_cumulative(self):
+        """A collector passed to two runs keeps appending (documented as
+        per-run objects; this pins the current behaviour)."""
+        inst = Instance([Job(chain(2), 0)])
+        collector = MetricsCollector()
+        simulate(inst, 1, FIFOScheduler(), observer=collector)
+        n1 = len(collector.times)
+        simulate(inst, 1, FIFOScheduler(), observer=collector)
+        assert len(collector.times) == 2 * n1
+
+
+class TestCaseResultRepr:
+    def test_ratio_property(self):
+        from repro.analysis import CaseResult, OptReference
+
+        case = CaseResult(
+            scheduler="X",
+            clairvoyant=False,
+            m=2,
+            n_jobs=1,
+            total_work=4,
+            max_flow=8,
+            opt_reference=OptReference.exact(4),
+            makespan=8,
+        )
+        assert case.ratio == 2.0

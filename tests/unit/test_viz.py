@@ -1,0 +1,117 @@
+"""Unit tests for the ASCII renderers."""
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, Job, Schedule, chain, star
+from repro.schedulers import lpf_schedule
+from repro.viz import job_letter, render_gantt, render_head_tail, render_profile
+
+
+@pytest.fixture
+def sched():
+    inst = Instance([Job(chain(3), 0, "a"), Job(star(2), 0, "b")])
+    return Schedule(inst, 2, [np.array([1, 2, 3]), np.array([1, 2, 3])])
+
+
+class TestJobLetter:
+    def test_first_letters(self):
+        assert job_letter(0) == "A"
+        assert job_letter(1) == "B"
+
+    def test_cycles(self):
+        assert job_letter(62) == job_letter(0)
+
+
+class TestGantt:
+    def test_grid_dimensions(self, sched):
+        out = render_gantt(sched, show_axis=False)
+        lines = out.splitlines()
+        assert len(lines) == 2  # one per processor
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_cells_show_job_letters(self, sched):
+        out = render_gantt(sched, show_axis=False)
+        assert "A" in out and "B" in out
+
+    def test_custom_cell_function(self, sched):
+        out = render_gantt(sched, cell=lambda j, v: "x", show_axis=False)
+        assert "x" in out and "A" not in out
+
+    def test_window(self, sched):
+        out = render_gantt(sched, t_start=2, t_end=2, show_axis=False)
+        assert all(l.count("|") == 2 for l in out.splitlines())
+
+    def test_empty_window(self, sched):
+        assert "empty" in render_gantt(sched, t_start=9, t_end=3)
+
+    def test_axis_row(self, sched):
+        lines = render_gantt(sched).splitlines()
+        assert lines[-1].startswith("t")
+
+    def test_idle_char(self):
+        inst = Instance([Job(chain(2), 0)])
+        s = Schedule(inst, 3, [np.array([1, 2])])
+        out = render_gantt(s, idle_char="~", show_axis=False)
+        assert "~" in out
+
+
+class TestProfile:
+    def test_one_line_per_step_uncollapsed(self, sched):
+        out = render_profile(sched, collapse=False)
+        assert len(out.splitlines()) == sched.makespan
+
+    def test_collapse_folds_runs(self):
+        s = lpf_schedule(star(20), 4)
+        out = render_profile(s, width=4, collapse=True)
+        assert ".." in out  # collapsed range label
+
+    def test_usage_counts_shown(self, sched):
+        out = render_profile(sched)
+        assert out.splitlines()[0].strip().endswith("2")
+
+    def test_restricted_to_job(self, sched):
+        out = render_profile(sched, job_ids=[0])
+        assert out.splitlines()[0].strip().endswith("1")
+
+
+class TestHeadTail:
+    def test_contains_boundary_info(self):
+        s = lpf_schedule(star(20), 4)
+        out = render_head_tail(s, 4, opt=6)
+        assert "head:" in out and "tail:" in out
+        assert "paper bounds" in out
+
+    def test_without_opt(self):
+        s = lpf_schedule(star(20), 4)
+        out = render_head_tail(s, 4)
+        assert "paper bounds" not in out
+
+
+class TestComparison:
+    def test_side_by_side(self):
+        from repro.core import Instance, Job, simulate
+        from repro.schedulers import FIFOScheduler, LPFScheduler
+        from repro.viz import render_comparison
+
+        inst = Instance([Job(star(4), 0, "wide"), Job(chain(3), 1, "deep")])
+        a = simulate(inst, 2, FIFOScheduler())
+        b = simulate(inst, 2, LPFScheduler())
+        out = render_comparison(a, b, labels=("FIFO", "LPF"))
+        assert "FIFO" in out and "LPF" in out
+        assert "per-job flows:" in out
+        assert "delta=" in out
+
+    def test_rejects_mismatched_instances(self):
+        from repro.core import Instance, Job, ScheduleError, simulate
+        from repro.schedulers import FIFOScheduler
+        from repro.viz import render_comparison
+
+        a = simulate(Instance([Job(chain(2), 0)]), 1, FIFOScheduler())
+        b = simulate(
+            Instance([Job(chain(2), 0), Job(chain(2), 1)]), 1, FIFOScheduler()
+        )
+        import pytest as _pytest
+
+        with _pytest.raises(ScheduleError):
+            render_comparison(a, b)

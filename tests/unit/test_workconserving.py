@@ -1,0 +1,79 @@
+"""Unit tests for the work-conserving baselines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_work_conserving
+from repro.core import Instance, Job, antichain, chain, simulate, star
+from repro.schedulers import (
+    GlobalArbitraryScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+SCHEDULERS = [
+    GlobalArbitraryScheduler,
+    lambda: RandomScheduler(seed=1),
+    RoundRobinScheduler,
+]
+
+
+@pytest.fixture
+def mixed_instance():
+    return Instance(
+        [
+            Job(star(8), 0, "wide"),
+            Job(chain(6), 1, "deep"),
+            Job(antichain(5), 3, "flat"),
+        ]
+    )
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("make", SCHEDULERS)
+    def test_valid_schedules(self, make, mixed_instance):
+        s = simulate(mixed_instance, 3, make() if callable(make) else make)
+        s.validate()
+
+    @pytest.mark.parametrize("make", SCHEDULERS)
+    def test_work_conserving(self, make, mixed_instance):
+        s = simulate(mixed_instance, 3, make() if callable(make) else make)
+        assert check_work_conserving(s).ok
+
+    @pytest.mark.parametrize("make", SCHEDULERS)
+    def test_single_processor_serializes(self, make, mixed_instance):
+        s = simulate(mixed_instance, 1, make() if callable(make) else make)
+        assert s.makespan >= mixed_instance.total_work
+
+
+class TestRandomScheduler:
+    def test_seeded_reproducible(self, mixed_instance):
+        a = simulate(mixed_instance, 2, RandomScheduler(seed=9))
+        b = simulate(mixed_instance, 2, RandomScheduler(seed=9))
+        assert all(
+            np.array_equal(x, y) for x, y in zip(a.completion, b.completion)
+        )
+
+    def test_name(self):
+        assert RandomScheduler().name == "Greedy[random]"
+
+
+class TestRoundRobin:
+    def test_alternates_between_jobs(self):
+        inst = Instance([Job(antichain(4), 0), Job(antichain(4), 0)])
+        s = simulate(inst, 2, RoundRobinScheduler())
+        # With capacity 2 and two jobs, each step runs one subjob of each.
+        for t in range(1, s.makespan + 1):
+            jobs_at_t = {j for j, _ in s.at(t)}
+            assert len(jobs_at_t) == 2
+
+    def test_name(self):
+        assert RoundRobinScheduler().name == "RoundRobin"
+
+
+class TestGlobalArbitrary:
+    def test_fills_capacity(self):
+        inst = Instance([Job(antichain(9), 0)])
+        s = simulate(inst, 3, GlobalArbitraryScheduler())
+        assert s.makespan == 3
+        assert s.usage_profile()[1:].tolist() == [3, 3, 3]

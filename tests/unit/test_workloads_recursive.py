@@ -1,0 +1,113 @@
+"""Unit tests for the program-shaped workload generators."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.workloads import (
+    divide_and_conquer_tree,
+    map_reduce_dag,
+    parallel_for_tree,
+    quicksort_tree,
+)
+
+
+class TestQuicksort:
+    def test_is_out_tree(self):
+        d = quicksort_tree(100, seed=0)
+        assert d.is_out_tree
+
+    def test_node_count_bounded(self):
+        # At most 2n-1 call nodes for n elements (every call splits work).
+        d = quicksort_tree(64, seed=1)
+        assert 1 <= d.n <= 2 * 64
+
+    def test_cutoff_shrinks_tree(self):
+        full = quicksort_tree(200, seed=2, cutoff=1)
+        coarse = quicksort_tree(200, seed=2, cutoff=16)
+        assert coarse.n < full.n
+
+    def test_deterministic(self):
+        assert quicksort_tree(50, 3) == quicksort_tree(50, 3)
+
+    def test_single_element(self):
+        assert quicksort_tree(1, 0).n == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            quicksort_tree(0)
+        with pytest.raises(ConfigurationError):
+            quicksort_tree(5, cutoff=0)
+
+
+class TestDivideAndConquer:
+    def test_balanced_binary(self):
+        d = divide_and_conquer_tree(8, fanout=2)
+        assert d.is_out_tree
+        assert d.leaves.size == 8
+        assert d.span == 4  # root + 3 levels of splits
+
+    def test_prologue_adds_chain(self):
+        plain = divide_and_conquer_tree(4, fanout=2, prologue=0)
+        chained = divide_and_conquer_tree(4, fanout=2, prologue=3)
+        assert chained.span == plain.span + 3 * (plain.span - 1)
+
+    def test_fanout(self):
+        d = divide_and_conquer_tree(9, fanout=3)
+        assert int(d.outdegree.max()) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            divide_and_conquer_tree(0)
+        with pytest.raises(ConfigurationError):
+            divide_and_conquer_tree(4, fanout=1)
+        with pytest.raises(ConfigurationError):
+            divide_and_conquer_tree(4, prologue=-1)
+
+
+class TestParallelFor:
+    def test_structure(self):
+        d = parallel_for_tree(5, body_span=2)
+        assert d.is_out_tree
+        assert d.n == 5 * 3  # spine node + 2 body nodes per iteration
+
+    def test_span(self):
+        # last spine node at depth k, its body adds body_span
+        d = parallel_for_tree(4, body_span=3)
+        assert d.span == 4 + 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            parallel_for_tree(0)
+        with pytest.raises(ConfigurationError):
+            parallel_for_tree(3, body_span=0)
+
+
+class TestMapReduce:
+    def test_not_a_forest(self):
+        d = map_reduce_dag(4, map_span=2)
+        assert not d.is_out_forest  # the reduction joins
+
+    def test_single_sink(self):
+        d = map_reduce_dag(8, map_span=1, reduce_fanin=2)
+        assert d.leaves.size == 1
+
+    def test_node_count(self):
+        # root + width*map_span + reduction nodes
+        d = map_reduce_dag(4, map_span=2, reduce_fanin=2)
+        assert d.n == 1 + 8 + (2 + 1)
+
+    def test_span(self):
+        d = map_reduce_dag(4, map_span=2, reduce_fanin=2)
+        assert d.span == 1 + 2 + 2  # root, map chain, 2 reduce levels
+
+    def test_width_one(self):
+        d = map_reduce_dag(1, map_span=3)
+        assert d.is_chain  # no reduction needed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            map_reduce_dag(0)
+        with pytest.raises(ConfigurationError):
+            map_reduce_dag(4, map_span=0)
+        with pytest.raises(ConfigurationError):
+            map_reduce_dag(4, reduce_fanin=1)

@@ -1,0 +1,141 @@
+"""Record / compare engine-throughput baselines.
+
+``python benchmarks/save_baseline.py`` re-times the engine microbenchmarks
+(the same workloads as ``test_engine_throughput.py``) and writes their
+subjobs/sec to ``BENCH_engine.json`` next to this script.
+
+``python benchmarks/save_baseline.py --compare`` re-times them and exits
+non-zero if any microbench regressed more than 20% against the recorded
+baseline — the guard the CI throughput job runs.
+
+Timings use best-of-N (default N=3) wall-clock rounds: the minimum is the
+least noisy estimator for a deterministic workload on a shared machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
+REGRESSION_TOLERANCE = 0.20  # fail --compare below 80% of baseline throughput
+
+
+def _packed_stream():
+    from repro.core import Instance, Job
+    from repro.workloads import layered_tree
+
+    dags = [layered_tree([16] * 250, seed=s) for s in range(8)]
+    return Instance([Job(d, 100 * i, f"r{i}") for i, d in enumerate(dags)])
+
+
+def _irregular_stream():
+    from repro.core import Instance, Job
+    from repro.workloads import quicksort_tree
+
+    dags = [quicksort_tree(1000, seed=s) for s in range(24)]
+    return Instance([Job(d, 40 * i, f"q{i}") for i, d in enumerate(dags)])
+
+
+def _bench_fifo_packed():
+    from repro.schedulers import ArbitraryTieBreak, FIFOScheduler
+
+    return _packed_stream(), (lambda: FIFOScheduler(ArbitraryTieBreak())), 16
+
+
+def _bench_lpf_irregular():
+    from repro.schedulers import FIFOScheduler, LongestPathTieBreak
+
+    return _irregular_stream(), (lambda: FIFOScheduler(LongestPathTieBreak())), 16
+
+
+def _bench_worksteal_irregular():
+    from repro.schedulers import WorkStealingScheduler
+
+    return _irregular_stream(), (lambda: WorkStealingScheduler(seed=0)), 16
+
+
+#: name -> setup() returning (instance, scheduler_factory, m). Names match
+#: the corresponding ``test_engine_throughput.py`` benchmarks.
+MICROBENCHES = {
+    "fifo_on_packed_rectangles": _bench_fifo_packed,
+    "lpf_on_irregular_trees": _bench_lpf_irregular,
+    "worksteal_on_irregular_trees": _bench_worksteal_irregular,
+}
+
+
+def measure(rounds: int = 3) -> dict:
+    """Time every microbench; returns name -> measurement dict."""
+    from repro.core import simulate
+
+    out = {}
+    for name, setup in MICROBENCHES.items():
+        instance, scheduler_factory, m = setup()
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            schedule = simulate(instance, m, scheduler_factory())
+            best = min(best, time.perf_counter() - start)
+        assert schedule.is_complete
+        out[name] = {
+            "subjobs": int(instance.total_work),
+            "best_seconds": round(best, 6),
+            "subjobs_per_sec": round(instance.total_work / best, 1),
+        }
+    return out
+
+
+def save(rounds: int) -> int:
+    results = measure(rounds)
+    BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    for name, row in results.items():
+        print(f"{name:<32} {row['subjobs_per_sec']:>12,.0f} subjobs/s")
+    print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+def compare(rounds: int) -> int:
+    if not BASELINE_PATH.is_file():
+        print(f"no baseline at {BASELINE_PATH}; run without --compare first",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    results = measure(rounds)
+    status = 0
+    for name, row in results.items():
+        now = row["subjobs_per_sec"]
+        base = baseline.get(name, {}).get("subjobs_per_sec")
+        if base is None:
+            print(f"{name:<32} {now:>12,.0f} subjobs/s  (no baseline)")
+            continue
+        ratio = now / base
+        verdict = "ok"
+        if ratio < 1.0 - REGRESSION_TOLERANCE:
+            verdict = "REGRESSION"
+            status = 1
+        print(
+            f"{name:<32} {now:>12,.0f} subjobs/s  "
+            f"baseline {base:,.0f}  ({ratio:.2f}x)  {verdict}"
+        )
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="compare against the recorded baseline instead of overwriting it",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timing rounds per bench (best-of)"
+    )
+    args = parser.parse_args(argv)
+    return compare(args.rounds) if args.compare else save(args.rounds)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

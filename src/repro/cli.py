@@ -4,13 +4,16 @@ Commands
 --------
 ``list``
     Show the experiment registry (id, paper artifact, description).
-``run E3 [--scale smoke|default|full] [--param ms=8,16,32]``
+``run E3 [--scale smoke|default|full] [--param ms=8,16,32] [--engine-stats]``
     Run one experiment and print its regenerated table/figure; exits
     non-zero if any of its claims fail. ``--scale`` picks a parameter
     preset (smoke: seconds; full: the EXPERIMENTS.md headline sweeps);
-    ``--param`` overrides individual entries.
-``all``
-    Run every experiment at default scale.
+    ``--param`` overrides individual entries; ``--engine-stats`` appends
+    simulation-engine counters to the notes.
+``all [--jobs N] [--only E1,E3] [--engine-stats]``
+    Run every experiment (or the ``--only`` subset) at default scale;
+    ``--jobs`` fans the runs out over worker processes with deterministic
+    output order.
 ``report [--output report.md] [--only E1,E3]``
     Run experiments and write a markdown report (rendered tables + claim
     outcomes per artifact).
@@ -58,26 +61,49 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment_id: str, params: list[str], scale: str = "default") -> int:
+def _cmd_run(
+    experiment_id: str,
+    params: list[str],
+    scale: str = "default",
+    engine_stats: bool = False,
+) -> int:
     from .experiments import EXPERIMENTS, run_experiment
 
     if experiment_id not in EXPERIMENTS:
         print(f"unknown experiment {experiment_id!r}; try `list`", file=sys.stderr)
         return 2
     kwargs = dict(_parse_param(p) for p in params)
-    result = run_experiment(experiment_id, scale=scale, **kwargs)
+    result = run_experiment(
+        experiment_id, scale=scale, engine_stats=engine_stats, **kwargs
+    )
     print(result.render())
     return 0 if result.claims_hold() else 1
 
 
-def _cmd_all(scale: str = "default") -> int:
-    from .experiments import EXPERIMENTS
+def _cmd_all(
+    scale: str = "default",
+    jobs: int = 1,
+    engine_stats: bool = False,
+    only: str | None = None,
+) -> int:
+    from .experiments import run_all
 
+    try:
+        results = run_all(
+            scale,
+            n_workers=jobs if jobs > 1 else None,
+            engine_stats=engine_stats,
+            only=None if only is None else [tok.strip() for tok in only.split(",")],
+        )
+    except KeyError as exc:
+        print(f"{exc.args[0]}; try `list`", file=sys.stderr)
+        return 2
     status = 0
-    for exp_id in EXPERIMENTS:
-        code = _cmd_run(exp_id, [], scale)
-        status = max(status, code)
+    for result in results:
+        print(result.render())
         print()
+        if not result.claims_hold():
+            status = 1
     return status
 
 
@@ -187,9 +213,29 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument(
         "--scale", choices=("smoke", "default", "full"), default="default"
     )
+    run_p.add_argument(
+        "--engine-stats",
+        action="store_true",
+        help="append simulation-engine counters to the experiment notes",
+    )
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument(
         "--scale", choices=("smoke", "default", "full"), default="default"
+    )
+    all_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments in N worker processes (deterministic order)",
+    )
+    all_p.add_argument(
+        "--engine-stats",
+        action="store_true",
+        help="append simulation-engine counters to each experiment's notes",
+    )
+    all_p.add_argument(
+        "--only", default=None, help="comma-separated experiment ids"
     )
     report_p = sub.add_parser("report", help="write a markdown report")
     report_p.add_argument("--output", default="report.md")
@@ -211,9 +257,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment_id, args.param, args.scale)
+        return _cmd_run(
+            args.experiment_id, args.param, args.scale, args.engine_stats
+        )
     if args.command == "all":
-        return _cmd_all(args.scale)
+        return _cmd_all(args.scale, args.jobs, args.engine_stats, args.only)
     if args.command == "report":
         return _cmd_report(args.output, args.only, args.scale)
     if args.command == "inspect":

@@ -18,10 +18,18 @@ from .exceptions import (
     SimulationError,
     SolverError,
 )
-from .instance import Instance
+from .instance import FlatInstanceGraph, Instance
 from .job import Job, merge_jobs
 from .schedule import Schedule
-from .simulator import EngineState, Scheduler, SimulationObserver, simulate
+from .simulator import (
+    EngineState,
+    EngineStats,
+    Scheduler,
+    SimulationObserver,
+    engine_stats_snapshot,
+    reset_engine_stats,
+    simulate,
+)
 from .io import (
     load_instance_json,
     load_schedule_npz,
@@ -39,6 +47,10 @@ __all__ = [
     "Scheduler",
     "SimulationObserver",
     "EngineState",
+    "EngineStats",
+    "FlatInstanceGraph",
+    "engine_stats_snapshot",
+    "reset_engine_stats",
     "MetricsCollector",
     "TraceSummary",
     "SPNode",

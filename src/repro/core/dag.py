@@ -352,9 +352,19 @@ class DAG:
         sizes = np.array([d.n for d in dags], dtype=_INT)
         offsets = np.zeros(len(dags) + 1, dtype=_INT)
         np.cumsum(sizes, out=offsets[1:])
-        edges: list[tuple[int, int]] = []
+        parts = []
         for off, d in zip(offsets[:-1].tolist(), dags):
-            edges.extend((off + u, off + v) for u, v in d.edge_list())
+            if not d.child_indices.size:
+                continue
+            part = np.empty((d.child_indices.size, 2), dtype=_INT)
+            part[:, 0] = off + np.repeat(
+                np.arange(d.n, dtype=_INT), np.diff(d.child_indptr)
+            )
+            part[:, 1] = off + d.child_indices
+            parts.append(part)
+        edges = (
+            np.concatenate(parts) if parts else np.empty((0, 2), dtype=_INT)
+        )
         return DAG(int(offsets[-1]), edges), offsets
 
     def series(self, other: "DAG") -> "DAG":

@@ -14,6 +14,7 @@ used in Sections 5.3/5.4 and 6:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -22,7 +23,46 @@ from .exceptions import ConfigurationError
 from .job import Job, merge_jobs
 from .util import check_nonnegative_int
 
-__all__ = ["Instance"]
+__all__ = ["Instance", "FlatInstanceGraph"]
+
+_INT = np.int64
+
+
+@dataclass(frozen=True)
+class FlatInstanceGraph:
+    """Instance-level flattened CSR child structure.
+
+    All jobs' DAGs concatenated into one node-id space so the simulation
+    engine can update readiness with batched array kernels instead of
+    per-job Python loops. Node ``v`` of job ``i`` has the *global* id
+    ``offsets[i] + v``; ``offsets`` has one extra entry equal to the total
+    node count, so ``offsets[i]:offsets[i+1]`` slices out job ``i``.
+
+    Attributes
+    ----------
+    offsets:
+        ``(n_jobs + 1,)`` node-id offset table.
+    child_indptr / child_indices:
+        CSR adjacency over global ids (children only; the engine never
+        needs parent rows on the hot path).
+    indegree:
+        Per-global-node parent counts (read-only; the engine copies it
+        once per run).
+    all_out_forests:
+        True iff every job is an out-forest (lets consumers skip
+        duplicate-child handling, since each node has at most one parent).
+    """
+
+    offsets: np.ndarray
+    child_indptr: np.ndarray
+    child_indices: np.ndarray
+    indegree: np.ndarray
+    all_out_forests: bool
+
+    @property
+    def n_nodes(self) -> int:
+        """Total subjob count across all jobs."""
+        return int(self.offsets[-1])
 
 
 @dataclass(frozen=True)
@@ -78,6 +118,39 @@ class Instance:
     def is_out_forest(self) -> bool:
         """True iff every job is an out-forest."""
         return all(j.is_out_forest for j in self.jobs)
+
+    @cached_property
+    def flat_graph(self) -> FlatInstanceGraph:
+        """The flattened instance-level CSR (computed once, cached).
+
+        Jobs are immutable, so the flat layout is safe to share between
+        simulation runs; the engine treats it as read-only.
+        """
+        sizes = np.array([j.dag.n for j in self.jobs], dtype=_INT)
+        offsets = np.zeros(len(self.jobs) + 1, dtype=_INT)
+        np.cumsum(sizes, out=offsets[1:])
+        indptr_parts = [np.zeros(1, dtype=_INT)]
+        index_parts = []
+        edge_offset = 0
+        for node_offset, job in zip(offsets[:-1].tolist(), self.jobs):
+            dag = job.dag
+            indptr_parts.append(dag.child_indptr[1:] + edge_offset)
+            index_parts.append(dag.child_indices + node_offset)
+            edge_offset += dag.child_indices.size
+        child_indptr = np.concatenate(indptr_parts)
+        child_indices = (
+            np.concatenate(index_parts) if index_parts else np.empty(0, dtype=_INT)
+        )
+        indegree = np.concatenate([j.dag.indegree for j in self.jobs])
+        for arr in (offsets, child_indptr, child_indices, indegree):
+            arr.setflags(write=False)
+        return FlatInstanceGraph(
+            offsets=offsets,
+            child_indptr=child_indptr,
+            child_indices=child_indices,
+            indegree=indegree,
+            all_out_forests=self.is_out_forest,
+        )
 
     def arrivals_at(self, t: int) -> list[int]:
         """Job ids released exactly at time ``t``."""

@@ -45,6 +45,11 @@ class Schedule:
     m: int
     completion: tuple[np.ndarray, ...]
 
+    #: Per-run engine counters, attached by :func:`repro.core.simulate`
+    #: (``None`` for schedules built any other way). Deliberately not a
+    #: dataclass field: diagnostics must not affect schedule equality.
+    engine_stats = None
+
     def __init__(self, instance: Instance, m: int, completion: Sequence[np.ndarray]):
         if m <= 0:
             raise ScheduleError("m must be positive")

@@ -11,16 +11,45 @@ The engine implements the execution model of Section 3 verbatim:
   ready, so schedulers never rescan DAGs on the hot path.
 
 The engine is authoritative about readiness: every selection is checked
-against its own ready sets, so a buggy scheduler raises
+against its own ready state, so a buggy scheduler raises
 :class:`SchedulerProtocolError` instead of silently producing an infeasible
 schedule. (Resulting :class:`~repro.core.schedule.Schedule` objects can be
 re-validated independently via ``Schedule.validate``.)
+
+Vectorized frontier engine
+--------------------------
+
+Internally the engine works on the *flattened* instance graph
+(:attr:`~repro.core.instance.Instance.flat_graph`): all jobs share one
+global node-id space, readiness is a boolean frontier mask, and applying a
+selection is a handful of batched NumPy kernels (bulk completion-time
+writes, a CSR child gather, ``np.subtract.at`` indegree decrements) instead
+of one Python iteration per subjob. Selections below
+:data:`_SCALAR_THRESHOLD` nodes take a scalar path — for tiny steps the
+fixed cost of array dispatch exceeds the loop it replaces.
+
+On top of that sits a *steady-state fast path* for the packed-rectangle
+regime of Lemmas 5.1/5.5: when a scheduler declares the FIFO frontier
+contract (:attr:`Scheduler.supports_fast_forward`) and the ready frontier
+of a prefix of jobs fits the machine exactly, the selection is *forced* —
+no tie-break can change it — so the engine commits whole layers and
+advances many steps per scheduler dispatch, resynchronizing the scheduler
+(:meth:`Scheduler.resync`) only when the forced regime ends. Schedules are
+bit-identical to the reference per-node loop (kept as
+:func:`_simulate_reference` and enforced by the differential-equivalence
+tests).
+
+Per-run counters are collected in :class:`EngineStats` (attached to the
+returned schedule as ``schedule.engine_stats``) and accumulated process-wide
+(:func:`engine_stats_snapshot`).
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import Optional, Sequence
 
 import numpy as np
@@ -29,10 +58,23 @@ from .exceptions import ConfigurationError, SchedulerProtocolError, SimulationEr
 from .instance import Instance
 from .job import Job
 from .schedule import Schedule
+from .util import csr_gather
 
-__all__ = ["Scheduler", "SimulationObserver", "simulate", "EngineState"]
+__all__ = [
+    "Scheduler",
+    "SimulationObserver",
+    "simulate",
+    "EngineState",
+    "EngineStats",
+    "engine_stats_snapshot",
+    "reset_engine_stats",
+]
 
 _INT = np.int64
+
+#: Selections smaller than this are applied by a scalar loop; the NumPy
+#: batch path's fixed dispatch cost only pays off for wider steps.
+_SCALAR_THRESHOLD = 8
 
 Selection = Sequence[tuple[int, int]]
 
@@ -50,6 +92,20 @@ class Scheduler(abc.ABC):
     #: experiment tables report it.
     clairvoyant: bool = False
 
+    #: Opt-in to the engine's steady-state fast path. Setting this True
+    #: declares the *FIFO frontier contract*: at every step the scheduler
+    #: selects ready subjobs by walking released unfinished jobs in
+    #: ascending job-id order, taking from each job as many of its ready
+    #: subjobs as remaining capacity allows (which subjobs are taken when a
+    #: job is truncated may depend on the tie-break). Whenever the capacity
+    #: boundary falls exactly on a job boundary the selection *set* is
+    #: forced, and the engine may commit it without calling
+    #: :meth:`select` — it will call :meth:`resync` before the next real
+    #: ``select``. Schedulers that opt in MUST implement :meth:`resync` and
+    #: MUST NOT keep selection-relevant state that a resync cannot rebuild
+    #: (e.g. RNG streams advanced per ready node).
+    supports_fast_forward: bool = False
+
     @abc.abstractmethod
     def reset(self, instance: Instance, m: int) -> None:
         """Prepare for a fresh simulation of ``instance`` on ``m``
@@ -66,6 +122,21 @@ class Scheduler(abc.ABC):
         with subjobs whose last predecessor completed at ``t``.
         """
 
+    def resync(self, t: int, state: "EngineState") -> None:
+        """Rebuild ready bookkeeping after an engine fast-forward.
+
+        Called at time ``t`` when the engine committed one or more forced
+        selections without consulting the scheduler (see
+        :attr:`supports_fast_forward`). Implementations must rebuild all
+        selection-relevant state from ``state`` (authoritative unfinished
+        counts, release flags, and per-job ready frontiers via
+        :meth:`EngineState.ready_nodes`).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} sets supports_fast_forward but does not "
+            "implement resync()"
+        )
+
     @abc.abstractmethod
     def select(self, t: int, capacity: int) -> Selection:
         """Return up to ``capacity`` ready ``(job_id, node_id)`` pairs to run
@@ -78,7 +149,8 @@ class Scheduler(abc.ABC):
 
 class SimulationObserver:
     """Optional per-step callback hook (used by analyses that need online
-    state, e.g. measuring ready-set sizes over time)."""
+    state, e.g. measuring ready-set sizes over time). Passing an observer
+    disables the fast path so every step is observed with its selection."""
 
     def on_step(
         self, t: int, selection: Selection, state: "EngineState"
@@ -87,33 +159,152 @@ class SimulationObserver:
 
 
 @dataclass
-class EngineState:
-    """Mutable execution state, exposed read-only to observers."""
+class EngineStats:
+    """Counters for one simulation run (or a process-wide accumulation).
 
-    instance: Instance
-    m: int
-    remaining_indegree: list[np.ndarray] = field(default_factory=list)
-    done: list[np.ndarray] = field(default_factory=list)
-    ready: list[set] = field(default_factory=list)
-    unfinished_counts: np.ndarray = field(default_factory=lambda: np.empty(0, _INT))
-    released: np.ndarray = field(default_factory=lambda: np.empty(0, bool))
+    Attributes
+    ----------
+    steps:
+        Time steps on which work was committed (fast or slow path).
+    fast_forwarded_steps:
+        Steps committed by the forced-frontier fast path, without a
+        ``select`` dispatch.
+    selections:
+        Subjobs scheduled in total.
+    select_calls:
+        Scheduler ``select`` dispatches (slow-path steps).
+    resyncs:
+        :meth:`Scheduler.resync` calls issued when leaving the fast path.
+    sim_seconds:
+        Wall-clock time spent inside :func:`simulate`.
+    """
 
-    def __post_init__(self) -> None:
-        for job in self.instance:
-            self.remaining_indegree.append(job.dag.indegree.copy())
-            self.done.append(np.zeros(job.dag.n, dtype=bool))
-            self.ready.append(set())
-        self.unfinished_counts = np.array(
-            [job.dag.n for job in self.instance], dtype=_INT
+    steps: int = 0
+    fast_forwarded_steps: int = 0
+    selections: int = 0
+    select_calls: int = 0
+    resyncs: int = 0
+    sim_seconds: float = 0.0
+
+    @property
+    def ns_per_subjob(self) -> float:
+        """Average engine cost per scheduled subjob, in nanoseconds."""
+        return self.sim_seconds * 1e9 / max(1, self.selections)
+
+    @property
+    def fast_fraction(self) -> float:
+        """Fraction of committed steps handled by the fast path."""
+        return self.fast_forwarded_steps / max(1, self.steps)
+
+    def add(self, other: "EngineStats") -> None:
+        """Accumulate ``other`` into this counter block (in place)."""
+        self.steps += other.steps
+        self.fast_forwarded_steps += other.fast_forwarded_steps
+        self.selections += other.selections
+        self.select_calls += other.select_calls
+        self.resyncs += other.resyncs
+        self.sim_seconds += other.sim_seconds
+
+    def delta(self, earlier: "EngineStats") -> "EngineStats":
+        """Counter difference ``self - earlier`` (for snapshot windows)."""
+        return EngineStats(
+            steps=self.steps - earlier.steps,
+            fast_forwarded_steps=self.fast_forwarded_steps
+            - earlier.fast_forwarded_steps,
+            selections=self.selections - earlier.selections,
+            select_calls=self.select_calls - earlier.select_calls,
+            resyncs=self.resyncs - earlier.resyncs,
+            sim_seconds=self.sim_seconds - earlier.sim_seconds,
         )
-        self.released = np.zeros(len(self.instance), dtype=bool)
+
+    def summary(self) -> str:
+        """One-line human-readable rendering (experiment notes, CLI)."""
+        return (
+            f"steps={self.steps} fast={self.fast_forwarded_steps} "
+            f"({100.0 * self.fast_fraction:.0f}%) selections={self.selections} "
+            f"select_calls={self.select_calls} resyncs={self.resyncs} "
+            f"ns/subjob={self.ns_per_subjob:.0f}"
+        )
+
+
+#: Process-wide accumulation over every ``simulate`` call (see
+#: :func:`engine_stats_snapshot`).
+_GLOBAL_STATS = EngineStats()
+
+
+def engine_stats_snapshot() -> EngineStats:
+    """A copy of the process-wide engine counters accumulated so far.
+
+    Take one snapshot before and one after a block of work and use
+    :meth:`EngineStats.delta` to attribute engine effort to that block.
+    """
+    return replace(_GLOBAL_STATS)
+
+
+def reset_engine_stats() -> None:
+    """Zero the process-wide engine counters."""
+    global _GLOBAL_STATS
+    _GLOBAL_STATS = EngineStats()
+
+
+class EngineState:
+    """Mutable execution state, exposed read-only to observers.
+
+    Backed by flat instance-level arrays (see
+    :attr:`~repro.core.instance.Instance.flat_graph`); the per-job accessors
+    below are views into (or materializations of) the same memory.
+    """
+
+    def __init__(self, instance: Instance, m: int):
+        self.instance = instance
+        self.m = m
+        flat = instance.flat_graph
+        n = flat.n_nodes
+        self.offsets = flat.offsets
+        self.indegree_flat = flat.indegree.copy()
+        self.done_flat = np.zeros(n, dtype=bool)
+        self.ready_mask = np.zeros(n, dtype=bool)
+        self.completion_flat = np.zeros(n, dtype=_INT)
+        self.unfinished_counts = np.diff(flat.offsets)
+        self.ready_per_job = np.zeros(len(instance), dtype=_INT)
+        self.released = np.zeros(len(instance), dtype=bool)
+
+    # -- per-job accessors (compatibility with the per-job layout) --------
+
+    @cached_property
+    def remaining_indegree(self) -> list[np.ndarray]:
+        """Per-job views of the live indegree array (shared memory)."""
+        o = self.offsets
+        return [self.indegree_flat[o[i] : o[i + 1]] for i in range(len(o) - 1)]
+
+    @cached_property
+    def done(self) -> list[np.ndarray]:
+        """Per-job views of the live completion mask (shared memory)."""
+        o = self.offsets
+        return [self.done_flat[o[i] : o[i + 1]] for i in range(len(o) - 1)]
+
+    @property
+    def ready(self) -> list[set]:
+        """Per-job ready sets, materialized from the frontier mask."""
+        o = self.offsets
+        return [
+            set(np.nonzero(self.ready_mask[o[i] : o[i + 1]])[0].tolist())
+            for i in range(len(o) - 1)
+        ]
+
+    def ready_nodes(self, job_id: int) -> np.ndarray:
+        """Ready subjobs of ``job_id`` as ascending local node ids."""
+        lo, hi = self.offsets[job_id], self.offsets[job_id + 1]
+        return np.nonzero(self.ready_mask[lo:hi])[0]
+
+    # -- aggregates -------------------------------------------------------
 
     @property
     def total_unfinished(self) -> int:
         return int(self.unfinished_counts.sum())
 
     def ready_count(self) -> int:
-        return sum(len(r) for r in self.ready)
+        return int(np.count_nonzero(self.ready_mask))
 
     def unfinished_job_ids(self) -> list[int]:
         return [i for i in range(len(self.instance)) if self.unfinished_counts[i] > 0]
@@ -141,6 +332,46 @@ def _selection_error(
     )
 
 
+def _diagnose_selection(
+    selection: list[tuple[int, int]],
+    state: EngineState,
+    t: int,
+    scheduler: "Scheduler",
+) -> SchedulerProtocolError:
+    """Find the first illegal entry of a rejected batch (cold path).
+
+    Mirrors the reference engine's scan order so error messages are
+    identical: entries are checked in order against the authoritative
+    ready state, with earlier entries already applied conceptually.
+    """
+    offsets = state.offsets
+    n_jobs = len(state.instance)
+    accepted: set = set()
+    for index, pair in enumerate(selection):
+        job_id, node = pair
+        try:
+            in_range = 0 <= job_id < n_jobs
+        except TypeError:
+            return _selection_error(selection, index, state, t, scheduler)
+        legal = False
+        if in_range:
+            try:
+                gid = offsets[job_id] + node
+                legal = (
+                    0 <= node < offsets[job_id + 1] - offsets[job_id]
+                    and bool(state.ready_mask[gid])
+                    and (job_id, node) not in accepted
+                )
+            except (TypeError, IndexError):
+                legal = False
+        if not legal:
+            return _selection_error(selection, index, state, t, scheduler)
+        accepted.add((job_id, node))
+    return SchedulerProtocolError(
+        f"{scheduler.name} produced an unappliable selection at t={t}"
+    )
+
+
 def simulate(
     instance: Instance,
     m: int,
@@ -160,12 +391,14 @@ def simulate(
         :class:`SimulationError` (it indicates a livelocked scheduler).
     observer:
         Optional hook receiving ``(t, selection, state)`` after each step.
+        Supplying one disables the fast path (every step is observed).
 
     Returns
     -------
     Schedule
         A complete, feasible schedule. Feasibility is enforced online; the
-        returned object additionally passes ``Schedule.validate()``.
+        returned object additionally passes ``Schedule.validate()``. The
+        run's :class:`EngineStats` is attached as ``schedule.engine_stats``.
     """
     if m <= 0:
         raise ConfigurationError("m must be positive")
@@ -173,8 +406,9 @@ def simulate(
         total_span = sum(j.span for j in instance)
         max_steps = instance.horizon_hint + total_span + 16
 
+    t_wall = time.perf_counter()
+    stats = EngineStats()
     state = EngineState(instance, m)
-    completion = [np.zeros(job.dag.n, dtype=_INT) for job in instance]
     scheduler.reset(instance, m)
 
     releases = instance.releases
@@ -182,16 +416,36 @@ def simulate(
     next_arrival_idx = 0
     n_jobs = len(instance)
 
-    # Hot-loop locals (profiled: attribute chasing dominated the per-node
+    # Hot-loop locals (profiled: attribute chasing dominated the per-step
     # cost — see the HPC guides' "measure, then optimize").
-    ready_sets = state.ready
-    indegrees = state.remaining_indegree
-    done_arrays = state.done
+    flat = instance.flat_graph
+    offsets = state.offsets
+    offsets_list = offsets.tolist()
+    child_indptr = flat.child_indptr
+    child_indices = flat.child_indices
+    indeg = state.indegree_flat
+    indeg_list = None  # lazily synced copy for the scalar path
+    done_flat = state.done_flat
+    ready_mask = state.ready_mask
+    completion_flat = state.completion_flat
     unfinished = state.unfinished_counts
-    child_indptrs = [job.dag.child_indptr for job in instance]
-    child_indices = [job.dag.child_indices for job in instance]
+    ready_per_job = state.ready_per_job
+    is_forest = flat.all_out_forests
+
     ready_total = 0
     total_left = int(unfinished.sum())
+    fast_ok = observer is None and scheduler.supports_fast_forward
+    # While fast_run is True the engine runs on per-job frontier arrays and
+    # defers ready_mask/done_flat (and, for forests, indegree) upkeep; the
+    # deferred state is materialized when leaving fast mode, right before
+    # the scheduler is resynced.
+    fast_run = False
+    frontiers: list[Optional[np.ndarray]] = [None] * n_jobs
+    # Invariant: stored frontiers are ascending; fr_contig[j] marks the ones
+    # that are a contiguous id range (then their CSR child rows are adjacent
+    # and the per-step gather collapses to one slice).
+    fr_contig = [False] * n_jobs
+    head = 0  # job ids below this are finished (jobs finish roughly FIFO)
 
     t = 0
     while total_left:
@@ -211,9 +465,17 @@ def simulate(
             state.released[job_id] = True
             scheduler.on_job_arrival(t, job_id, job)
             roots = job.dag.roots
-            ready_sets[job_id].update(roots.tolist())
+            if fast_run:
+                # The scheduler's ready bookkeeping is stale anyway while
+                # fast-forwarded; resync() will deliver it wholesale.
+                fr = offsets[job_id] + roots  # roots are ascending
+                frontiers[job_id] = fr
+                fr_contig[job_id] = bool(fr[-1] - fr[0] == fr.size - 1)
+            else:
+                ready_mask[offsets[job_id] + roots] = True
+                scheduler.on_nodes_ready(t, job_id, roots)
+            ready_per_job[job_id] += roots.size
             ready_total += roots.size
-            scheduler.on_nodes_ready(t, job_id, roots)
             next_arrival_idx += 1
 
         # Fast-forward through genuinely empty time (no ready work at all).
@@ -222,6 +484,332 @@ def simulate(
                 raise SimulationError(
                     "no ready work and no future arrivals but "
                     f"{state.total_unfinished} subjobs unfinished"
+                )
+            t = int(releases[arrival_order[next_arrival_idx]])
+            continue
+
+        while head < n_jobs and unfinished[head] == 0:
+            head += 1
+
+        # ------------------------------------------------------------------
+        # Steady-state fast path: under the FIFO frontier contract the
+        # selection is forced whenever the capacity boundary falls on a job
+        # boundary — commit whole ready layers without dispatching.
+        # ------------------------------------------------------------------
+        if fast_ok:
+            cap = m
+            commit_jobs: list[int] = []
+            forced = True
+            for j in range(head, next_arrival_idx):
+                if cap == 0:
+                    break
+                c = ready_per_job[j]
+                if c == 0:
+                    continue
+                if c <= cap:
+                    commit_jobs.append(j)
+                    cap -= c
+                else:
+                    forced = False  # truncation mid-job: tie-break decides
+                    break
+            if forced:
+                if not fast_run:
+                    # Entering fast mode: snapshot each live frontier out of
+                    # the mask; from here mask/done upkeep is deferred.
+                    for j in range(head, next_arrival_idx):
+                        if unfinished[j] > 0:
+                            lo, hi = offsets_list[j], offsets_list[j + 1]
+                            fr = np.nonzero(ready_mask[lo:hi])[0]
+                            fr += lo
+                            frontiers[j] = fr
+                            fr_contig[j] = bool(
+                                fr.size == 0 or fr[-1] - fr[0] == fr.size - 1
+                            )
+                    fast_run = True
+                    indeg_list = None  # scalar-path copy goes stale
+                finish = t + 1
+                k = 0
+                for j in commit_jobs:
+                    gids = frontiers[j]
+                    completion_flat[gids] = finish
+                    if fr_contig[j]:
+                        # Contiguous CSR rows: concatenated children are one
+                        # slice (the common layered shape).
+                        kids = child_indices[
+                            child_indptr[gids[0]] : child_indptr[gids[-1] + 1]
+                        ]
+                    else:
+                        kids, _ = csr_gather(child_indptr, child_indices, gids)
+                    if is_forest:
+                        # Every child's sole parent just completed; sort to
+                        # keep the frontier-ascending invariant.
+                        kids = np.sort(kids)
+                    else:
+                        np.subtract.at(indeg, kids, 1)
+                        kids = np.unique(kids[indeg[kids] == 0])
+                    frontiers[j] = kids
+                    ksz = kids.size
+                    fr_contig[j] = bool(
+                        ksz == 0 or kids[-1] - kids[0] == ksz - 1
+                    )
+                    taken = gids.size
+                    ready_per_job[j] = ksz
+                    unfinished[j] -= taken
+                    ready_total += ksz - taken
+                    k += taken
+                total_left -= k
+                stats.steps += 1
+                stats.fast_forwarded_steps += 1
+                stats.selections += k
+                t = finish
+                continue
+
+        # ------------------------------------------------------------------
+        # Dispatch path: consult the scheduler, first materializing any
+        # deferred fast-mode state and resyncing the scheduler's view.
+        # ------------------------------------------------------------------
+        if fast_run:
+            np.not_equal(completion_flat, 0, out=done_flat)
+            ready_mask[:] = False
+            for j in range(n_jobs):
+                fr = frontiers[j]
+                if fr is not None:
+                    if fr.size:
+                        ready_mask[fr] = True
+                        if is_forest:
+                            indeg[fr] = 0
+                    frontiers[j] = None
+            if is_forest:
+                # Forest fast mode skips decrements: every node enabled
+                # during the run is now done or in a frontier — zero both.
+                indeg[done_flat] = 0
+            fast_run = False
+            scheduler.resync(t, state)
+            stats.resyncs += 1
+
+        selection = list(scheduler.select(t, m))
+        stats.select_calls += 1
+        k = len(selection)
+        if k > m:
+            raise SchedulerProtocolError(
+                f"{scheduler.name} selected {k} > m={m} nodes at t={t}"
+            )
+        finish = t + 1
+        ready_jobs_in_order: list[int] = []
+        ready_locals: list[np.ndarray] = []
+
+        if 0 < k < _SCALAR_THRESHOLD:
+            # Scalar path: tiny steps are cheaper without array dispatch.
+            if indeg_list is None:
+                indeg_list = indeg.tolist()
+            newly_by_job: dict[int, list[int]] = {}
+            for i, (job_id, node) in enumerate(selection):
+                # Entries are applied in order, so on failure the reference
+                # engine's failing index is exactly this one.
+                try:
+                    lo = offsets_list[job_id]
+                    legal = (
+                        job_id >= 0
+                        and 0 <= node < offsets_list[job_id + 1] - lo
+                        and ready_mask[lo + node]
+                    )
+                except (IndexError, TypeError):
+                    raise _selection_error(
+                        selection, i, state, t, scheduler
+                    ) from None
+                if not legal:
+                    raise _selection_error(selection, i, state, t, scheduler)
+                gid = lo + node
+                ready_mask[gid] = False
+                completion_flat[gid] = finish
+                done_flat[gid] = True
+                unfinished[job_id] -= 1
+                ready_per_job[job_id] -= 1
+                total_left -= 1
+                ready_total -= 1
+                # Children always live in the selecting job's id range (the
+                # flat CSR concatenates per-job DAGs).
+                for child in child_indices[
+                    child_indptr[gid] : child_indptr[gid + 1]
+                ].tolist():
+                    left = indeg_list[child] - 1
+                    indeg_list[child] = left
+                    indeg[child] = left
+                    if left == 0:
+                        newly_by_job.setdefault(job_id, []).append(child - lo)
+            for job_id, locals_ in newly_by_job.items():
+                locals_.sort()
+                arr = np.array(locals_, dtype=_INT)
+                ready_mask[offsets[job_id] + arr] = True
+                ready_per_job[job_id] += arr.size
+                ready_total += arr.size
+                ready_jobs_in_order.append(job_id)
+                ready_locals.append(arr)
+        elif k:
+            # Batched path: apply + validate the whole selection at once.
+            try:
+                sel = np.asarray(selection)
+                ok = (
+                    sel.ndim == 2
+                    and sel.shape[1] == 2
+                    and sel.dtype.kind in "iu"
+                )
+            except (TypeError, ValueError):
+                ok = False
+            if ok:
+                jobs_sel = sel[:, 0].astype(_INT, copy=False)
+                nodes_sel = sel[:, 1].astype(_INT, copy=False)
+                if (jobs_sel < 0).any() or (jobs_sel >= n_jobs).any():
+                    ok = False
+                else:
+                    gids = offsets[jobs_sel] + nodes_sel
+                    ok = bool(
+                        (nodes_sel >= 0).all()
+                        and (gids < offsets[jobs_sel + 1]).all()
+                        and ready_mask[gids].all()
+                        and np.unique(gids).size == k
+                    )
+            if not ok:
+                raise _diagnose_selection(selection, state, t, scheduler)
+            completion_flat[gids] = finish
+            done_flat[gids] = True
+            ready_mask[gids] = False
+            cnt = np.bincount(jobs_sel, minlength=n_jobs)
+            unfinished -= cnt
+            ready_per_job -= cnt
+            total_left -= k
+            ready_total -= k
+            if indeg_list is not None:
+                indeg_list = None
+            kids, _ = csr_gather(child_indptr, child_indices, gids)
+            if kids.size:
+                np.subtract.at(indeg, kids, 1)
+                zero_mask = indeg[kids] == 0
+                if zero_mask.any():
+                    zc = kids[zero_mask]
+                    zpos = np.nonzero(zero_mask)[0]
+                    if not is_forest:
+                        # A multi-parent child hits zero on its *last*
+                        # decrement; keep that occurrence only so callback
+                        # order matches the reference loop exactly.
+                        order = np.lexsort((zpos, zc))
+                        zc, zpos = zc[order], zpos[order]
+                        last = np.ones(zc.size, dtype=bool)
+                        last[:-1] = zc[1:] != zc[:-1]
+                        zc, zpos = zc[last], zpos[last]
+                        stream = zc[np.argsort(zpos, kind="stable")]
+                        childs = zc  # ascending unique
+                    else:
+                        stream = zc
+                        childs = np.sort(zc)
+                    ready_mask[childs] = True
+                    ready_total += childs.size
+                    sjobs = np.searchsorted(offsets, stream, side="right") - 1
+                    ready_per_job += np.bincount(sjobs, minlength=n_jobs)
+                    # Group per job in first-enabled order, nodes ascending.
+                    ujobs, first = np.unique(sjobs, return_index=True)
+                    for j in ujobs[np.argsort(first, kind="stable")].tolist():
+                        lo, hi = offsets_list[j], offsets_list[j + 1]
+                        a = np.searchsorted(childs, lo)
+                        b = np.searchsorted(childs, hi)
+                        ready_jobs_in_order.append(j)
+                        ready_locals.append(childs[a:b] - lo)
+
+        if observer is not None:
+            observer.on_step(t, selection, state)
+        stats.steps += 1
+        stats.selections += k
+        t = finish
+        for job_id, arr in zip(ready_jobs_in_order, ready_locals):
+            scheduler.on_nodes_ready(t, job_id, arr)
+
+    completion = [
+        completion_flat[offsets[i] : offsets[i + 1]] for i in range(n_jobs)
+    ]
+    schedule = Schedule(instance, m, completion)
+    stats.sim_seconds = time.perf_counter() - t_wall
+    _GLOBAL_STATS.add(stats)
+    object.__setattr__(schedule, "engine_stats", stats)
+    return schedule
+
+
+def _simulate_reference(
+    instance: Instance,
+    m: int,
+    scheduler: Scheduler,
+    *,
+    max_steps: Optional[int] = None,
+) -> Schedule:
+    """The original per-node simulation loop, kept verbatim as ground truth.
+
+    The differential-equivalence tests assert that :func:`simulate`
+    produces bit-identical completion arrays to this loop for every
+    scheduler on a spread of seeded workloads. Not a hot path — it exists
+    to pin semantics, not to be fast.
+    """
+    if m <= 0:
+        raise ConfigurationError("m must be positive")
+    if max_steps is None:
+        total_span = sum(j.span for j in instance)
+        max_steps = instance.horizon_hint + total_span + 16
+
+    completion = [np.zeros(job.dag.n, dtype=_INT) for job in instance]
+    scheduler.reset(instance, m)
+
+    releases = instance.releases
+    arrival_order = np.argsort(releases, kind="stable")
+    next_arrival_idx = 0
+    n_jobs = len(instance)
+
+    ready_sets: list[set] = [set() for _ in instance]
+    indegrees = [job.dag.indegree.copy() for job in instance]
+    done_arrays = [np.zeros(job.dag.n, dtype=bool) for job in instance]
+    unfinished = np.array([job.dag.n for job in instance], dtype=_INT)
+    child_indptrs = [job.dag.child_indptr for job in instance]
+    child_indices = [job.dag.child_indices for job in instance]
+    ready_total = 0
+    total_left = int(unfinished.sum())
+
+    def reference_error(selection, index):
+        job_id, node = selection[index]
+        if not (0 <= job_id < n_jobs):
+            return SchedulerProtocolError(
+                f"{scheduler.name} selected unknown job {job_id} at t={t}"
+            )
+        if (job_id, node) in selection[:index]:
+            return SchedulerProtocolError(
+                f"{scheduler.name} selected ({job_id},{node}) twice at t={t}"
+            )
+        return SchedulerProtocolError(
+            f"{scheduler.name} selected non-ready subjob ({job_id},{node}) at t={t}"
+        )
+
+    t = 0
+    while total_left:
+        if t > max_steps:
+            raise SimulationError(
+                f"simulation exceeded max_steps={max_steps}; scheduler "
+                f"{scheduler.name} appears to be livelocked "
+                f"({int(unfinished.sum())} subjobs left)"
+            )
+        while (
+            next_arrival_idx < n_jobs
+            and releases[arrival_order[next_arrival_idx]] == t
+        ):
+            job_id = int(arrival_order[next_arrival_idx])
+            job = instance[job_id]
+            scheduler.on_job_arrival(t, job_id, job)
+            roots = job.dag.roots
+            ready_sets[job_id].update(roots.tolist())
+            ready_total += roots.size
+            scheduler.on_nodes_ready(t, job_id, roots)
+            next_arrival_idx += 1
+
+        if ready_total == 0:
+            if next_arrival_idx >= n_jobs:
+                raise SimulationError(
+                    "no ready work and no future arrivals but "
+                    f"{int(unfinished.sum())} subjobs unfinished"
                 )
             t = int(releases[arrival_order[next_arrival_idx]])
             continue
@@ -235,14 +823,12 @@ def simulate(
         finish = t + 1
         newly_ready: dict[int, list[int]] = {}
         for i, (job_id, node) in enumerate(selection):
-            # Apply + validate in one pass: a legal (job, node) is in the
-            # authoritative ready set exactly once.
             try:
                 ready_set = ready_sets[job_id]
             except (IndexError, TypeError):
-                raise _selection_error(selection, i, state, t, scheduler) from None
+                raise reference_error(selection, i) from None
             if job_id < 0 or node not in ready_set:
-                raise _selection_error(selection, i, state, t, scheduler)
+                raise reference_error(selection, i)
             ready_set.discard(node)
             ready_total -= 1
             completion[job_id][node] = finish
@@ -255,8 +841,6 @@ def simulate(
                 indeg[child] -= 1
                 if indeg[child] == 0:
                     newly_ready.setdefault(job_id, []).append(int(child))
-        if observer is not None:
-            observer.on_step(t, selection, state)
         t = finish
         for job_id, nodes in newly_ready.items():
             arr = np.array(sorted(nodes), dtype=_INT)

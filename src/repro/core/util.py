@@ -68,6 +68,8 @@ def build_csr(
     # Sort edges by (source, target) so each CSR row is sorted.
     order = np.lexsort((targets, sources))
     indices = targets[order]
+    indptr.setflags(write=False)
+    indices.setflags(write=False)
     return indptr, indices
 
 

@@ -3,8 +3,9 @@ mirrored in code. ``run_all`` regenerates every table/figure."""
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 from . import (
     e1_packing,
@@ -197,23 +198,72 @@ SCALE_PRESETS: dict[str, dict[str, dict]] = {
 
 
 def run_experiment(
-    experiment_id: str, scale: str = "default", **params
+    experiment_id: str,
+    scale: str = "default",
+    *,
+    engine_stats: bool = False,
+    **params,
 ) -> ExperimentResult:
     """Run one experiment by id (e.g. ``"E3"``).
 
     ``scale`` selects a :data:`SCALE_PRESETS` preset; explicit ``params``
-    override preset entries.
+    override preset entries. With ``engine_stats=True`` the engine effort
+    spent by this run (steps, fast-forwarded steps, selections, ns/subjob)
+    is appended to ``result.notes`` — opt-in so golden rendered outputs
+    stay byte-stable.
     """
     if scale not in SCALE_PRESETS:
         raise KeyError(f"unknown scale {scale!r}; options: {sorted(SCALE_PRESETS)}")
     kwargs = dict(SCALE_PRESETS[scale].get(experiment_id, {}))
     kwargs.update(params)
-    return EXPERIMENTS[experiment_id].run(**kwargs)
+    if not engine_stats:
+        return EXPERIMENTS[experiment_id].run(**kwargs)
+    from ..core import engine_stats_snapshot
+
+    before = engine_stats_snapshot()
+    result = EXPERIMENTS[experiment_id].run(**kwargs)
+    result.notes.append(
+        f"engine: {engine_stats_snapshot().delta(before).summary()}"
+    )
+    return result
 
 
-def run_all(scale: str = "default", **params_by_id) -> list[ExperimentResult]:
-    """Run every experiment; ``params_by_id`` maps id -> kwargs dict."""
-    return [
-        run_experiment(exp_id, scale=scale, **params_by_id.get(exp_id, {}))
+def _run_registered(task: tuple) -> ExperimentResult:
+    """Top-level worker for parallel :func:`run_all` (must be picklable)."""
+    experiment_id, scale, engine_stats, kwargs = task
+    return run_experiment(
+        experiment_id, scale=scale, engine_stats=engine_stats, **kwargs
+    )
+
+
+def run_all(
+    scale: str = "default",
+    *,
+    n_workers: Optional[int] = None,
+    engine_stats: bool = False,
+    only: Optional[list[str]] = None,
+    **params_by_id,
+) -> list[ExperimentResult]:
+    """Run every experiment; ``params_by_id`` maps id -> kwargs dict.
+
+    ``only`` restricts the run to the given experiment ids (registry order
+    is kept regardless of the order given). With ``n_workers > 1`` the runs
+    fan out over a ``ProcessPoolExecutor``; results are returned in
+    registry order regardless of completion order. Worker processes
+    re-import this module, so a monkeypatched registry is only visible to
+    the serial path — tests that stub experiments must use the default
+    (serial) mode.
+    """
+    if only is not None:
+        unknown = set(only) - set(EXPERIMENTS)
+        if unknown:
+            raise KeyError(f"unknown experiment ids: {sorted(unknown)}")
+    tasks = [
+        (exp_id, scale, engine_stats, params_by_id.get(exp_id, {}))
         for exp_id in EXPERIMENTS
+        if only is None or exp_id in only
     ]
+    if n_workers is not None and n_workers > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(_run_registered, tasks))
+    return [_run_registered(task) for task in tasks]

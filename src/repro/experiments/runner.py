@@ -7,8 +7,10 @@ the regenerated tables) and asserts ``result.claims_hold()``.
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 __all__ = ["Claim", "ExperimentResult", "format_table", "repeat_experiment"]
 
@@ -69,20 +71,60 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+def _run_one_seed(task: tuple) -> "ExperimentResult":
+    """Top-level worker for :func:`repeat_experiment` (must be picklable)."""
+    run_fn, params, seed = task
+    return run_fn(seed=seed, **params)
+
+
 def repeat_experiment(
-    run_fn, seeds: Sequence[int], **params
+    run_fn,
+    seeds: Sequence[int],
+    *,
+    n_workers: Optional[int] = None,
+    **params,
 ) -> tuple[list[ExperimentResult], dict[str, float]]:
     """Run an experiment across several seeds and aggregate its claims.
 
     Guards against seed luck: a claim that holds at the default seed but
     fails elsewhere is fragile. Returns ``(results, pass_rates)`` where
     ``pass_rates`` maps each claim description to the fraction of seeds on
-    which it held. Only meaningful for experiments taking a ``seed``
-    parameter.
+    which it held. A claim is counted for every seed once it appears in
+    *any* seed's result (a claim the experiment only emits on some seeds
+    counts as not holding on the seeds that lack it). Only meaningful for
+    experiments taking a ``seed`` parameter.
+
+    Parameters
+    ----------
+    n_workers:
+        When > 1, fan the seeds out over a ``ProcessPoolExecutor``.
+        Results come back in seed order regardless of completion order, so
+        output is deterministic. Falls back to serial execution when the
+        experiment closure cannot be pickled (e.g. a local lambda).
     """
-    results = [run_fn(seed=seed, **params) for seed in seeds]
+    tasks = [(run_fn, dict(params), seed) for seed in seeds]
+    results: Optional[list[ExperimentResult]] = None
+    if n_workers is not None and n_workers > 1 and len(tasks) > 1:
+        try:
+            pickle.dumps(tasks[0])
+            picklable = True
+        except Exception:
+            picklable = False
+        if picklable:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                results = list(pool.map(_run_one_seed, tasks))
+    if results is None:
+        results = [_run_one_seed(task) for task in tasks]
+
+    # Key claims by description across ALL results, in first-seen order.
+    descriptions: list[str] = []
+    seen = set()
+    for r in results:
+        for c in r.claims:
+            if c.description not in seen:
+                seen.add(c.description)
+                descriptions.append(c.description)
     rates: dict[str, float] = {}
-    descriptions = [c.description for c in results[0].claims]
     for desc in descriptions:
         holds = [
             any(c.description == desc and c.holds for c in r.claims)

@@ -54,6 +54,13 @@ class TieBreak(abc.ABC):
     #: would not have (full DAG shape).
     clairvoyant: bool = False
 
+    #: True iff ``key(job, node)`` is a deterministic function of its
+    #: arguments alone — no hidden state advanced per call (RNG streams,
+    #: call counters). Pure tie-breaks survive a heap rebuild from engine
+    #: state unchanged, which is what lets schedulers built on them opt in
+    #: to the engine fast path (``Scheduler.supports_fast_forward``).
+    pure: bool = True
+
     def reset(self, seed: Optional[int] = None) -> None:
         """Reinitialize any internal state (e.g. RNG) before a run."""
 
@@ -86,7 +93,13 @@ class ReverseTieBreak(TieBreak):
 
 
 class RandomTieBreak(TieBreak):
-    """Uniformly random priority per ready subjob."""
+    """Uniformly random priority per ready subjob.
+
+    Not :attr:`~TieBreak.pure`: each ``key`` call advances the RNG stream,
+    so keys depend on call order and a rebuild would re-draw them.
+    """
+
+    pure = False
 
     def __init__(self, seed: Optional[int] = None):
         self._seed = seed

@@ -10,17 +10,26 @@ unfinished jobs in arrival order, taking as many ready subjobs from each as
 capacity allows; *which* subjobs are taken when a job is truncated is decided
 by the :class:`~repro.schedulers.base.TieBreak` policy — exactly the
 "intra-job scheduling" knob the paper shows is decisive (Sections 1 and 4).
+
+Bookkeeping is O(log n) amortized per event: arrivals append (or
+``bisect.insort`` on out-of-order ids) into the sorted unfinished list, and
+job completions use lazy deletion with periodic compaction instead of an
+O(n) ``list.remove`` per finished job. With a :attr:`~TieBreak.pure`
+tie-break the scheduler also opts in to the engine's steady-state fast path
+(see :attr:`~repro.core.Scheduler.supports_fast_forward`), since its walk
+is exactly the FIFO frontier contract.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Optional
 
 import numpy as np
 
 from ..core.instance import Instance
 from ..core.job import Job
-from ..core.simulator import Scheduler, Selection
+from ..core.simulator import EngineState, Scheduler, Selection
 from .base import ArbitraryTieBreak, ReadyHeap, TieBreak
 
 __all__ = ["FIFOScheduler"]
@@ -45,11 +54,19 @@ class FIFOScheduler(Scheduler):
         self.clairvoyant = self.tie_break.clairvoyant
         self._heaps: list[Optional[ReadyHeap]] = []
         self._unfinished: list[int] = []
+        self._n_finished = 0
         self._remaining: np.ndarray = np.empty(0, dtype=np.int64)
 
     @property
     def name(self) -> str:
         return f"FIFO[{self.tie_break.name}]"
+
+    @property
+    def supports_fast_forward(self) -> bool:
+        """FIFO's walk is the engine's FIFO frontier contract verbatim, so
+        fast-forwarding is sound whenever the tie-break is pure (a rebuilt
+        heap pops in the same order as an incrementally-filled one)."""
+        return self.tie_break.pure
 
     def reset(self, instance: Instance, m: int) -> None:
         self.tie_break.reset(self._seed)
@@ -57,32 +74,56 @@ class FIFOScheduler(Scheduler):
         # Job ids are assigned in (release, submission) order by Instance, so
         # ascending id *is* FIFO arrival order.
         self._unfinished = []
+        self._n_finished = 0
         self._remaining = np.array([j.work for j in instance], dtype=np.int64)
         self._instance = instance
 
     def on_job_arrival(self, t: int, job_id: int, job: Job) -> None:
         self._heaps[job_id] = ReadyHeap(job, self.tie_break)
-        self._unfinished.append(job_id)
-        self._unfinished.sort()  # arrival ties may deliver out of id order
+        # Arrivals come in release order, which is id order except for
+        # same-time ties — append when possible, insort otherwise.
+        if not self._unfinished or job_id > self._unfinished[-1]:
+            self._unfinished.append(job_id)
+        else:
+            insort(self._unfinished, job_id)
 
     def on_nodes_ready(self, t: int, job_id: int, nodes: np.ndarray) -> None:
         heap = self._heaps[job_id]
         assert heap is not None, "ready nodes for a job that never arrived"
         heap.push_all(nodes)
 
+    def resync(self, t: int, state: EngineState) -> None:
+        """Rebuild the unfinished list, work counters, and ready heaps from
+        authoritative engine state after a fast-forward."""
+        instance = self._instance
+        self._remaining = state.unfinished_counts.copy()
+        self._unfinished = [
+            j
+            for j in range(len(instance))
+            if state.released[j] and self._remaining[j] > 0
+        ]
+        self._n_finished = 0
+        for job_id in self._unfinished:
+            heap = ReadyHeap(instance[job_id], self.tie_break)
+            heap.push_all(state.ready_nodes(job_id))
+            self._heaps[job_id] = heap
+
     def select(self, t: int, capacity: int) -> Selection:
         selection: list[tuple[int, int]] = []
-        finished: list[int] = []
+        remaining = self._remaining
         for job_id in self._unfinished:
+            if remaining[job_id] == 0:  # lazily deleted
+                continue
             if capacity <= 0:
                 break
-            heap = self._heaps[job_id]
-            taken = heap.pop_up_to(capacity)
+            taken = self._heaps[job_id].pop_up_to(capacity)
             capacity -= len(taken)
             selection.extend((job_id, node) for node in taken)
-            self._remaining[job_id] -= len(taken)
-            if self._remaining[job_id] == 0:
-                finished.append(job_id)
-        for job_id in finished:
-            self._unfinished.remove(job_id)
+            remaining[job_id] -= len(taken)
+            if remaining[job_id] == 0:
+                self._n_finished += 1
+        # Compact once dead entries dominate, keeping walks amortized O(live).
+        if self._n_finished and self._n_finished * 2 >= len(self._unfinished):
+            self._unfinished = [j for j in self._unfinished if remaining[j] > 0]
+            self._n_finished = 0
         return selection

@@ -24,6 +24,7 @@ from .recursive import (
     parallel_for_tree,
     quicksort_tree,
 )
+from .cache import cached_generator, clear_workload_cache, workload_cache_dir
 from .seriesparallel import random_series_parallel
 
 __all__ = [
@@ -47,4 +48,7 @@ __all__ = [
     "parallel_for_tree",
     "map_reduce_dag",
     "random_series_parallel",
+    "cached_generator",
+    "workload_cache_dir",
+    "clear_workload_cache",
 ]

@@ -38,6 +38,7 @@ from ..core.exceptions import ConfigurationError
 from ..core.instance import Instance
 from ..core.job import Job
 from ..core.schedule import Schedule
+from .cache import cached_generator
 
 __all__ = ["AdversarialResult", "build_fifo_adversary"]
 
@@ -163,6 +164,10 @@ class _AdversaryJob:
             self.pending_layer = latest + 1
 
 
+@cached_generator(
+    safe=lambda a: a.get("key_placement") != "random"
+    or isinstance(a.get("seed"), int)
+)
 def build_fifo_adversary(
     m: int,
     n_jobs: int,

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..core.dag import DAG
 from ..core.exceptions import ConfigurationError
+from .cache import cached_generator, int_seed_required
 
 __all__ = [
     "random_attachment_tree",
@@ -102,6 +103,7 @@ def galton_watson_tree(
     return DAG.from_parents(np.array(parents, dtype=np.int64))
 
 
+@cached_generator(safe=int_seed_required)
 def layered_tree(widths: list[int], seed=None) -> DAG:
     """Out-forest with prescribed per-level widths: level ``k`` has
     ``widths[k]`` nodes, each attached to a random node of level ``k-1``.

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.dag import DAG
 from ..core.exceptions import ConfigurationError
+from .cache import cached_generator, int_seed_required
 
 __all__ = [
     "quicksort_tree",
@@ -33,6 +34,7 @@ __all__ = [
 ]
 
 
+@cached_generator(safe=int_seed_required)
 def quicksort_tree(n_elements: int, seed=None, *, cutoff: int = 1) -> DAG:
     """Spawn tree of parallel Quicksort on ``n_elements`` keys.
 

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.experiments import Claim, ExperimentResult, format_table
+from repro.experiments import (
+    Claim,
+    ExperimentResult,
+    format_table,
+    repeat_experiment,
+)
+from repro.experiments.e5_mc_busy import run as run_e5
 
 
 class TestFormatTable:
@@ -111,6 +117,78 @@ class TestRunAll:
         monkeypatch.setattr(registry, "EXPERIMENTS", shrunk)
         results = registry.run_all(E5={"trials": 1, "n_nodes": 40})
         assert sum(r["cases"] for r in results[0].rows) == 12  # 3 workloads x 1 trial x 4 patterns
+
+
+class TestRepeatExperiment:
+    @staticmethod
+    def _stub(seed=0):
+        r = ExperimentResult("EX", "stub", "none")
+        r.add_claim("always", True)
+        if seed >= 1:
+            r.add_claim("late", seed == 1)
+        return r
+
+    def test_pass_rates_cover_claims_missing_on_some_seeds(self):
+        results, rates = repeat_experiment(self._stub, seeds=[0, 1, 2])
+        assert len(results) == 3
+        assert rates["always"] == pytest.approx(1.0)
+        # "late" first appears at seed 1, holds only there: absent (seed 0)
+        # and failing (seed 2) both count against it.
+        assert rates["late"] == pytest.approx(1 / 3)
+
+    def test_parallel_matches_serial(self):
+        params = dict(width=4, n_nodes=40, trials=1)
+        serial, serial_rates = repeat_experiment(run_e5, seeds=[0, 1], **params)
+        fanned, fanned_rates = repeat_experiment(
+            run_e5, seeds=[0, 1], n_workers=2, **params
+        )
+        assert [r.render() for r in fanned] == [r.render() for r in serial]
+        assert fanned_rates == serial_rates
+
+    def test_unpicklable_run_fn_falls_back_to_serial(self):
+        probe = []
+        run_fn = lambda seed=0: probe.append(seed) or self._stub(seed)  # noqa: E731
+        results, _ = repeat_experiment(run_fn, seeds=[0, 1], n_workers=2)
+        assert len(results) == 2
+        assert probe == [0, 1]  # ran in this process, in seed order
+
+
+class TestRunAllParallel:
+    def test_only_filters_and_keeps_registry_order(self):
+        from repro.experiments import run_all
+
+        results = run_all("smoke", only=["E5", "E1"])
+        assert [r.experiment_id for r in results] == ["E1", "E5"]
+
+    def test_only_rejects_unknown_ids(self):
+        from repro.experiments import run_all
+
+        with pytest.raises(KeyError, match="E99"):
+            run_all("smoke", only=["E99"])
+
+    def test_parallel_matches_serial(self):
+        from repro.experiments import run_all
+
+        serial = run_all("smoke", only=["E1", "E5"])
+        fanned = run_all("smoke", n_workers=2, only=["E1", "E5"])
+        assert [r.render() for r in fanned] == [r.render() for r in serial]
+
+
+class TestEngineStatsNotes:
+    def test_opt_in_appends_engine_note(self):
+        from repro.experiments import run_experiment
+
+        plain = run_experiment("E5", "smoke")
+        assert not any(n.startswith("engine: ") for n in plain.notes)
+        stats = run_experiment("E5", "smoke", engine_stats=True)
+        assert stats.notes[-1].startswith("engine: ")
+        assert "steps" in stats.notes[-1]
+
+    def test_parallel_run_all_carries_engine_notes(self):
+        from repro.experiments import run_all
+
+        results = run_all("smoke", n_workers=2, engine_stats=True, only=["E1", "E5"])
+        assert all(r.notes[-1].startswith("engine: ") for r in results)
 
 
 class TestScalePresets:

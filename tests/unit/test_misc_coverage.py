@@ -74,6 +74,21 @@ class TestCliAll:
         out = capsys.readouterr().out
         assert "Figure 1" in out
 
+    def test_all_only_and_jobs(self, capsys):
+        from repro.cli import main
+
+        assert main(["all", "--scale", "smoke", "--only", "E1,E5", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "E1:" in out and "E5:" in out
+        assert out.index("E1:") < out.index("E5:")  # registry order kept
+
+    def test_run_engine_stats_note(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "E5", "--scale", "smoke", "--engine-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "note: engine: " in out
+
 
 class TestClairvoyanceMatrix:
     """The information-model flags match the paper's Section 3 taxonomy."""

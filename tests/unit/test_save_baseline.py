@@ -1,0 +1,61 @@
+"""The bench-baseline tool: save / compare round trip on a stub bench."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "save_baseline.py"
+
+
+@pytest.fixture
+def tool(tmp_path, monkeypatch):
+    spec = importlib.util.spec_from_file_location("save_baseline", _SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+
+    def tiny():
+        from repro.core import Instance, Job
+        from repro.schedulers import ArbitraryTieBreak, FIFOScheduler
+        from repro.workloads import layered_tree
+
+        inst = Instance([Job(layered_tree([4] * 10, seed=0), 0, "t")])
+        return inst, (lambda: FIFOScheduler(ArbitraryTieBreak())), 4
+
+    monkeypatch.setattr(mod, "MICROBENCHES", {"tiny": tiny})
+    monkeypatch.setattr(mod, "BASELINE_PATH", tmp_path / "BENCH_engine.json")
+    return mod
+
+
+class TestSaveBaseline:
+    def test_compare_without_baseline_errors(self, tool, capsys):
+        assert tool.main(["--compare"]) == 2
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_save_then_compare_passes(self, tool, capsys):
+        assert tool.main(["--rounds", "1"]) == 0
+        saved = json.loads(tool.BASELINE_PATH.read_text())
+        assert saved["tiny"]["subjobs"] == 40
+        assert saved["tiny"]["subjobs_per_sec"] > 0
+        # Shrink the recorded throughput so timing noise at this toy scale
+        # cannot trip the 20% tolerance: we test the verdict, not the timer.
+        saved["tiny"]["subjobs_per_sec"] /= 10
+        tool.BASELINE_PATH.write_text(json.dumps(saved))
+        assert tool.main(["--compare", "--rounds", "1"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_large_regression_fails(self, tool, capsys):
+        assert tool.main(["--rounds", "1"]) == 0
+        saved = json.loads(tool.BASELINE_PATH.read_text())
+        saved["tiny"]["subjobs_per_sec"] *= 1e6  # impossible baseline
+        tool.BASELINE_PATH.write_text(json.dumps(saved))
+        assert tool.main(["--compare", "--rounds", "1"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_new_bench_without_baseline_entry_is_tolerated(self, tool, capsys):
+        assert tool.main(["--rounds", "1"]) == 0
+        saved = json.loads(tool.BASELINE_PATH.read_text())
+        tool.BASELINE_PATH.write_text(json.dumps({"other": saved["tiny"]}))
+        assert tool.main(["--compare", "--rounds", "1"]) == 0
+        assert "no baseline" in capsys.readouterr().out

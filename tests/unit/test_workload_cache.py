@@ -1,0 +1,116 @@
+"""The opt-in on-disk workload cache: hits, misses, and safety valves."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    build_fifo_adversary,
+    clear_workload_cache,
+    layered_tree,
+    quicksort_tree,
+    workload_cache_dir,
+)
+from repro.workloads.cache import cached_generator
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+def _entries(path):
+    return sorted(path.glob("*.wlcache"))
+
+
+class TestActivation:
+    def test_disabled_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert workload_cache_dir() is None
+        layered_tree([3, 3], seed=0)
+        assert not list(tmp_path.iterdir())
+
+    def test_env_resolved_at_call_time(self, cache_dir):
+        assert workload_cache_dir() == cache_dir
+
+
+class TestRoundTrip:
+    def test_layered_tree_hit_is_identical(self, cache_dir):
+        first = layered_tree([4] * 6, seed=3)
+        assert len(_entries(cache_dir)) == 1
+        second = layered_tree([4] * 6, seed=3)
+        assert len(_entries(cache_dir)) == 1  # served from disk
+        assert np.array_equal(first.child_indptr, second.child_indptr)
+        assert np.array_equal(first.child_indices, second.child_indices)
+
+    def test_distinct_args_get_distinct_entries(self, cache_dir):
+        layered_tree([4] * 6, seed=3)
+        layered_tree([4] * 6, seed=4)
+        quicksort_tree(30, seed=3)
+        assert len(_entries(cache_dir)) == 3
+
+    def test_adversary_roundtrip(self, cache_dir):
+        first = build_fifo_adversary(4, 2)
+        assert len(_entries(cache_dir)) == 1
+        second = build_fifo_adversary(4, 2)
+        assert len(_entries(cache_dir)) == 1
+        for a, b in zip(
+            first.fifo_schedule.completion, second.fifo_schedule.completion
+        ):
+            assert np.array_equal(a, b)
+        assert len(first.instance) == len(second.instance)
+
+    def test_clear(self, cache_dir):
+        layered_tree([3, 3], seed=0)
+        quicksort_tree(20, seed=0)
+        assert clear_workload_cache() == 2
+        assert not _entries(cache_dir)
+
+
+class TestSafetyValves:
+    def test_no_seed_is_never_cached(self, cache_dir):
+        layered_tree([3, 3])
+        quicksort_tree(20)
+        assert not _entries(cache_dir)
+
+    def test_generator_seed_is_never_cached(self, cache_dir):
+        rng = np.random.default_rng(0)
+        quicksort_tree(20, seed=rng)
+        assert not _entries(cache_dir)
+
+    def test_random_key_placement_needs_int_seed(self, cache_dir):
+        build_fifo_adversary(4, 2, key_placement="random", seed=None)
+        assert not _entries(cache_dir)
+        build_fifo_adversary(4, 2, key_placement="random", seed=5)
+        assert len(_entries(cache_dir)) == 1
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"not a pickle",  # UnpicklingError
+            b"garbage\n",  # parses as protocol-0 text, then ValueError
+            b"",  # EOFError
+        ],
+    )
+    def test_corrupt_entry_regenerates(self, cache_dir, garbage):
+        layered_tree([3, 3], seed=1)
+        (entry,) = _entries(cache_dir)
+        entry.write_bytes(garbage)
+        tree = layered_tree([3, 3], seed=1)
+        assert tree.n == 6
+
+
+class TestDecorator:
+    def test_wraps_metadata_and_custom_fn(self, cache_dir):
+        calls = []
+
+        @cached_generator
+        def make(n: int, seed=None):
+            """Docstring survives."""
+            calls.append(n)
+            return list(range(n))
+
+        assert make.__doc__ == "Docstring survives."
+        assert make(4, seed=1) == [0, 1, 2, 3]
+        assert make(4, seed=1) == [0, 1, 2, 3]
+        assert calls == [4]  # second call served from disk

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -97,29 +98,68 @@ def save(rounds: int) -> int:
     return 0
 
 
+def _render_diff_table(rows: list[tuple[str, str, str, str, str]]) -> str:
+    """Markdown diff table — readable both in a terminal and in the GitHub
+    job summary (``$GITHUB_STEP_SUMMARY``)."""
+    header = ("bench", "baseline subjobs/s", "current subjobs/s", "ratio", "verdict")
+    table = [header, *rows]
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    lines = [
+        "| " + " | ".join(cell.ljust(w) for cell, w in zip(row, widths)) + " |"
+        for row in table
+    ]
+    lines.insert(1, "|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    return "\n".join(lines)
+
+
+def _publish_step_summary(markdown: str) -> None:
+    """Append to the GitHub Actions job summary when running in CI."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    with open(summary_path, "a", encoding="utf-8") as fh:
+        fh.write("## Engine throughput vs recorded baseline\n\n")
+        fh.write(markdown + "\n")
+
+
 def compare(rounds: int) -> int:
     if not BASELINE_PATH.is_file():
         print(f"no baseline at {BASELINE_PATH}; run without --compare first",
               file=sys.stderr)
         return 2
-    baseline = json.loads(BASELINE_PATH.read_text())
+    try:
+        baseline = json.loads(BASELINE_PATH.read_text())
+    except json.JSONDecodeError as exc:
+        print(
+            f"baseline {BASELINE_PATH} is not valid JSON ({exc}); "
+            "re-record it with `python benchmarks/save_baseline.py`",
+            file=sys.stderr,
+        )
+        return 2
     results = measure(rounds)
     status = 0
+    rows: list[tuple[str, str, str, str, str]] = []
     for name, row in results.items():
         now = row["subjobs_per_sec"]
-        base = baseline.get(name, {}).get("subjobs_per_sec")
-        if base is None:
-            print(f"{name:<32} {now:>12,.0f} subjobs/s  (no baseline)")
+        entry = baseline.get(name)
+        base = entry.get("subjobs_per_sec") if isinstance(entry, dict) else None
+        if not isinstance(base, (int, float)) or base <= 0:
+            rows.append((name, "(no baseline)", f"{now:,.0f}", "-", "new"))
             continue
         ratio = now / base
         verdict = "ok"
         if ratio < 1.0 - REGRESSION_TOLERANCE:
             verdict = "REGRESSION"
             status = 1
+        rows.append((name, f"{base:,.0f}", f"{now:,.0f}", f"{ratio:.2f}x", verdict))
+    table = _render_diff_table(rows)
+    print(table)
+    if status:
         print(
-            f"{name:<32} {now:>12,.0f} subjobs/s  "
-            f"baseline {base:,.0f}  ({ratio:.2f}x)  {verdict}"
+            f"\nthroughput REGRESSION: at least one bench fell below "
+            f"{(1.0 - REGRESSION_TOLERANCE):.0%} of its recorded baseline"
         )
+    _publish_step_summary(table)
     return status
 
 
@@ -134,7 +174,12 @@ def main(argv=None) -> int:
         "--rounds", type=int, default=3, help="timing rounds per bench (best-of)"
     )
     args = parser.parse_args(argv)
-    return compare(args.rounds) if args.compare else save(args.rounds)
+    try:
+        return compare(args.rounds) if args.compare else save(args.rounds)
+    except Exception as exc:  # the CI guard wants an exit code, not a traceback
+        print(f"benchmark harness failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -22,6 +22,10 @@ Commands
     print its metrics, fairness report, and optionally the packing.
 ``demo``
     A 30-second guided tour (Figure 1 packing + a tiny adversarial run).
+``lint [paths...] [--format json] [--select RPR001] [--list-rules]``
+    Run the repo's AST-based invariant checks (determinism, scheduler
+    contracts, engine safety, picklability) over ``src`` or the given
+    paths; exits 1 on violations. See ``docs/lint.md``.
 """
 
 from __future__ import annotations
@@ -252,6 +256,10 @@ def main(argv: list[str] | None = None) -> int:
         "--window", default=None, metavar="START:END", help="time window to draw"
     )
     sub.add_parser("demo", help="a quick guided tour")
+    lint_p = sub.add_parser("lint", help="run the repo invariant checks")
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_p)
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -268,6 +276,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_inspect(args.path, args.gantt, args.window)
     if args.command == "demo":
         return _cmd_demo()
+    if args.command == "lint":
+        from .lint.cli import run_lint
+
+        return run_lint(args)
     raise AssertionError("unreachable")
 
 

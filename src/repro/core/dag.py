@@ -25,11 +25,12 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from functools import cached_property
+from typing import Any
 
 import numpy as np
 
 from .exceptions import CycleError, GraphError, NotAForestError
-from .util import as_int_array, build_csr, csr_gather, check_nonnegative_int
+from .util import Array, as_int_array, build_csr, csr_gather, check_nonnegative_int
 
 __all__ = ["DAG", "chain", "antichain", "star", "complete_kary_tree", "spider", "caterpillar"]
 
@@ -62,7 +63,9 @@ class DAG:
         "__dict__",  # for cached_property storage
     )
 
-    def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()):
+    def __init__(
+        self, n: int, edges: Iterable[tuple[int, int]] | Array = ()
+    ) -> None:
         self.n = check_nonnegative_int(n, "n")
         if isinstance(edges, np.ndarray):
             # Fast path: an (e, 2) integer array avoids the Python-tuple
@@ -114,14 +117,14 @@ class DAG:
         return cls(n, edges)
 
     @classmethod
-    def from_networkx(cls, graph) -> "DAG":
+    def from_networkx(cls, graph: Any) -> "DAG":
         """Build from a ``networkx.DiGraph`` whose nodes are ``0..n-1``."""
         n = graph.number_of_nodes()
         if set(graph.nodes) != set(range(n)):
             raise GraphError("networkx graph nodes must be exactly 0..n-1")
         return cls(n, graph.edges())
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export to a ``networkx.DiGraph`` (for plotting / interop)."""
         import networkx as nx
 
@@ -134,11 +137,11 @@ class DAG:
     # Basic structure queries
     # ------------------------------------------------------------------
 
-    def children(self, u: int) -> np.ndarray:
+    def children(self, u: int) -> Array:
         """Direct successors of ``u`` (sorted)."""
         return self.child_indices[self.child_indptr[u] : self.child_indptr[u + 1]]
 
-    def parents(self, u: int) -> np.ndarray:
+    def parents(self, u: int) -> Array:
         """Direct predecessors of ``u`` (sorted)."""
         return self.parent_indices[self.parent_indptr[u] : self.parent_indptr[u + 1]]
 
@@ -150,28 +153,28 @@ class DAG:
         return list(zip(sources.tolist(), self.child_indices.tolist()))
 
     @cached_property
-    def indegree(self) -> np.ndarray:
+    def indegree(self) -> Array:
         """Number of parents per node (read-only)."""
         deg = np.diff(self.parent_indptr)
         deg.setflags(write=False)
         return deg
 
     @cached_property
-    def outdegree(self) -> np.ndarray:
+    def outdegree(self) -> Array:
         """Number of children per node (read-only)."""
         deg = np.diff(self.child_indptr)
         deg.setflags(write=False)
         return deg
 
     @cached_property
-    def roots(self) -> np.ndarray:
+    def roots(self) -> Array:
         """Nodes with no predecessors, ascending."""
         r = np.nonzero(self.indegree == 0)[0]
         r.setflags(write=False)
         return r
 
     @cached_property
-    def leaves(self) -> np.ndarray:
+    def leaves(self) -> Array:
         """Nodes with no successors, ascending."""
         lv = np.nonzero(self.outdegree == 0)[0]
         lv.setflags(write=False)
@@ -191,7 +194,7 @@ class DAG:
     # ------------------------------------------------------------------
 
     @cached_property
-    def depth(self) -> np.ndarray:
+    def depth(self) -> Array:
         """``D(j)``: nodes on the root→j path; roots have depth 1.
 
         Computed by a vectorized Kahn pass; raises :class:`CycleError` if the
@@ -220,7 +223,7 @@ class DAG:
         return depth
 
     @cached_property
-    def height(self) -> np.ndarray:
+    def height(self) -> Array:
         """``H(j)``: nodes on the longest j→leaf path; leaves have height 1.
 
         A node's children always have strictly larger depth, so iterating
@@ -257,7 +260,7 @@ class DAG:
         return self.span
 
     @cached_property
-    def depth_counts(self) -> np.ndarray:
+    def depth_counts(self) -> Array:
         """``depth_counts[d]`` = number of nodes with depth exactly ``d``
         (index 0 unused)."""
         counts = np.bincount(self.depth, minlength=self.span + 1).astype(_INT)
@@ -273,7 +276,7 @@ class DAG:
         return int(self.depth_counts[d + 1 :].sum())
 
     @cached_property
-    def deeper_than_profile(self) -> np.ndarray:
+    def deeper_than_profile(self) -> Array:
         """Vector ``[W(0), W(1), ..., W(span)]`` (``W(span) == 0``)."""
         suffix = np.concatenate(
             [np.cumsum(self.depth_counts[::-1])[::-1][1:], np.zeros(1, dtype=_INT)]
@@ -282,7 +285,7 @@ class DAG:
         return suffix
 
     @cached_property
-    def topological_order(self) -> np.ndarray:
+    def topological_order(self) -> Array:
         """Any topological order (by nondecreasing depth, ties by id)."""
         order = np.lexsort((np.arange(self.n, dtype=_INT), self.depth))
         order.setflags(write=False)
@@ -322,7 +325,7 @@ class DAG:
                 "require at most one"
             )
 
-    def parent_array(self) -> np.ndarray:
+    def parent_array(self) -> Array:
         """Out-forest encoding: ``parent[i]`` or ``-1`` for roots.
 
         Raises :class:`NotAForestError` on general DAGs.
@@ -341,7 +344,7 @@ class DAG:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def disjoint_union(dags: Sequence["DAG"]) -> tuple["DAG", np.ndarray]:
+    def disjoint_union(dags: Sequence["DAG"]) -> tuple["DAG", Array]:
         """Disjoint union of ``dags``.
 
         Returns ``(union, offsets)`` where the nodes of ``dags[i]`` appear in
@@ -352,7 +355,7 @@ class DAG:
         sizes = np.array([d.n for d in dags], dtype=_INT)
         offsets = np.zeros(len(dags) + 1, dtype=_INT)
         np.cumsum(sizes, out=offsets[1:])
-        parts = []
+        parts: list[Array] = []
         for off, d in zip(offsets[:-1].tolist(), dags):
             if not d.child_indices.size:
                 continue
@@ -403,14 +406,16 @@ class DAG:
                 continue
             kid_set = set(int(v) for v in kids)
             # v is redundant if reachable from another child of u.
-            redundant = set()
+            redundant: set[int] = set()
             for w in kids:
                 reach = self.descendants(int(w))
                 redundant.update(kid_set.intersection(reach.tolist()))
             keep.extend((u, v) for v in kid_set - redundant)
         return DAG(self.n, keep)
 
-    def induced_subgraph(self, keep: Sequence[int] | np.ndarray) -> tuple["DAG", np.ndarray]:
+    def induced_subgraph(
+        self, keep: Sequence[int] | Array
+    ) -> tuple["DAG", Array]:
         """Subgraph induced on ``keep`` (edges with both endpoints kept).
 
         Returns ``(sub, original_ids)`` where node ``k`` of ``sub``
@@ -427,7 +432,7 @@ class DAG:
             raise GraphError("induced_subgraph: node id out of range")
         new_id = np.full(self.n, -1, dtype=_INT)
         new_id[original_ids] = np.arange(original_ids.size, dtype=_INT)
-        edges = []
+        edges: list[tuple[int, int]] = []
         for u, v in self.edge_list():
             if new_id[u] >= 0 and new_id[v] >= 0:
                 edges.append((int(new_id[u]), int(new_id[v])))
@@ -437,7 +442,7 @@ class DAG:
     # Introspection
     # ------------------------------------------------------------------
 
-    def descendants(self, u: int) -> np.ndarray:
+    def descendants(self, u: int) -> Array:
         """All nodes reachable from ``u`` (excluding ``u``), ascending."""
         seen = np.zeros(self.n, dtype=bool)
         frontier = self.children(u)
@@ -448,7 +453,7 @@ class DAG:
             frontier = np.unique(frontier)
         return np.nonzero(seen)[0]
 
-    def ancestors(self, u: int) -> np.ndarray:
+    def ancestors(self, u: int) -> Array:
         """All nodes that reach ``u`` (excluding ``u``), ascending."""
         seen = np.zeros(self.n, dtype=bool)
         frontier = self.parents(u)

@@ -52,7 +52,7 @@ class InfeasibleScheduleError(ScheduleError):
         collects all of them rather than stopping at the first).
     """
 
-    def __init__(self, violations: list[str]):
+    def __init__(self, violations: list[str]) -> None:
         self.violations = list(violations)
         preview = "; ".join(self.violations[:5])
         more = "" if len(self.violations) <= 5 else f" (+{len(self.violations) - 5} more)"

@@ -15,13 +15,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
 from .exceptions import ConfigurationError
 from .job import Job, merge_jobs
-from .util import check_nonnegative_int
+from .util import Array, check_nonnegative_int
 
 __all__ = ["Instance", "FlatInstanceGraph"]
 
@@ -53,16 +53,28 @@ class FlatInstanceGraph:
         duplicate-child handling, since each node has at most one parent).
     """
 
-    offsets: np.ndarray
-    child_indptr: np.ndarray
-    child_indices: np.ndarray
-    indegree: np.ndarray
+    offsets: Array
+    child_indptr: Array
+    child_indices: Array
+    indegree: Array
     all_out_forests: bool
 
     @property
     def n_nodes(self) -> int:
         """Total subjob count across all jobs."""
         return int(self.offsets[-1])
+
+    def writable_arrays(self) -> list[str]:
+        """Names of CSR arrays that have (wrongly) become writeable.
+
+        The engine freezes all four arrays with ``writeable=False``; the
+        debug-mode checkpoints in ``Schedule``/``EngineState`` assert this
+        list is empty (the runtime backstop for lint rule RPR201).
+        """
+        fields = ("offsets", "child_indptr", "child_indices", "indegree")
+        return [
+            name for name in fields if getattr(self, name).flags.writeable
+        ]
 
 
 @dataclass(frozen=True)
@@ -76,7 +88,7 @@ class Instance:
 
     jobs: tuple[Job, ...]
 
-    def __init__(self, jobs: Sequence[Job]):
+    def __init__(self, jobs: Sequence[Job]) -> None:
         ordered = sorted(enumerate(jobs), key=lambda p: (p[1].release, p[0]))
         object.__setattr__(self, "jobs", tuple(j for _, j in ordered))
         if not self.jobs:
@@ -96,17 +108,17 @@ class Instance:
         return self.jobs[i]
 
     @property
-    def releases(self) -> np.ndarray:
+    def releases(self) -> Array:
         """Release times in job-id order (nondecreasing)."""
         return np.array([j.release for j in self.jobs], dtype=np.int64)
 
     @property
     def total_work(self) -> int:
-        return sum(j.work for j in self.jobs)
+        return int(sum(j.work for j in self.jobs))
 
     @property
     def max_span(self) -> int:
-        return max(j.span for j in self.jobs)
+        return int(max(j.span for j in self.jobs))
 
     @property
     def horizon_hint(self) -> int:
@@ -130,7 +142,7 @@ class Instance:
         offsets = np.zeros(len(self.jobs) + 1, dtype=_INT)
         np.cumsum(sizes, out=offsets[1:])
         indptr_parts = [np.zeros(1, dtype=_INT)]
-        index_parts = []
+        index_parts: list[Array] = []
         edge_offset = 0
         for node_offset, job in zip(offsets[:-1].tolist(), self.jobs):
             dag = job.dag
@@ -156,7 +168,7 @@ class Instance:
         """Job ids released exactly at time ``t``."""
         return [i for i, j in enumerate(self.jobs) if j.release == t]
 
-    def distinct_releases(self) -> np.ndarray:
+    def distinct_releases(self) -> Array:
         return np.unique(self.releases)
 
     # ------------------------------------------------------------------
@@ -198,7 +210,7 @@ class Instance:
         for job in self.jobs:
             slot = -(-job.release // period) * period  # ceil to multiple
             buckets.setdefault(slot, []).append(job)
-        merged = []
+        merged: list[Job] = []
         for slot in sorted(buckets):
             group = buckets[slot]
             job, _ = merge_jobs(
@@ -228,7 +240,7 @@ class Instance:
     # Introspection
     # ------------------------------------------------------------------
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         """Summary statistics (used by experiment tables)."""
         rel = self.releases
         works = np.array([j.work for j in self.jobs], dtype=np.int64)

@@ -24,6 +24,7 @@ from .exceptions import ScheduleError
 from .instance import Instance
 from .job import Job
 from .schedule import Schedule
+from .util import Array
 
 __all__ = [
     "dag_to_dict",
@@ -111,8 +112,8 @@ def save_schedule_npz(schedule: Schedule, path: PathLike) -> None:
 
     Labels are stored as a JSON side-string inside the archive.
     """
-    arrays: dict[str, np.ndarray] = {"m": np.array([schedule.m], dtype=np.int64)}
-    meta = []
+    arrays: dict[str, Array] = {"m": np.array([schedule.m], dtype=np.int64)}
+    meta: list[dict[str, Any]] = []
     for i, job in enumerate(schedule.instance):
         dag = job.dag
         sources = np.repeat(
@@ -133,8 +134,8 @@ def load_schedule_npz(path: PathLike) -> Schedule:
     with np.load(Path(path)) as data:
         meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
         m = int(data["m"][0])
-        jobs = []
-        completion = []
+        jobs: list[Job] = []
+        completion: list[Array] = []
         for i, info in enumerate(meta):
             edges = list(
                 zip(data[f"job{i}_src"].tolist(), data[f"job{i}_dst"].tolist())

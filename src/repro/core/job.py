@@ -10,11 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 from .dag import DAG
 from .exceptions import ConfigurationError
-from .util import check_nonnegative_int
+from .util import Array, check_nonnegative_int
 
 __all__ = ["Job", "merge_jobs"]
 
@@ -95,7 +93,11 @@ class Job:
         )
 
 
-def merge_jobs(jobs: list[Job], release: Optional[int] = None, label: Optional[str] = None) -> tuple[Job, np.ndarray]:
+def merge_jobs(
+    jobs: list[Job],
+    release: Optional[int] = None,
+    label: Optional[str] = None,
+) -> tuple[Job, Array]:
     """Union several jobs into one (Sections 5.3 / 6: "view all the jobs
     arriving at the same time as being one job").
 

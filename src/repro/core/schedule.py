@@ -12,17 +12,29 @@ partial schedules).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, ClassVar, Optional, Sequence
 
 import numpy as np
 
 from .exceptions import InfeasibleScheduleError, ScheduleError
 from .instance import Instance
-from .util import check_nonnegative_int
+from .util import Array, check_nonnegative_int
 
 __all__ = ["Schedule"]
 
 _INT = np.int64
+
+
+def _flat_graph_still_frozen(instance: Instance) -> bool:
+    """Debug-only backstop for lint rule RPR201 (compiled out under ``-O``).
+
+    Only checks a flat graph that has already been materialized: forcing
+    CSR construction just to inspect its flags would defeat the lazy
+    ``cached_property``.
+    """
+    if "flat_graph" not in instance.__dict__:
+        return True
+    return not instance.flat_graph.writable_arrays()
 
 
 @dataclass(frozen=True)
@@ -43,14 +55,17 @@ class Schedule:
 
     instance: Instance
     m: int
-    completion: tuple[np.ndarray, ...]
+    completion: tuple[Array, ...]
 
     #: Per-run engine counters, attached by :func:`repro.core.simulate`
-    #: (``None`` for schedules built any other way). Deliberately not a
-    #: dataclass field: diagnostics must not affect schedule equality.
-    engine_stats = None
+    #: (``None`` for schedules built any other way). Deliberately a
+    #: ClassVar, not a dataclass field: diagnostics must not affect
+    #: schedule equality.
+    engine_stats: ClassVar[Any] = None
 
-    def __init__(self, instance: Instance, m: int, completion: Sequence[np.ndarray]):
+    def __init__(
+        self, instance: Instance, m: int, completion: Sequence[Array]
+    ) -> None:
         if m <= 0:
             raise ScheduleError("m must be positive")
         if len(completion) != len(instance):
@@ -58,7 +73,11 @@ class Schedule:
                 f"completion arrays ({len(completion)}) must match job count "
                 f"({len(instance)})"
             )
-        frozen = []
+        assert _flat_graph_still_frozen(instance), (
+            "Instance.flat_graph arrays have lost writeable=False; "
+            "something wrote through the shared CSR (see lint rule RPR201)"
+        )
+        frozen: list[Array] = []
         for i, (job, arr) in enumerate(zip(instance, completion)):
             a = np.ascontiguousarray(arr, dtype=_INT)
             if a.shape != (job.dag.n,):
@@ -98,7 +117,7 @@ class Schedule:
         return self.job_completion(i) - self.instance[i].release
 
     @property
-    def flows(self) -> np.ndarray:
+    def flows(self) -> Array:
         """Per-job flow times, job-id order."""
         return np.array([self.job_flow(i) for i in range(len(self.instance))], dtype=_INT)
 
@@ -125,7 +144,7 @@ class Schedule:
     # Structure queries
     # ------------------------------------------------------------------
 
-    def usage_profile(self, job_ids: Optional[Sequence[int]] = None) -> np.ndarray:
+    def usage_profile(self, job_ids: Optional[Sequence[int]] = None) -> Array:
         """``usage[t]`` = number of subjobs in ``S(t)`` (index 0 unused).
 
         With ``job_ids``, counts only those jobs — this is the restricted
@@ -151,7 +170,7 @@ class Schedule:
                 out.append((i, int(v)))
         return out
 
-    def job_steps(self, i: int) -> list[tuple[int, np.ndarray]]:
+    def job_steps(self, i: int) -> list[tuple[int, Array]]:
         """Per-time node sets of job ``i``: sorted ``(t, nodes)`` pairs for
         every occupied time step (input format of the MC algorithm)."""
         c = self.completion[i]
@@ -159,7 +178,7 @@ class Schedule:
         order = np.argsort(c[scheduled], kind="stable")
         scheduled = scheduled[order]
         times = c[scheduled]
-        out: list[tuple[int, np.ndarray]] = []
+        out: list[tuple[int, Array]] = []
         if scheduled.size == 0:
             return out
         boundaries = np.nonzero(np.diff(times))[0] + 1
@@ -169,7 +188,7 @@ class Schedule:
             out.append((int(t0), np.sort(block)))
         return out
 
-    def idle_steps(self, job_ids: Optional[Sequence[int]] = None) -> np.ndarray:
+    def idle_steps(self, job_ids: Optional[Sequence[int]] = None) -> Array:
         """Time steps ``t`` in ``[1, makespan]`` where fewer than ``m``
         subjobs (of the selected jobs) ran."""
         usage = self.usage_profile(job_ids)

@@ -58,7 +58,7 @@ from .exceptions import ConfigurationError, SchedulerProtocolError, SimulationEr
 from .instance import Instance
 from .job import Job
 from .schedule import Schedule
-from .util import csr_gather
+from .util import Array, csr_gather
 
 __all__ = [
     "Scheduler",
@@ -114,7 +114,7 @@ class Scheduler(abc.ABC):
     def on_job_arrival(self, t: int, job_id: int, job: Job) -> None:
         """Job ``job_id`` was released at time ``t``."""
 
-    def on_nodes_ready(self, t: int, job_id: int, nodes: np.ndarray) -> None:
+    def on_nodes_ready(self, t: int, job_id: int, nodes: Array) -> None:
         """``nodes`` of job ``job_id`` became ready at time ``t``.
 
         For a job arriving at ``t`` this is called (after
@@ -255,10 +255,16 @@ class EngineState:
     below are views into (or materializations of) the same memory.
     """
 
-    def __init__(self, instance: Instance, m: int):
+    def __init__(self, instance: Instance, m: int) -> None:
         self.instance = instance
         self.m = m
         flat = instance.flat_graph
+        # Debug backstop for lint rule RPR201 (compiled out under -O): the
+        # shared CSR must still be frozen when a run starts.
+        assert not flat.writable_arrays(), (
+            "Instance.flat_graph arrays have lost writeable=False; "
+            "something wrote through the shared CSR (see lint rule RPR201)"
+        )
         n = flat.n_nodes
         self.offsets = flat.offsets
         self.indegree_flat = flat.indegree.copy()
@@ -272,19 +278,19 @@ class EngineState:
     # -- per-job accessors (compatibility with the per-job layout) --------
 
     @cached_property
-    def remaining_indegree(self) -> list[np.ndarray]:
+    def remaining_indegree(self) -> list[Array]:
         """Per-job views of the live indegree array (shared memory)."""
         o = self.offsets
         return [self.indegree_flat[o[i] : o[i + 1]] for i in range(len(o) - 1)]
 
     @cached_property
-    def done(self) -> list[np.ndarray]:
+    def done(self) -> list[Array]:
         """Per-job views of the live completion mask (shared memory)."""
         o = self.offsets
         return [self.done_flat[o[i] : o[i + 1]] for i in range(len(o) - 1)]
 
     @property
-    def ready(self) -> list[set]:
+    def ready(self) -> list[set[int]]:
         """Per-job ready sets, materialized from the frontier mask."""
         o = self.offsets
         return [
@@ -292,7 +298,7 @@ class EngineState:
             for i in range(len(o) - 1)
         ]
 
-    def ready_nodes(self, job_id: int) -> np.ndarray:
+    def ready_nodes(self, job_id: int) -> Array:
         """Ready subjobs of ``job_id`` as ascending local node ids."""
         lo, hi = self.offsets[job_id], self.offsets[job_id + 1]
         return np.nonzero(self.ready_mask[lo:hi])[0]
@@ -346,7 +352,7 @@ def _diagnose_selection(
     """
     offsets = state.offsets
     n_jobs = len(state.instance)
-    accepted: set = set()
+    accepted: set[tuple[int, int]] = set()
     for index, pair in enumerate(selection):
         job_id, node = pair
         try:
@@ -424,7 +430,7 @@ def simulate(
     child_indptr = flat.child_indptr
     child_indices = flat.child_indices
     indeg = state.indegree_flat
-    indeg_list = None  # lazily synced copy for the scalar path
+    indeg_list: Optional[list[int]] = None  # lazily synced copy (scalar path)
     done_flat = state.done_flat
     ready_mask = state.ready_mask
     completion_flat = state.completion_flat
@@ -440,7 +446,7 @@ def simulate(
     # deferred state is materialized when leaving fast mode, right before
     # the scheduler is resynced.
     fast_run = False
-    frontiers: list[Optional[np.ndarray]] = [None] * n_jobs
+    frontiers: list[Optional[Array]] = [None] * n_jobs
     # Invariant: stored frontiers are ascending; fr_contig[j] marks the ones
     # that are a contiguous id range (then their CSR child rows are adjacent
     # and the per-step gather collapses to one slice).
@@ -531,6 +537,7 @@ def simulate(
                 k = 0
                 for j in commit_jobs:
                     gids = frontiers[j]
+                    assert gids is not None  # commit_jobs have live frontiers
                     completion_flat[gids] = finish
                     if fr_contig[j]:
                         # Contiguous CSR rows: concatenated children are one
@@ -596,7 +603,7 @@ def simulate(
             )
         finish = t + 1
         ready_jobs_in_order: list[int] = []
-        ready_locals: list[np.ndarray] = []
+        ready_locals: list[Array] = []
 
         if 0 < k < _SCALAR_THRESHOLD:
             # Scalar path: tiny steps are cheaper without array dispatch.
@@ -761,7 +768,7 @@ def _simulate_reference(
     next_arrival_idx = 0
     n_jobs = len(instance)
 
-    ready_sets: list[set] = [set() for _ in instance]
+    ready_sets: list[set[int]] = [set() for _ in instance]
     indegrees = [job.dag.indegree.copy() for job in instance]
     done_arrays = [np.zeros(job.dag.n, dtype=bool) for job in instance]
     unfinished = np.array([job.dag.n for job in instance], dtype=_INT)
@@ -770,7 +777,9 @@ def _simulate_reference(
     ready_total = 0
     total_left = int(unfinished.sum())
 
-    def reference_error(selection, index):
+    def reference_error(
+        selection: list[tuple[int, int]], index: int
+    ) -> SchedulerProtocolError:
         job_id, node = selection[index]
         if not (0 <= job_id < n_jobs):
             return SchedulerProtocolError(

@@ -33,6 +33,7 @@ import numpy as np
 
 from .dag import DAG
 from .exceptions import GraphError
+from .util import Array
 
 __all__ = ["SPNode", "sp_decomposition", "is_series_parallel"]
 
@@ -64,7 +65,7 @@ class SPNode:
         return sum(c.size() for c in self.children)
 
 
-def _reachability(dag: DAG) -> np.ndarray:
+def _reachability(dag: DAG) -> Array:
     """Boolean matrix R with R[u, v] iff there is a path u -> v (u != v)."""
     n = dag.n
     reach = np.zeros((n, n), dtype=bool)
@@ -78,11 +79,11 @@ def _reachability(dag: DAG) -> np.ndarray:
     return reach
 
 
-def _components(adjacent: np.ndarray, ids: np.ndarray) -> list[np.ndarray]:
+def _components(adjacent: Array, ids: Array) -> list[Array]:
     """Connected components of the undirected graph ``adjacent`` restricted
     to ``ids`` (``adjacent`` indexed by original ids)."""
     remaining = set(int(i) for i in ids)
-    comps = []
+    comps: list[Array] = []
     while remaining:
         seed = remaining.pop()
         comp = {seed}
@@ -108,13 +109,13 @@ def sp_decomposition(dag: DAG) -> Optional[SPNode]:
     incomparable = ~comparable
     np.fill_diagonal(incomparable, False)
 
-    def solve(ids: np.ndarray) -> Optional[SPNode]:
+    def solve(ids: Array) -> Optional[SPNode]:
         if ids.size == 1:
             return SPNode("leaf", node=int(ids[0]))
         # Parallel split: comparability components.
         comps = _components(comparable, ids)
         if len(comps) > 1:
-            children = []
+            children: list[SPNode] = []
             for comp in comps:
                 child = solve(comp)
                 if child is None:
@@ -128,7 +129,7 @@ def sp_decomposition(dag: DAG) -> Optional[SPNode]:
             return None  # connected and inseparable: contains an N
         # Order blocks: block A precedes B iff some (hence, if SP, every)
         # element of A reaches some element of B.
-        def key(block: np.ndarray):
+        def key(block: Array) -> int:
             # Count how many other elements reach into this block: sort by
             # number of predecessors outside the block.
             preds = reach[np.ix_(ids, block)].any(axis=1).sum()
@@ -139,13 +140,13 @@ def sp_decomposition(dag: DAG) -> Optional[SPNode]:
         for a, b in zip(ordered, ordered[1:]):
             if not reach[np.ix_(a, b)].all():
                 return None
-        children = []
+        series_children: list[SPNode] = []
         for block in ordered:
             child = solve(block)
             if child is None:
                 return None
-            children.append(child)
-        return SPNode("series", children=tuple(children))
+            series_children.append(child)
+        return SPNode("series", children=tuple(series_children))
 
     return solve(np.arange(dag.n, dtype=np.int64))
 
@@ -156,7 +157,7 @@ def is_series_parallel(dag: DAG) -> bool:
     return sp_decomposition(dag) is not None
 
 
-def series_segments(dag: DAG) -> Optional[list[np.ndarray]]:
+def series_segments(dag: DAG) -> Optional[list[Array]]:
     """Decompose ``dag`` into a maximal chain of out-forest *segments*.
 
     The paper (Section 1) notes that programs made of a sequence of
@@ -182,7 +183,7 @@ def series_segments(dag: DAG) -> Optional[list[np.ndarray]]:
     if tree is None or tree.kind != "series":
         return None
 
-    segments: list[np.ndarray] = []
+    segments: list[Array] = []
 
     def flatten(node: SPNode) -> bool:
         """Append ``node``'s leaves as one or more segments; False on
@@ -201,7 +202,7 @@ def series_segments(dag: DAG) -> Optional[list[np.ndarray]]:
             return None
     # Merge a segment into its predecessor when the union is still an
     # out-forest (keeps segments maximal, minimizing sequential barriers).
-    merged: list[np.ndarray] = []
+    merged: list[Array] = []
     for seg in segments:
         if merged:
             candidate = np.concatenate([merged[-1], seg])

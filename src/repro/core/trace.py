@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .simulator import EngineState, Selection, SimulationObserver
+from .util import Array
 
 __all__ = ["MetricsCollector", "TraceSummary"]
 
@@ -77,7 +78,7 @@ class MetricsCollector(SimulationObserver):
 
     # ------------------------------------------------------------------
 
-    def utilization_profile(self) -> np.ndarray:
+    def utilization_profile(self) -> Array:
         """Fraction of processors busy at each observed step."""
         if not self.times:
             return np.empty(0, dtype=float)

@@ -9,10 +9,13 @@ operations (multi-range gathers, segmented reductions) that sit on hot paths.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from typing import Any, TypeAlias
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
+    "Array",
     "as_int_array",
     "build_csr",
     "csr_gather",
@@ -24,8 +27,13 @@ __all__ = [
 
 _INT = np.int64
 
+#: The repo-wide ndarray annotation. The element type is deliberately left
+#: open: every hot-path helper normalizes to int64 via :func:`as_int_array`,
+#: and pinning dtypes in the type system buys churn, not safety.
+Array: TypeAlias = npt.NDArray[Any]
 
-def as_int_array(values: Iterable[int] | np.ndarray) -> np.ndarray:
+
+def as_int_array(values: Iterable[int] | Array) -> Array:
     """Return ``values`` as a contiguous ``int64`` ndarray (no copy if
     already one)."""
     arr = np.ascontiguousarray(values, dtype=_INT)
@@ -34,7 +42,7 @@ def as_int_array(values: Iterable[int] | np.ndarray) -> np.ndarray:
     return arr
 
 
-def check_nonnegative_int(value: int, name: str) -> int:
+def check_nonnegative_int(value: int | np.integer[Any], name: str) -> int:
     """Validate that ``value`` is a non-negative integer and return it."""
     if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
         raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
@@ -44,8 +52,8 @@ def check_nonnegative_int(value: int, name: str) -> int:
 
 
 def build_csr(
-    n: int, sources: np.ndarray, targets: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
+    n: int, sources: Array, targets: Array
+) -> tuple[Array, Array]:
     """Build a CSR adjacency (indptr, indices) for ``n`` nodes from parallel
     ``sources``/``targets`` edge arrays.
 
@@ -73,14 +81,14 @@ def build_csr(
     return indptr, indices
 
 
-def csr_counts(indptr: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+def csr_counts(indptr: Array, nodes: Array) -> Array:
     """Per-node row lengths for the given ``nodes``."""
     return indptr[nodes + 1] - indptr[nodes]
 
 
 def csr_gather(
-    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
+    indptr: Array, indices: Array, nodes: Array
+) -> tuple[Array, Array]:
     """Gather the concatenated CSR rows of ``nodes``.
 
     Returns ``(values, counts)`` where ``values`` is the concatenation of
@@ -105,12 +113,12 @@ def csr_gather(
     return values, counts
 
 
-def repeat_by_counts(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+def repeat_by_counts(values: Array, counts: Array) -> Array:
     """``np.repeat`` wrapper with dtype normalization (hot-path helper)."""
     return np.repeat(as_int_array(values), as_int_array(counts))
 
 
-def segment_max(values: np.ndarray, counts: np.ndarray, empty: int = 0) -> np.ndarray:
+def segment_max(values: Array, counts: Array, empty: int = 0) -> Array:
     """Max of each consecutive segment of ``values`` whose lengths are given
     by ``counts``; empty segments yield ``empty``.
 
@@ -128,7 +136,7 @@ def segment_max(values: np.ndarray, counts: np.ndarray, empty: int = 0) -> np.nd
     return out
 
 
-def stable_unique(values: Sequence[int] | np.ndarray) -> np.ndarray:
+def stable_unique(values: Sequence[int] | Array) -> Array:
     """Unique values preserving first-occurrence order."""
     arr = as_int_array(values)
     _, first = np.unique(arr, return_index=True)

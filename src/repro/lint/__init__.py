@@ -1,0 +1,58 @@
+"""``repro lint`` — AST-based invariant checking for this repository.
+
+The paper's empirical theorem checks (the FIFO Ω(log m) lower bound, LPF
+optimality, the MC replay lemma) are only reproducible if every run is
+bit-deterministic and every scheduler honours the engine's contracts. This
+package makes those invariants *machine-checked* instead of
+convention-checked: a pluggable static-analysis framework whose rules
+encode the repo-specific hazards that code review keeps having to catch by
+hand.
+
+Rule families (see :mod:`repro.lint.rules` and ``docs/lint.md``):
+
+* ``RPR0xx`` — determinism hazards (global RNG state, unordered iteration
+  feeding scheduler selections, wall-clock/entropy reads);
+* ``RPR1xx`` — scheduler-contract rules (fast-forward requires ``resync``,
+  ``select`` must not mutate the model, engine-reserved private names);
+* ``RPR2xx`` — engine-safety rules (no in-place ops on frozen CSR arrays,
+  no bare ``except``, no mutable default arguments);
+* ``RPR3xx`` — picklability of experiment-harness callables.
+
+Violations can be suppressed per line with an *explained* pragma::
+
+    risky_call()  # repro-lint: disable=RPR003 (reason the rule is wrong here)
+
+A suppression without a reason is itself an error (``RPR000``).
+
+Use as a library::
+
+    from repro.lint import lint_paths
+
+    report = lint_paths(["src"])
+    for violation in report.violations:
+        print(violation.format())
+
+or from the command line: ``python -m repro lint src [--format json]``.
+"""
+
+from __future__ import annotations
+
+from .engine import FileContext, lint_paths, lint_source
+from .model import LintReport, Violation
+from .registry import RULES, Rule, all_rules, get_rule, register_rule
+
+# Importing the rule modules registers every built-in rule.
+from . import rules as _rules  # noqa: F401
+
+__all__ = [
+    "FileContext",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

@@ -1,0 +1,90 @@
+"""Argument handling for the ``repro lint`` subcommand."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .engine import lint_paths
+from .registry import RULES, all_rules
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RPR001,RPR002",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.rule_id}  {rule.title}")
+        print(f"        {rule.rationale}")
+    return 0
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint``; returns the process exit code.
+
+    Exit codes: 0 clean, 1 violations found, 2 usage error.
+    """
+    if args.list_rules:
+        return _list_rules()
+
+    rules = None
+    if args.select is not None:
+        wanted = [tok.strip() for tok in args.select.split(",") if tok.strip()]
+        unknown = sorted(set(wanted) - set(RULES))
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        rules = [RULES[rule_id] for rule_id in wanted]
+
+    try:
+        report = lint_paths(args.paths, rules=rules)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant checks for this repository",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

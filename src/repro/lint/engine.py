@@ -1,0 +1,165 @@
+"""The lint engine: parse files, run rules, apply suppressions.
+
+``lint_source`` is the unit every test exercises (lint one string);
+``lint_paths`` walks directories, skips caches, and aggregates a
+:class:`~repro.lint.model.LintReport` with deterministic ordering.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import cached_property
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .model import LintReport, Violation, parse_suppressions
+from .registry import RULES, Rule
+
+__all__ = ["FileContext", "lint_paths", "lint_source"]
+
+#: Rule id reserved for meta-violations of the suppression policy itself.
+SUPPRESSION_RULE_ID = "RPR000"
+#: Rule id reserved for files that fail to parse.
+SYNTAX_RULE_ID = "RPR999"
+
+
+class FileContext:
+    """One parsed source file plus lazily computed shared analyses."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+
+    @cached_property
+    def import_aliases(self) -> dict[str, str]:
+        """Local name -> fully qualified dotted name it refers to.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from numpy import
+        random as nr`` maps ``nr -> numpy.random``; ``from os import
+        urandom`` maps ``urandom -> os.urandom``. Only module-level and
+        nested imports are tracked; the map is name-collision-last-wins,
+        which is the right approximation for lint purposes.
+        """
+        aliases: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    local = name.asname or name.name.split(".")[0]
+                    target = name.name if name.asname else name.name.split(".")[0]
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports never hit stdlib/numpy rules
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    local = name.asname or name.name
+                    aliases[local] = f"{node.module}.{name.name}"
+        return aliases
+
+    def dotted_name(self, node: ast.expr) -> str | None:
+        """Resolve ``Attribute``/``Name`` chains to a canonical dotted path.
+
+        ``np.random.rand`` with ``import numpy as np`` resolves to
+        ``"numpy.random.rand"``; unresolvable shapes (calls, subscripts)
+        return ``None``.
+        """
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = self.import_aliases.get(cur.id, cur.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint one source string; returns a report with suppressions applied."""
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.violations.append(
+            Violation(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule_id=SYNTAX_RULE_ID,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return report
+
+    ctx = FileContext(path=path, source=source, tree=tree)
+    active = list(rules) if rules is not None else list(RULES.values())
+
+    raw: list[Violation] = []
+    for rule in active:
+        raw.extend(rule.check(ctx))
+
+    suppressions = parse_suppressions(ctx.lines)
+    for sup in suppressions:
+        if not sup.has_reason:
+            report.violations.append(
+                Violation(
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    rule_id=SUPPRESSION_RULE_ID,
+                    message=(
+                        "suppression without a reason; write "
+                        "`# repro-lint: disable="
+                        + ",".join(sup.rule_ids)
+                        + " (why this line is exempt)`"
+                    ),
+                )
+            )
+
+    for violation in raw:
+        covering = [s for s in suppressions if s.covers(violation)]
+        if covering and all(s.has_reason for s in covering):
+            report.suppressed_count += 1
+            continue
+        report.violations.append(violation)
+    report.sort()
+    return report
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if not any(part.startswith(".") or part == "__pycache__"
+                           for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(set(files))
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    report = LintReport()
+    for file_path in _iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        report.merge(lint_source(source, path=str(file_path), rules=rules))
+    report.sort()
+    return report

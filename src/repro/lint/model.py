@@ -1,0 +1,115 @@
+"""Core data model for ``repro lint``: violations, suppressions, reports."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "LintReport",
+    "Suppression",
+    "Violation",
+    "parse_suppressions",
+]
+
+#: ``# repro-lint: disable=RPR001,RPR002 (why this line is exempt)``
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<ids>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+    r"(?:\s*\((?P<reason>[^)]*)\))?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro-lint: disable=...`` pragma on one line."""
+
+    line: int
+    rule_ids: tuple[str, ...]
+    reason: str
+
+    @property
+    def has_reason(self) -> bool:
+        return bool(self.reason.strip())
+
+    def covers(self, violation: Violation) -> bool:
+        return violation.line == self.line and violation.rule_id in self.rule_ids
+
+
+def parse_suppressions(source_lines: list[str]) -> list[Suppression]:
+    """Extract every suppression pragma from a file's physical lines."""
+    found = []
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = tuple(tok.strip() for tok in match.group("ids").split(","))
+        reason = match.group("reason") or ""
+        found.append(Suppression(line=lineno, rule_ids=ids, reason=reason))
+    return found
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of linting a set of files."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed_count: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def merge(self, other: "LintReport") -> None:
+        self.violations.extend(other.violations)
+        self.files_checked += other.files_checked
+        self.suppressed_count += other.suppressed_count
+
+    def sort(self) -> None:
+        self.violations.sort()
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed_count,
+            "violation_count": len(self.violations),
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+    def render_text(self) -> str:
+        lines = [v.format() for v in self.violations]
+        noun = "file" if self.files_checked == 1 else "files"
+        summary = (
+            f"{len(self.violations)} violation"
+            f"{'' if len(self.violations) == 1 else 's'} "
+            f"in {self.files_checked} {noun}"
+        )
+        if self.suppressed_count:
+            summary += f" ({self.suppressed_count} suppressed)"
+        lines.append(summary)
+        return "\n".join(lines)

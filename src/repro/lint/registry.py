@@ -1,0 +1,83 @@
+"""Rule base class and the global rule registry.
+
+A rule is a small object with an id, prose metadata (used by ``--list-rules``
+and ``docs/lint.md``), a pair of example snippets (the fixture tests lint
+both and assert the rule fires on ``bad_example`` only), and a ``check``
+method that yields :class:`~repro.lint.model.Violation` objects for one
+parsed file.
+
+Third-party or experiment-local rules can plug in with::
+
+    from repro.lint import Rule, register_rule
+
+    @register_rule
+    class MyRule(Rule):
+        rule_id = "XYZ001"
+        ...
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterator, TypeVar
+
+from .model import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import FileContext
+
+__all__ = ["RULES", "Rule", "all_rules", "get_rule", "register_rule"]
+
+
+class Rule(abc.ABC):
+    """One invariant check over a parsed source file."""
+
+    #: Stable identifier, e.g. ``"RPR001"`` (used in output + suppressions).
+    rule_id: str = ""
+    #: One-line human name.
+    title: str = ""
+    #: Why the invariant matters for this repo.
+    rationale: str = ""
+    #: Snippet the rule must flag (fixture tests + docs).
+    bad_example: str = ""
+    #: Minimal fix of ``bad_example`` the rule must accept.
+    good_example: str = ""
+
+    @abc.abstractmethod
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        """Yield violations found in ``ctx``."""
+
+    def violation(
+        self, ctx: "FileContext", line: int, col: int, message: str
+    ) -> Violation:
+        return Violation(
+            path=ctx.path, line=line, col=col, rule_id=self.rule_id, message=message
+        )
+
+
+#: rule_id -> rule instance, in registration order.
+RULES: dict[str, Rule] = {}
+
+_R = TypeVar("_R", bound=type[Rule])
+
+
+def register_rule(cls: _R) -> _R:
+    """Class decorator adding an instance of ``cls`` to :data:`RULES`."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} must set a rule_id")
+    if rule.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    RULES[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    return tuple(RULES[rule_id] for rule_id in sorted(RULES))
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown lint rule {rule_id!r}") from None

@@ -1,0 +1,7 @@
+"""Built-in rule packs; importing this module registers every rule."""
+
+from __future__ import annotations
+
+from . import contracts, determinism, engine_safety, picklability
+
+__all__ = ["contracts", "determinism", "engine_safety", "picklability"]

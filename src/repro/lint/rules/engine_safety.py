@@ -1,0 +1,349 @@
+"""E1 engine-safety rules: RPR201 (no in-place ops on frozen CSR arrays),
+RPR202 (no bare except), RPR203 (no mutable default arguments).
+
+``build_csr`` and ``Instance.flat_graph`` return arrays with
+``writeable=False`` because the engine shares them across schedulers and
+experiment sweeps. Writing through them raises at runtime *if* numpy
+catches it — but views and ufunc ``out=`` targets can slip past the flag,
+so RPR201 catches the write statically with a per-scope taint analysis:
+names bound from ``build_csr(...)`` / ``*.flat_graph`` (and attributes,
+slices, or unpacked elements of those names) are tainted; ``.copy()`` or
+any other call result clears the taint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from ..model import Violation
+from ..registry import Rule, register_rule
+from .common import expression_root
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import FileContext
+
+__all__ = ["BareExceptRule", "FrozenArrayWriteRule", "MutableDefaultRule"]
+
+#: ndarray methods that modify the array in place.
+_MUTATING_METHODS = frozenset(
+    {"sort", "fill", "resize", "put", "partition", "itemset", "setfield",
+     "byteswap"}
+)
+
+
+def _is_build_csr_call(ctx: "FileContext", expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    dotted = ctx.dotted_name(expr.func)
+    return dotted is not None and (
+        dotted == "build_csr" or dotted.endswith(".build_csr")
+    )
+
+
+class _ScopeScanner:
+    """Flow-sensitive (statement-ordered) taint scan of one function/module
+    scope. Nested function and class bodies are separate scopes."""
+
+    def __init__(self, rule: Rule, ctx: "FileContext") -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.tainted: set[str] = set()
+        self.violations: list[Violation] = []
+
+    # -- taint bookkeeping ------------------------------------------------
+
+    def _value_is_tainted(self, expr: ast.expr) -> bool:
+        if _is_build_csr_call(self.ctx, expr):
+            return True
+        if isinstance(expr, ast.Attribute):
+            if expr.attr == "flat_graph":
+                return True
+            root = expression_root(expr)
+            return root is not None and root in self.tainted
+        if isinstance(expr, ast.Subscript):
+            root = expression_root(expr)
+            return root is not None and root in self.tainted
+        if isinstance(expr, ast.Name):
+            return expr.id in self.tainted
+        return False
+
+    def _set_taint(self, name: str, tainted: bool) -> None:
+        if tainted:
+            self.tainted.add(name)
+        else:
+            self.tainted.discard(name)
+
+    def _bind(self, target: ast.expr, value: ast.expr | None) -> None:
+        if isinstance(target, ast.Name):
+            tainted = value is not None and self._value_is_tainted(value)
+            self._set_taint(target.id, tainted)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if value is not None and _is_build_csr_call(self.ctx, value):
+                # build_csr returns (indptr, indices): both frozen.
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        self._set_taint(elt.id, True)
+            elif isinstance(value, (ast.Tuple, ast.List)) and len(
+                value.elts
+            ) == len(target.elts):
+                for elt, val in zip(target.elts, value.elts):
+                    self._bind(elt, val)
+            else:
+                for elt in target.elts:
+                    self._bind(elt, None)
+
+    # -- violation checks -------------------------------------------------
+
+    def _rooted_tainted(self, expr: ast.expr) -> str | None:
+        root = expression_root(expr)
+        if root is not None and root in self.tainted:
+            return root
+        return None
+
+    def _flag(self, node: ast.AST, root: str, what: str) -> None:
+        self.violations.append(
+            self.rule.violation(
+                self.ctx,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                f"{what} `{root}`, which is bound from build_csr/flat_graph "
+                "and frozen (writeable=False); operate on a `.copy()`",
+            )
+        )
+
+    def _check_call(self, call: ast.Call) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            root = self._rooted_tainted(func.value)
+            if root is not None:
+                if func.attr in _MUTATING_METHODS:
+                    self._flag(call, root, f"in-place `.{func.attr}()` on")
+                elif func.attr == "setflags" and self._requests_writeable(call):
+                    self._flag(call, root, "re-enabling writes via "
+                                           "`.setflags(write=True)` on")
+            if func.attr == "at" and call.args:
+                target_root = self._rooted_tainted(call.args[0])
+                if target_root is not None:
+                    self._flag(call, target_root, "in-place ufunc `.at()` on")
+        for kw in call.keywords:
+            if kw.arg == "out":
+                root = self._rooted_tainted(kw.value)
+                if root is not None:
+                    self._flag(call, root, "ufunc `out=` writes into")
+
+    @staticmethod
+    def _requests_writeable(call: ast.Call) -> bool:
+        for kw in call.keywords:
+            if kw.arg == "write" and isinstance(kw.value, ast.Constant):
+                return bool(kw.value.value)
+        if call.args and isinstance(call.args[0], ast.Constant):
+            return bool(call.args[0].value)
+        return False
+
+    def _check_expr(self, node: ast.AST | None) -> None:
+        if node is None:
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._check_call(sub)
+
+    # -- statement driver -------------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt]) -> list[Violation]:
+        for stmt in body:
+            self._visit(stmt)
+        return self.violations
+
+    def _visit(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # separate scope
+        if isinstance(stmt, ast.Assign):
+            self._check_expr(stmt.value)
+            for target in stmt.targets:
+                self._check_write_target(target)
+            for target in stmt.targets:
+                self._bind(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._check_expr(stmt.value)
+            self._check_write_target(stmt.target)
+            if stmt.value is not None:
+                self._bind(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._check_expr(stmt.value)
+            target = stmt.target
+            if isinstance(target, ast.Name):
+                if target.id in self.tainted:
+                    self._flag(stmt, target.id, "augmented assignment to")
+            else:
+                root = self._rooted_tainted(target)
+                if root is not None:
+                    self._flag(stmt, root, "augmented assignment into")
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._check_expr(stmt.iter)
+            self._bind(stmt.target, None)
+            for sub in stmt.body:
+                self._visit(sub)
+            for sub in stmt.orelse:
+                self._visit(sub)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.test)
+            for sub in stmt.body:
+                self._visit(sub)
+            for sub in stmt.orelse:
+                self._visit(sub)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.test)
+            for sub in stmt.body:
+                self._visit(sub)
+            for sub in stmt.orelse:
+                self._visit(sub)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._check_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, None)
+            for sub in stmt.body:
+                self._visit(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in stmt.body:
+                self._visit(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._visit(sub)
+            for sub in stmt.orelse:
+                self._visit(sub)
+            for sub in stmt.finalbody:
+                self._visit(sub)
+        else:
+            self._check_expr(stmt)
+
+    def _check_write_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = self._rooted_tainted(target)
+            if root is not None:
+                self._flag(target, root, "assignment into")
+
+
+@register_rule
+class FrozenArrayWriteRule(Rule):
+    rule_id = "RPR201"
+    title = "no in-place writes to build_csr/flat_graph arrays"
+    rationale = (
+        "the CSR arrays from `build_csr` and `Instance.flat_graph` are "
+        "shared across schedulers and frozen with writeable=False; writing "
+        "through them (or views of them) either raises mid-run or, via "
+        "ufunc `out=` targets, silently corrupts every later run."
+    )
+    bad_example = """\
+def consume(instance):
+    flat = instance.flat_graph
+    indegree = flat.indegree
+    indegree[0] = 0
+    return indegree
+"""
+    good_example = """\
+def consume(instance):
+    flat = instance.flat_graph
+    indegree = flat.indegree.copy()
+    indegree[0] = 0
+    return indegree
+"""
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        yield from _ScopeScanner(self, ctx).run(ctx.tree.body)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from _ScopeScanner(self, ctx).run(node.body)
+
+
+@register_rule
+class BareExceptRule(Rule):
+    rule_id = "RPR202"
+    title = "no bare except"
+    rationale = (
+        "`except:` swallows KeyboardInterrupt/SystemExit and hides engine "
+        "bugs behind silently wrong results; catch a concrete exception "
+        "type (`except Exception:` at the very least)."
+    )
+    bad_example = """\
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return None
+"""
+    good_example = """\
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None
+"""
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "bare `except:` swallows KeyboardInterrupt/SystemExit; "
+                    "catch a concrete exception type",
+                )
+
+
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    rule_id = "RPR203"
+    title = "no mutable default arguments"
+    rationale = (
+        "a mutable default is evaluated once at def time and shared across "
+        "calls — scheduler state carried in one survives into the next "
+        "experiment. Default to None and construct inside the function."
+    )
+    bad_example = """\
+def collect(x, acc=[]):
+    acc.append(x)
+    return acc
+"""
+    good_example = """\
+def collect(x, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(x)
+    return acc
+"""
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        ctx,
+                        default.lineno,
+                        default.col_offset,
+                        f"mutable default argument in `{name}`; default to "
+                        "None and construct inside the function",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORIES
+        )

@@ -1,0 +1,96 @@
+"""P1 picklability rule: RPR301 — callables handed to the experiment
+harness must be module-level.
+
+``repeat_experiment`` / ``run_all`` fan work out over a
+``ProcessPoolExecutor``; worker arguments are pickled, and pickle can only
+serialize module-level functions by qualified name. A lambda or a nested
+closure works in the single-process fallback and then breaks (or silently
+serializes stale state) the moment ``--jobs`` is raised — the worst kind
+of latent bug for a reproduction harness.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..model import Violation
+from ..registry import Rule, register_rule
+from .common import iter_functions
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import FileContext
+
+__all__ = ["UnpicklableCallableRule"]
+
+#: Harness entry points whose callable arguments cross a process boundary.
+_HARNESS_ENTRY_POINTS = frozenset({"repeat_experiment", "run_all", "Experiment"})
+
+
+@register_rule
+class UnpicklableCallableRule(Rule):
+    rule_id = "RPR301"
+    title = "harness callables must be module-level (picklable)"
+    rationale = (
+        "`repeat_experiment`/`run_all` pickle their callables into worker "
+        "processes; lambdas and functions nested inside other functions "
+        "cannot be pickled by name, so they work single-process and break "
+        "under `--jobs N`. Define the run function at module level."
+    )
+    bad_example = """\
+from repro.experiments import repeat_experiment
+
+def sweep(seeds):
+    return repeat_experiment(lambda seed: seed * 2, seeds)
+"""
+    good_example = """\
+from repro.experiments import repeat_experiment
+
+def _run_one(seed):
+    return seed * 2
+
+def sweep(seeds):
+    return repeat_experiment(_run_one, seeds)
+"""
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        nested = self._nested_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted is None:
+                continue
+            entry = dotted.rsplit(".", 1)[-1]
+            if entry not in _HARNESS_ENTRY_POINTS:
+                continue
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for value in values:
+                if isinstance(value, ast.Lambda):
+                    yield self.violation(
+                        ctx,
+                        value.lineno,
+                        value.col_offset,
+                        f"lambda passed to `{entry}` cannot be pickled into "
+                        "worker processes; define a module-level function",
+                    )
+                elif isinstance(value, ast.Name) and value.id in nested:
+                    yield self.violation(
+                        ctx,
+                        value.lineno,
+                        value.col_offset,
+                        f"`{value.id}` is nested inside another function; "
+                        f"`{entry}` pickles its callables into workers — "
+                        "move it to module level",
+                    )
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> frozenset[str]:
+        nested: set[str] = set()
+        for outer in iter_functions(tree):
+            for node in ast.walk(outer):
+                if node is outer:
+                    continue
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(node.name)
+        return frozenset(nested)

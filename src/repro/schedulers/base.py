@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 import heapq
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class TieBreak(abc.ABC):
         """Reinitialize any internal state (e.g. RNG) before a run."""
 
     @abc.abstractmethod
-    def key(self, job: Job, node: int) -> tuple:
+    def key(self, job: Job, node: int) -> tuple[Any, ...]:
         """Priority key for ``node`` of ``job`` (smaller = sooner)."""
 
     @property
@@ -81,14 +81,14 @@ class ArbitraryTieBreak(TieBreak):
     policy always leaves exactly the key subjob unscheduled.
     """
 
-    def key(self, job: Job, node: int) -> tuple:
+    def key(self, job: Job, node: int) -> tuple[Any, ...]:
         return (node,)
 
 
 class ReverseTieBreak(TieBreak):
     """Descending node id — a second deterministic 'arbitrary' order."""
 
-    def key(self, job: Job, node: int) -> tuple:
+    def key(self, job: Job, node: int) -> tuple[Any, ...]:
         return (-node,)
 
 
@@ -101,14 +101,14 @@ class RandomTieBreak(TieBreak):
 
     pure = False
 
-    def __init__(self, seed: Optional[int] = None):
+    def __init__(self, seed: Optional[int] = None) -> None:
         self._seed = seed
         self._rng = np.random.default_rng(seed)
 
     def reset(self, seed: Optional[int] = None) -> None:
         self._rng = np.random.default_rng(self._seed if seed is None else seed)
 
-    def key(self, job: Job, node: int) -> tuple:
+    def key(self, job: Job, node: int) -> tuple[Any, ...]:
         return (float(self._rng.random()), node)
 
 
@@ -116,7 +116,7 @@ class DepthTieBreak(TieBreak):
     """Prefer subjobs of larger depth (discovered online, hence
     non-clairvoyant): a heuristic proxy for "keep going deep"."""
 
-    def key(self, job: Job, node: int) -> tuple:
+    def key(self, job: Job, node: int) -> tuple[Any, ...]:
         return (-int(job.dag.depth[node]), node)
 
 
@@ -126,7 +126,7 @@ class LongestPathTieBreak(TieBreak):
 
     clairvoyant = True
 
-    def key(self, job: Job, node: int) -> tuple:
+    def key(self, job: Job, node: int) -> tuple[Any, ...]:
         return (-int(job.dag.height[node]), node)
 
 
@@ -136,7 +136,7 @@ class MostChildrenTieBreak(TieBreak):
 
     clairvoyant = True
 
-    def key(self, job: Job, node: int) -> tuple:
+    def key(self, job: Job, node: int) -> tuple[Any, ...]:
         return (-int(job.dag.outdegree[node]), node)
 
 
@@ -150,8 +150,8 @@ class ReadyHeap:
 
     __slots__ = ("_heap", "_job", "_policy")
 
-    def __init__(self, job: Job, policy: TieBreak):
-        self._heap: list[tuple[tuple, int]] = []
+    def __init__(self, job: Job, policy: TieBreak) -> None:
+        self._heap: list[tuple[tuple[Any, ...], int]] = []
         self._job = job
         self._policy = policy
 
@@ -164,7 +164,7 @@ class ReadyHeap:
 
     def pop_up_to(self, k: int) -> list[int]:
         """Pop at most ``k`` nodes in priority order."""
-        out = []
+        out: list[int] = []
         while self._heap and len(out) < k:
             out.append(heapq.heappop(self._heap)[1])
         return out

@@ -30,6 +30,7 @@ import numpy as np
 from ..core.instance import Instance
 from ..core.job import Job
 from ..core.simulator import EngineState, Scheduler, Selection
+from ..core.util import Array
 from .base import ArbitraryTieBreak, ReadyHeap, TieBreak
 
 __all__ = ["FIFOScheduler"]
@@ -48,14 +49,16 @@ class FIFOScheduler(Scheduler):
         Forwarded to ``tie_break.reset`` (relevant for random tie-breaks).
     """
 
-    def __init__(self, tie_break: Optional[TieBreak] = None, seed: Optional[int] = None):
+    def __init__(
+        self, tie_break: Optional[TieBreak] = None, seed: Optional[int] = None
+    ) -> None:
         self.tie_break = tie_break if tie_break is not None else ArbitraryTieBreak()
         self._seed = seed
         self.clairvoyant = self.tie_break.clairvoyant
         self._heaps: list[Optional[ReadyHeap]] = []
         self._unfinished: list[int] = []
         self._n_finished = 0
-        self._remaining: np.ndarray = np.empty(0, dtype=np.int64)
+        self._remaining: Array = np.empty(0, dtype=np.int64)
 
     @property
     def name(self) -> str:
@@ -87,7 +90,7 @@ class FIFOScheduler(Scheduler):
         else:
             insort(self._unfinished, job_id)
 
-    def on_nodes_ready(self, t: int, job_id: int, nodes: np.ndarray) -> None:
+    def on_nodes_ready(self, t: int, job_id: int, nodes: Array) -> None:
         heap = self._heaps[job_id]
         assert heap is not None, "ready nodes for a job that never arrived"
         heap.push_all(nodes)
@@ -116,7 +119,9 @@ class FIFOScheduler(Scheduler):
                 continue
             if capacity <= 0:
                 break
-            taken = self._heaps[job_id].pop_up_to(capacity)
+            heap = self._heaps[job_id]
+            assert heap is not None, "unfinished job without a heap"
+            taken = heap.pop_up_to(capacity)
             capacity -= len(taken)
             selection.extend((job_id, node) for node in taken)
             remaining[job_id] -= len(taken)

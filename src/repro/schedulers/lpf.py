@@ -30,7 +30,7 @@ __all__ = ["LPFScheduler", "lpf_schedule", "lpf_flow"]
 class LPFScheduler(FIFOScheduler):
     """FIFO across jobs, Longest-Path-First within a job (clairvoyant)."""
 
-    def __init__(self, seed: Optional[int] = None):
+    def __init__(self, seed: Optional[int] = None) -> None:
         super().__init__(tie_break=LongestPathTieBreak(), seed=seed)
 
     @property
@@ -38,7 +38,9 @@ class LPFScheduler(FIFOScheduler):
         return "LPF"
 
 
-def lpf_schedule(dag_or_job: DAG | Job, m: int, *, label: Optional[str] = None) -> Schedule:
+def lpf_schedule(
+    dag_or_job: DAG | Job, m: int, *, label: Optional[str] = None
+) -> Schedule:
     """The schedule ``LPF(J, m)`` of a single job released at time 0.
 
     Accepts a bare :class:`~repro.core.dag.DAG` or a :class:`Job`

@@ -49,7 +49,7 @@ import numpy as np
 
 from ..core.dag import DAG
 from ..core.exceptions import ConfigurationError
-from ..core.util import csr_gather
+from ..core.util import Array, csr_gather
 
 __all__ = ["MostChildrenReplayer"]
 
@@ -69,7 +69,7 @@ class MostChildrenReplayer:
         priority) — note MC is clairvoyant.
     """
 
-    def __init__(self, steps: Sequence[np.ndarray], dag: DAG):
+    def __init__(self, steps: Sequence[Array], dag: DAG) -> None:
         self._dag = dag
         self._levels: list[list[tuple[int, int, int]]] = []  # (-children, -height, node) heaps
         self._level_remaining: list[int] = []
@@ -103,7 +103,7 @@ class MostChildrenReplayer:
             self._remaining += len(heap)
         self._first_incomplete = 0
 
-    def _children_in_next(self, nodes: np.ndarray, nxt: np.ndarray) -> np.ndarray:
+    def _children_in_next(self, nodes: Array, nxt: Array) -> Array:
         """For each node, its number of children scheduled in the next
         level of ``S`` (the MC priority)."""
         kids, counts = csr_gather(

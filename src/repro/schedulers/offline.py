@@ -154,7 +154,7 @@ def _feasible_with_deadline(
     completion = [np.zeros(job.dag.n, dtype=np.int64) for job in jobs]
 
     def ready_nodes(done: tuple[int, ...], t: int) -> list[tuple[int, int]]:
-        out = []
+        out: list[tuple[int, int]] = []
         for i, job in enumerate(jobs):
             if job.release > t:
                 continue

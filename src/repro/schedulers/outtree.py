@@ -33,6 +33,7 @@ from ..core.exceptions import ConfigurationError
 from ..core.instance import Instance
 from ..core.job import Job
 from ..core.simulator import Scheduler, Selection
+from ..core.util import Array
 from .lpf import lpf_schedule
 from .mc import MostChildrenReplayer
 
@@ -58,7 +59,7 @@ class _Member:
     """
 
     job_id: int
-    local_ids: np.ndarray
+    local_ids: Array
 
 
 @dataclass
@@ -68,8 +69,8 @@ class _Cohort:
     release: int
     members: list[_Member]
     dag: DAG
-    offsets: np.ndarray  # member m occupies union ids offsets[m]:offsets[m+1]
-    steps: list[np.ndarray] = field(default_factory=list)  # LPF steps (union ids)
+    offsets: Array  # member m occupies union ids offsets[m]:offsets[m+1]
+    steps: list[Array] = field(default_factory=list)  # LPF steps (union ids)
     remaining: int = 0
     replayer: Optional[MostChildrenReplayer] = None
     head_steps: int = 0
@@ -98,7 +99,7 @@ class _OutTreeBase(Scheduler):
 
     clairvoyant = True
 
-    def __init__(self, alpha: int = DEFAULT_ALPHA):
+    def __init__(self, alpha: int = DEFAULT_ALPHA) -> None:
         if alpha < 3:
             raise ConfigurationError(
                 "alpha must be >= 3 so head phases leave processors for tails "
@@ -108,8 +109,8 @@ class _OutTreeBase(Scheduler):
         self._group = 0
         self._m = 0
         self._cohorts: list[_Cohort] = []
-        self._ready: list[set] = []
-        self._done: list[np.ndarray] = []
+        self._ready: list[set[int]] = []
+        self._done: list[Array] = []
         self._instance: Optional[Instance] = None
 
     # -- engine mirror --------------------------------------------------
@@ -131,7 +132,7 @@ class _OutTreeBase(Scheduler):
         self._ready = [set() for _ in instance]
         self._done = [np.zeros(j.dag.n, dtype=bool) for j in instance]
 
-    def on_nodes_ready(self, t: int, job_id: int, nodes: np.ndarray) -> None:
+    def on_nodes_ready(self, t: int, job_id: int, nodes: Array) -> None:
         self._ready[job_id].update(int(v) for v in nodes)
 
     def _mark_selected(self, selection: list[tuple[int, int]]) -> None:
@@ -144,7 +145,8 @@ class _OutTreeBase(Scheduler):
     def _build_cohort(self, release: int, members: list[_Member], half: int) -> _Cohort:
         """Merge member sub-DAGs, compute LPF on m/alpha processors, and set
         the head length to ``2 * half`` steps (>= OPT time units)."""
-        dags = []
+        assert self._instance is not None, "reset() runs before cohorts form"
+        dags: list[DAG] = []
         for member in members:
             job = self._instance[member.job_id]
             if member.local_ids.size == job.dag.n and np.array_equal(
@@ -198,7 +200,7 @@ class _OutTreeBase(Scheduler):
                 continue
             m_t = min(remaining, self._group)
 
-            def _is_ready(union_node: int, cohort=cohort) -> bool:
+            def _is_ready(union_node: int, cohort: _Cohort = cohort) -> bool:
                 job_id, node = cohort.to_global(union_node)
                 return node in self._ready[job_id]
 
@@ -231,7 +233,9 @@ class SemiBatchedOutTreeScheduler(_OutTreeBase):
         scheduling decisions, only the bound ``beta * opt / 2``.
     """
 
-    def __init__(self, opt: int, alpha: int = DEFAULT_ALPHA, beta: int = DEFAULT_BETA):
+    def __init__(
+        self, opt: int, alpha: int = DEFAULT_ALPHA, beta: int = DEFAULT_BETA
+    ) -> None:
         super().__init__(alpha=alpha)
         if opt < 1:
             raise ConfigurationError("opt must be a positive integer")
@@ -303,7 +307,7 @@ class GeneralOutTreeScheduler(_OutTreeBase):
         alpha: int = DEFAULT_ALPHA,
         beta: int = DEFAULT_BETA,
         initial_guess: int = 1,
-    ):
+    ) -> None:
         super().__init__(alpha=alpha)
         if beta < 2:
             raise ConfigurationError("beta must be >= 2")

@@ -27,6 +27,7 @@ from ..core.instance import Instance
 from ..core.job import Job
 from ..core.simulator import Selection
 from ..core.sp import series_segments
+from ..core.util import Array
 from .outtree import GeneralOutTreeScheduler, _Member
 
 __all__ = ["PhasedOutForestScheduler"]
@@ -35,7 +36,9 @@ __all__ = ["PhasedOutForestScheduler"]
 class PhasedOutForestScheduler(GeneralOutTreeScheduler):
     """Guess-and-double Algorithm 𝒜 extended to series-of-out-forest jobs."""
 
-    def __init__(self, alpha: int = 4, beta: int = 8, initial_guess: int = 1):
+    def __init__(
+        self, alpha: int = 4, beta: int = 8, initial_guess: int = 1
+    ) -> None:
         super().__init__(alpha=alpha, beta=beta, initial_guess=initial_guess)
 
     @property
@@ -49,7 +52,7 @@ class PhasedOutForestScheduler(GeneralOutTreeScheduler):
             raise ConfigurationError(
                 f"m={m} must be at least alpha={self.alpha}"
             )
-        self._segments: list[list[np.ndarray]] = []
+        self._segments: list[list[Array]] = []
         for i, job in enumerate(instance):
             segments = series_segments(job.dag)
             if segments is None:
@@ -95,7 +98,9 @@ class PhasedOutForestScheduler(GeneralOutTreeScheduler):
         selection = super().select(t, capacity)
         # Detect segment completions caused by this step's selection.
         touched_jobs = {job_id for job_id, _ in self._just_selected}
-        for job_id in touched_jobs:
+        # Enrollment order decides cohort membership downstream: iterate
+        # touched jobs in sorted order, never set order.
+        for job_id in sorted(touched_jobs):
             idx = self._next_segment[job_id] - 1
             if idx < 0:
                 continue

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.instance import Instance
 from ..core.job import Job
 from ..core.simulator import Scheduler, Selection
+from ..core.util import Array
 from .base import ArbitraryTieBreak, ReadyHeap, TieBreak
 
 __all__ = ["SRPTScheduler"]
@@ -32,7 +33,9 @@ class SRPTScheduler(Scheduler):
 
     clairvoyant = True
 
-    def __init__(self, tie_break: Optional[TieBreak] = None, seed: Optional[int] = None):
+    def __init__(
+        self, tie_break: Optional[TieBreak] = None, seed: Optional[int] = None
+    ) -> None:
         self.tie_break = tie_break if tie_break is not None else ArbitraryTieBreak()
         self._seed = seed
 
@@ -50,7 +53,7 @@ class SRPTScheduler(Scheduler):
         self._heaps[job_id] = ReadyHeap(job, self.tie_break)
         self._alive.append(job_id)
 
-    def on_nodes_ready(self, t: int, job_id: int, nodes: np.ndarray) -> None:
+    def on_nodes_ready(self, t: int, job_id: int, nodes: Array) -> None:
         heap = self._heaps[job_id]
         assert heap is not None
         heap.push_all(nodes)
@@ -62,7 +65,9 @@ class SRPTScheduler(Scheduler):
         for job_id in order:
             if capacity <= 0:
                 break
-            taken = self._heaps[job_id].pop_up_to(capacity)
+            heap = self._heaps[job_id]
+            assert heap is not None, "alive job without a heap"
+            taken = heap.pop_up_to(capacity)
             capacity -= len(taken)
             selection.extend((job_id, node) for node in taken)
             self._remaining[job_id] -= len(taken)

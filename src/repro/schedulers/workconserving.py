@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.instance import Instance
 from ..core.simulator import Scheduler, Selection
+from ..core.util import Array
 
 __all__ = [
     "GlobalArbitraryScheduler",
@@ -36,7 +37,7 @@ class _ReadyPool(Scheduler):
     def reset(self, instance: Instance, m: int) -> None:
         self._ready: set[tuple[int, int]] = set()
 
-    def on_nodes_ready(self, t: int, job_id: int, nodes: np.ndarray) -> None:
+    def on_nodes_ready(self, t: int, job_id: int, nodes: Array) -> None:
         self._ready.update((job_id, int(v)) for v in nodes)
 
     def _take(self, pairs: list[tuple[int, int]]) -> Selection:
@@ -59,7 +60,7 @@ class GlobalArbitraryScheduler(_ReadyPool):
 class RandomScheduler(_ReadyPool):
     """Work-conserving fill with a uniformly random ready subset."""
 
-    def __init__(self, seed: Optional[int] = None):
+    def __init__(self, seed: Optional[int] = None) -> None:
         self._seed = seed
 
     @property
@@ -90,7 +91,7 @@ class RoundRobinScheduler(Scheduler):
         self._ready: dict[int, list[int]] = {}
         self._cursor = 0
 
-    def on_nodes_ready(self, t: int, job_id: int, nodes: np.ndarray) -> None:
+    def on_nodes_ready(self, t: int, job_id: int, nodes: Array) -> None:
         bucket = self._ready.setdefault(job_id, [])
         for v in nodes:
             heapq.heappush(bucket, int(v))

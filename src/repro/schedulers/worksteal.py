@@ -35,6 +35,7 @@ import numpy as np
 from ..core.instance import Instance
 from ..core.job import Job
 from ..core.simulator import Scheduler, Selection
+from ..core.util import Array
 
 __all__ = ["WorkStealingScheduler"]
 
@@ -60,7 +61,7 @@ class WorkStealingScheduler(Scheduler):
         *,
         steal_attempts: int = 2,
         deterministic_fallback: bool = False,
-    ):
+    ) -> None:
         if steal_attempts < 1:
             raise ValueError("steal_attempts must be >= 1")
         self._seed = seed
@@ -90,7 +91,7 @@ class WorkStealingScheduler(Scheduler):
         # The whole job enters at one random worker.
         self._entry_worker = int(self._rng.integers(0, self._m))
 
-    def on_nodes_ready(self, t: int, job_id: int, nodes: np.ndarray) -> None:
+    def on_nodes_ready(self, t: int, job_id: int, nodes: Array) -> None:
         for v in nodes:
             key = (job_id, int(v))
             worker = self._owner.pop(key, None)

@@ -7,8 +7,6 @@ import pytest
 from repro.analysis import OptReference, run_case
 from repro.core import simulate
 from repro.schedulers import (
-    ArbitraryTieBreak,
-    FIFOScheduler,
     GeneralOutTreeScheduler,
     SemiBatchedOutTreeScheduler,
 )

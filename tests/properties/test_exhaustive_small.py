@@ -4,7 +4,6 @@ Stronger than sampling: for every out-forest up to 6 nodes (720 shapes per
 size-6 batch) the core claims hold without exception.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import check_lpf_ancestor_structure, check_mc_busy, head_tail_shape

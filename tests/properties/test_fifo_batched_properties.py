@@ -2,7 +2,6 @@
 instances (the paper proves these for arbitrary DAG jobs — we generate
 general DAGs, not just trees)."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

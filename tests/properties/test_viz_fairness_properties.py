@@ -1,7 +1,6 @@
 """Property-based tests: renderers and fairness metrics agree with the
 schedules they summarize."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

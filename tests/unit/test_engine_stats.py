@@ -1,7 +1,6 @@
 """EngineStats: per-run counters, the process-wide accumulator, and the
 stats attached to schedules by ``simulate``."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

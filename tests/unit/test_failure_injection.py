@@ -23,7 +23,7 @@ class TestCheckerNegatives:
     def test_lemma_6_5_detects_violation(self):
         """A hand-built schedule that parks the oldest job way too long
         must fail Lemma 6.5's clause (1)."""
-        from repro.analysis import check_lemma_6_4, check_lemma_6_5
+        from repro.analysis import check_lemma_6_5
 
         opt = 2
         # 40 batches: enough that i - log tau > 0 (tau(1, 2) = 4 -> log 2).

@@ -17,7 +17,6 @@ from repro.core import (
     Job,
     Schedule,
     chain,
-    complete_kary_tree,
     simulate,
     star,
 )

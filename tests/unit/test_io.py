@@ -7,7 +7,6 @@ from repro.core import (
     DAG,
     Instance,
     Job,
-    chain,
     load_instance_json,
     load_schedule_npz,
     save_instance_json,

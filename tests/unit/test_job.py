@@ -1,6 +1,5 @@
 """Unit tests for Job and merge_jobs."""
 
-import numpy as np
 import pytest
 
 from repro.core import ConfigurationError, DAG, Job, chain, merge_jobs, star

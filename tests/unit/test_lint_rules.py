@@ -1,0 +1,219 @@
+"""Fixture-driven tests for ``repro.lint``.
+
+Every rule ships its own ``bad_example`` / ``good_example`` snippet pair;
+the parametrized tests below are the contract that each rule fires on the
+former and stays silent on the latter. The remaining tests cover the
+engine: suppression pragmas (with the mandatory-reason policy), import
+alias resolution, report aggregation, and the JSON payload shape.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintReport, Violation, lint_paths, lint_source
+from repro.lint.engine import SUPPRESSION_RULE_ID, SYNTAX_RULE_ID, FileContext
+from repro.lint.model import parse_suppressions
+from repro.lint.registry import RULES, Rule, all_rules, get_rule, register_rule
+
+ALL_RULES = all_rules()
+
+
+# ----------------------------------------------------------------------
+# The fixture contract: bad fires, good is silent
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("rule", ALL_RULES, ids=lambda r: r.rule_id)
+def test_rule_fires_on_bad_example(rule):
+    assert rule.bad_example.strip(), f"{rule.rule_id} ships no bad_example"
+    report = lint_source(rule.bad_example, path="bad.py", rules=[rule])
+    fired = {v.rule_id for v in report.violations}
+    assert rule.rule_id in fired, f"{rule.rule_id} silent on its own bad_example"
+
+
+@pytest.mark.parametrize("rule", ALL_RULES, ids=lambda r: r.rule_id)
+def test_rule_silent_on_good_example(rule):
+    assert rule.good_example.strip(), f"{rule.rule_id} ships no good_example"
+    report = lint_source(rule.good_example, path="good.py", rules=[rule])
+    assert report.violations == [], (
+        f"{rule.rule_id} false positive on its good_example: "
+        f"{[v.format() for v in report.violations]}"
+    )
+
+
+@pytest.mark.parametrize("rule", ALL_RULES, ids=lambda r: r.rule_id)
+def test_rule_metadata_complete(rule):
+    assert rule.rule_id.startswith("RPR") and len(rule.rule_id) == 6
+    assert rule.title
+    assert rule.rationale
+
+
+def test_rule_catalog_is_stable():
+    # Adding a rule is fine; renumbering or dropping one is an API break.
+    expected = {
+        "RPR001", "RPR002", "RPR003",  # determinism
+        "RPR101", "RPR102", "RPR103",  # scheduler contracts
+        "RPR201", "RPR202", "RPR203",  # engine safety
+        "RPR301",  # picklability
+    }
+    assert expected <= set(RULES)
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+BARE_EXCEPT = textwrap.dedent(
+    """
+    try:
+        x = 1
+    except:
+        pass
+    """
+)
+
+
+def _violation_line(source: str, rule_id: str) -> int:
+    report = lint_source(source, rules=[get_rule(rule_id)])
+    assert report.violations, "expected the seed snippet to fire"
+    return report.violations[0].line
+
+
+def test_suppression_with_reason_filters_violation():
+    line = _violation_line(BARE_EXCEPT, "RPR202")
+    lines = BARE_EXCEPT.splitlines()
+    lines[line - 1] += "  # repro-lint: disable=RPR202 (narrow enough here)"
+    report = lint_source("\n".join(lines), rules=[get_rule("RPR202")])
+    assert report.violations == []
+    assert report.suppressed_count == 1
+
+
+def test_suppression_without_reason_is_itself_a_violation():
+    line = _violation_line(BARE_EXCEPT, "RPR202")
+    lines = BARE_EXCEPT.splitlines()
+    lines[line - 1] += "  # repro-lint: disable=RPR202"
+    report = lint_source("\n".join(lines), rules=[get_rule("RPR202")])
+    fired = {v.rule_id for v in report.violations}
+    # The original violation survives AND the reason-less pragma is flagged.
+    assert fired == {"RPR202", SUPPRESSION_RULE_ID}
+    assert report.suppressed_count == 0
+
+
+def test_suppression_for_other_rule_does_not_cover():
+    line = _violation_line(BARE_EXCEPT, "RPR202")
+    lines = BARE_EXCEPT.splitlines()
+    lines[line - 1] += "  # repro-lint: disable=RPR001 (wrong id on purpose)"
+    report = lint_source("\n".join(lines), rules=[get_rule("RPR202")])
+    assert {v.rule_id for v in report.violations} == {"RPR202"}
+
+
+def test_suppression_multiple_ids_one_reason():
+    pragma = "# repro-lint: disable=RPR001, RPR202 (fixture)"
+    sup, = parse_suppressions([pragma])
+    assert sup.rule_ids == ("RPR001", "RPR202")
+    assert sup.has_reason
+    assert sup.covers(
+        Violation(path="x", line=1, col=0, rule_id="RPR202", message="m")
+    )
+    assert not sup.covers(
+        Violation(path="x", line=2, col=0, rule_id="RPR202", message="m")
+    )
+
+
+def test_suppression_reason_of_whitespace_does_not_count():
+    sup, = parse_suppressions(["pass  # repro-lint: disable=RPR202 (   )"])
+    assert not sup.has_reason
+
+
+# ----------------------------------------------------------------------
+# Engine mechanics
+# ----------------------------------------------------------------------
+
+
+def test_syntax_error_reports_rpr999():
+    report = lint_source("def broken(:\n    pass\n", path="oops.py")
+    assert [v.rule_id for v in report.violations] == [SYNTAX_RULE_ID]
+    assert report.files_checked == 1
+
+
+def test_import_alias_resolution_sees_through_renames():
+    # `import numpy.random as nr` must still resolve to numpy.random.*.
+    snippet = "import numpy.random as nr\nx = nr.rand(3)\n"
+    report = lint_source(snippet, rules=[get_rule("RPR001")])
+    assert {v.rule_id for v in report.violations} == {"RPR001"}
+
+
+def test_dotted_name_resolution():
+    import ast
+
+    source = "import numpy as np\nv = np.random.default_rng(0)\n"
+    ctx = FileContext("x.py", source, ast.parse(source))
+    call = ctx.tree.body[1].value
+    assert ctx.dotted_name(call.func) == "numpy.random.default_rng"
+    assert ctx.dotted_name(ast.parse("f()(x)").body[0].value.func) is None
+
+
+def test_lint_paths_walks_and_skips_caches(tmp_path):
+    pkg = tmp_path / "pkg"
+    (pkg / "__pycache__").mkdir(parents=True)
+    (pkg / "ok.py").write_text("x = 1\n")
+    (pkg / "bad.py").write_text(BARE_EXCEPT)
+    (pkg / "__pycache__" / "junk.py").write_text("try:\n    x = 1\nexcept:\n    pass\n")
+    report = lint_paths([pkg])
+    assert report.files_checked == 2
+    assert {v.rule_id for v in report.violations} == {"RPR202"}
+    assert all("__pycache__" not in v.path for v in report.violations)
+
+
+def test_lint_paths_rejects_non_python(tmp_path):
+    target = tmp_path / "notes.txt"
+    target.write_text("hello")
+    with pytest.raises(FileNotFoundError):
+        lint_paths([target])
+
+
+def test_report_json_shape():
+    report = lint_source(BARE_EXCEPT, path="bad.py")
+    payload = report.to_json()
+    assert payload["version"] == 1
+    assert payload["files_checked"] == 1
+    assert payload["violation_count"] == len(payload["violations"])
+    entry = payload["violations"][0]
+    assert set(entry) == {"path", "line", "col", "rule_id", "message"}
+    assert entry["path"] == "bad.py"
+
+
+def test_report_merge_and_render():
+    merged = LintReport()
+    merged.merge(lint_source("x = 1\n", path="a.py"))
+    merged.merge(lint_source(BARE_EXCEPT, path="b.py"))
+    merged.sort()
+    text = merged.render_text()
+    assert "b.py" in text
+    assert text.endswith("in 2 files")
+
+
+def test_register_rule_rejects_duplicates_and_blank_ids():
+    class Blank(Rule):
+        rule_id = ""
+
+        def check(self, ctx):  # pragma: no cover - never called
+            return iter(())
+
+    with pytest.raises(ValueError, match="rule_id"):
+        register_rule(Blank)
+
+    class Duplicate(Rule):
+        rule_id = "RPR202"
+
+        def check(self, ctx):  # pragma: no cover - never called
+            return iter(())
+
+    with pytest.raises(ValueError, match="duplicate"):
+        register_rule(Duplicate)
+
+
+def test_get_rule_unknown_id():
+    with pytest.raises(KeyError, match="RPR777"):
+        get_rule("RPR777")

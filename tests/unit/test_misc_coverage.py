@@ -4,8 +4,8 @@ boundary arithmetic, cached properties."""
 import numpy as np
 import pytest
 
-from repro.core import DAG, Instance, Job, SolverError, antichain, chain, star
-from repro.schedulers import GeneralOutTreeScheduler, exact_opt
+from repro.core import Instance, Job, SolverError, chain, star
+from repro.schedulers import GeneralOutTreeScheduler
 
 
 class TestSolverLimits:

@@ -11,7 +11,6 @@ from repro.core import (
     SolverError,
     antichain,
     chain,
-    complete_kary_tree,
     star,
 )
 from repro.schedulers import (

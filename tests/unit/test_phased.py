@@ -8,8 +8,6 @@ from repro.core import (
     DAG,
     Instance,
     Job,
-    antichain,
-    chain,
     series_segments,
     simulate,
     star,

@@ -1,10 +1,9 @@
 """Additional Schedule surface: restricted profiles, window metrics,
 multi-job step grouping — the pieces the Section 6 analysis leans on."""
 
-import numpy as np
 import pytest
 
-from repro.core import Instance, Job, Schedule, antichain, chain, simulate, star
+from repro.core import Instance, Job, antichain, chain, simulate, star
 from repro.schedulers import FIFOScheduler
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the simulation engine: semantics, protocol enforcement."""
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -15,7 +14,6 @@ from repro.core import (
     simulate,
     star,
 )
-from repro.schedulers import FIFOScheduler
 
 
 class GreedyStub(Scheduler):

@@ -1,6 +1,5 @@
 """Unit tests for the theorem-bounds module and transitive reduction."""
 
-import math
 
 import numpy as np
 import pytest
@@ -16,7 +15,7 @@ from repro.analysis.theory import (
     theorem_5_7_ratio,
     theorem_6_1_bound,
 )
-from repro.core import ConfigurationError, DAG, chain, complete_kary_tree
+from repro.core import ConfigurationError, DAG
 
 
 class TestTheoremBounds:

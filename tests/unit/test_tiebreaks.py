@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import DAG, Job
+from repro.core import Job
 from repro.schedulers import (
     ArbitraryTieBreak,
     DepthTieBreak,

@@ -1,6 +1,5 @@
 """Edge cases for trace collection and the remaining small surfaces."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

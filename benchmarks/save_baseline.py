@@ -53,6 +53,18 @@ def _bench_lpf_irregular():
     return _irregular_stream(), (lambda: FIFOScheduler(LongestPathTieBreak())), 16
 
 
+def _bench_mc_irregular():
+    from repro.schedulers import FIFOScheduler, MostChildrenTieBreak
+
+    return _irregular_stream(), (lambda: FIFOScheduler(MostChildrenTieBreak())), 16
+
+
+def _bench_srpt_irregular():
+    from repro.schedulers import SRPTScheduler
+
+    return _irregular_stream(), (lambda: SRPTScheduler()), 16
+
+
 def _bench_worksteal_irregular():
     from repro.schedulers import WorkStealingScheduler
 
@@ -64,6 +76,8 @@ def _bench_worksteal_irregular():
 MICROBENCHES = {
     "fifo_on_packed_rectangles": _bench_fifo_packed,
     "lpf_on_irregular_trees": _bench_lpf_irregular,
+    "mc_on_irregular_trees": _bench_mc_irregular,
+    "srpt_on_irregular_trees": _bench_srpt_irregular,
     "worksteal_on_irregular_trees": _bench_worksteal_irregular,
 }
 

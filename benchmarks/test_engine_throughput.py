@@ -13,6 +13,8 @@ from repro.schedulers import (
     ArbitraryTieBreak,
     FIFOScheduler,
     LongestPathTieBreak,
+    MostChildrenTieBreak,
+    SRPTScheduler,
     WorkStealingScheduler,
 )
 from repro.workloads import layered_tree, quicksort_tree
@@ -50,6 +52,21 @@ def test_lpf_on_irregular_trees(benchmark, irregular_stream):
     _throughput(
         benchmark, irregular_stream, lambda: FIFOScheduler(LongestPathTieBreak()), 16
     )
+
+
+def test_mc_on_irregular_trees(benchmark, irregular_stream):
+    _throughput(
+        benchmark,
+        irregular_stream,
+        lambda: FIFOScheduler(MostChildrenTieBreak()),
+        16,
+    )
+
+
+def test_srpt_on_irregular_trees(benchmark, irregular_stream):
+    """SRPT cannot use the fast path (its job order is not FIFO), so this
+    tracks the dispatch path's throughput on the same workload."""
+    _throughput(benchmark, irregular_stream, lambda: SRPTScheduler(), 16)
 
 
 def test_worksteal_on_irregular_trees(benchmark, irregular_stream):

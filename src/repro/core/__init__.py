@@ -26,6 +26,7 @@ from .simulator import (
     EngineStats,
     Scheduler,
     SimulationObserver,
+    accumulate_engine_stats,
     engine_stats_snapshot,
     reset_engine_stats,
     simulate,
@@ -51,6 +52,7 @@ __all__ = [
     "FlatInstanceGraph",
     "engine_stats_snapshot",
     "reset_engine_stats",
+    "accumulate_engine_stats",
     "MetricsCollector",
     "TraceSummary",
     "SPNode",

@@ -68,6 +68,7 @@ __all__ = [
     "EngineStats",
     "engine_stats_snapshot",
     "reset_engine_stats",
+    "accumulate_engine_stats",
 ]
 
 _INT = np.int64
@@ -76,7 +77,13 @@ _INT = np.int64
 #: batch path's fixed dispatch cost only pays off for wider steps.
 _SCALAR_THRESHOLD = 8
 
-Selection = Sequence[tuple[int, int]]
+#: A scheduler selection: ``(job_id, node)`` pairs, either as a Python
+#: sequence of tuples or as a ``(k, 2)`` integer array (which the batched
+#: apply path consumes without a per-pair conversion round-trip). A 1-D
+#: integer array is also accepted and read as *flat gids* over the
+#: instance CSR (``offsets[job] + node``) — the cheapest form for
+#: schedulers that already work in gid space (e.g. work stealing).
+Selection = Sequence[tuple[int, int]] | Array
 
 
 class Scheduler(abc.ABC):
@@ -105,6 +112,36 @@ class Scheduler(abc.ABC):
     #: MUST NOT keep selection-relevant state that a resync cannot rebuild
     #: (e.g. RNG streams advanced per ready node).
     supports_fast_forward: bool = False
+
+    #: Opt-in to flat ready delivery: when True (and no observer is
+    #: attached) the engine calls :meth:`on_ready_gids` with ascending
+    #: *global* node ids instead of grouping newly-ready nodes per job for
+    #: :meth:`on_nodes_ready` — skipping a searchsorted/unique pass per
+    #: step for schedulers (e.g. work stealing) that do not care about job
+    #: identity. Opting in requires implementing BOTH callbacks: observer
+    #: runs still use the per-job form.
+    wants_ready_gids: bool = False
+
+    def on_ready_gids(self, t: int, gids: Array) -> None:
+        """``gids`` (ascending global node ids spanning any number of jobs)
+        became ready at time ``t``. Only called when
+        :attr:`wants_ready_gids` is True."""
+
+    def frontier_priorities(self, instance: Instance) -> Optional[Array]:
+        """Flat per-global-node int64 priorities for the engine's
+        *priority commit* (smaller = sooner, ties by ascending id).
+
+        Consulted once per run, after :meth:`reset`, and only when
+        :attr:`supports_fast_forward` is True. Returning an array extends
+        the forced-frontier fast path to *truncated* steps: when capacity
+        runs out mid-job the engine itself takes the priority-best ready
+        subjobs of that job via one stable argsort, so :meth:`select` (and
+        :meth:`resync`) are never dispatched at all. The array must order
+        every job's nodes exactly as the scheduler's own tie-break would;
+        returning ``None`` (the default) keeps the job-boundary-only fast
+        path.
+        """
+        return None
 
     @abc.abstractmethod
     def reset(self, instance: Instance, m: int) -> None:
@@ -139,8 +176,9 @@ class Scheduler(abc.ABC):
 
     @abc.abstractmethod
     def select(self, t: int, capacity: int) -> Selection:
-        """Return up to ``capacity`` ready ``(job_id, node_id)`` pairs to run
-        during ``(t, t+1]``."""
+        """Return up to ``capacity`` ready subjobs to run during
+        ``(t, t+1]`` — ``(job_id, node_id)`` pairs (sequence of tuples or a
+        ``(k, 2)`` integer array), or a 1-D integer array of flat gids."""
 
     @property
     def name(self) -> str:
@@ -169,6 +207,10 @@ class EngineStats:
     fast_forwarded_steps:
         Steps committed by the forced-frontier fast path, without a
         ``select`` dispatch.
+    kernel_steps:
+        The subset of fast-forwarded steps that truncated a job mid-frontier
+        and were resolved by the scheduler's priority kernel
+        (:meth:`Scheduler.frontier_priorities`) instead of a dispatch.
     selections:
         Subjobs scheduled in total.
     select_calls:
@@ -185,6 +227,7 @@ class EngineStats:
     select_calls: int = 0
     resyncs: int = 0
     sim_seconds: float = 0.0
+    kernel_steps: int = 0
 
     @property
     def ns_per_subjob(self) -> float:
@@ -200,6 +243,7 @@ class EngineStats:
         """Accumulate ``other`` into this counter block (in place)."""
         self.steps += other.steps
         self.fast_forwarded_steps += other.fast_forwarded_steps
+        self.kernel_steps += other.kernel_steps
         self.selections += other.selections
         self.select_calls += other.select_calls
         self.resyncs += other.resyncs
@@ -211,6 +255,7 @@ class EngineStats:
             steps=self.steps - earlier.steps,
             fast_forwarded_steps=self.fast_forwarded_steps
             - earlier.fast_forwarded_steps,
+            kernel_steps=self.kernel_steps - earlier.kernel_steps,
             selections=self.selections - earlier.selections,
             select_calls=self.select_calls - earlier.select_calls,
             resyncs=self.resyncs - earlier.resyncs,
@@ -221,7 +266,8 @@ class EngineStats:
         """One-line human-readable rendering (experiment notes, CLI)."""
         return (
             f"steps={self.steps} fast={self.fast_forwarded_steps} "
-            f"({100.0 * self.fast_fraction:.0f}%) selections={self.selections} "
+            f"({100.0 * self.fast_fraction:.0f}%) "
+            f"kernel={self.kernel_steps} selections={self.selections} "
             f"select_calls={self.select_calls} resyncs={self.resyncs} "
             f"ns/subjob={self.ns_per_subjob:.0f}"
         )
@@ -245,6 +291,17 @@ def reset_engine_stats() -> None:
     """Zero the process-wide engine counters."""
     global _GLOBAL_STATS
     _GLOBAL_STATS = EngineStats()
+
+
+def accumulate_engine_stats(stats: EngineStats) -> None:
+    """Fold externally-collected counters into this process's accumulator.
+
+    The parallel experiment harness uses this to merge per-worker
+    :class:`EngineStats` deltas back into the parent, so
+    :func:`engine_stats_snapshot` windows account for engine effort spent
+    in worker processes too.
+    """
+    _GLOBAL_STATS.add(stats)
 
 
 class EngineState:
@@ -314,6 +371,18 @@ class EngineState:
 
     def unfinished_job_ids(self) -> list[int]:
         return [i for i in range(len(self.instance)) if self.unfinished_counts[i] > 0]
+
+
+def _pairs_from_gids(offsets: Array, gids: Array) -> list[tuple[int, int]]:
+    """Decode a flat-gid selection into (job, local node) pairs.
+
+    Cold paths only (scalar steps, error diagnosis, observer delivery).
+    Out-of-range gids decode to out-of-range pairs, which the pairwise
+    validation then rejects with its usual diagnosis.
+    """
+    js = np.searchsorted(offsets, gids, side="right") - 1
+    nodes = gids - offsets[js]
+    return [(int(a), int(b)) for a, b in zip(js.tolist(), nodes.tolist())]
 
 
 def _selection_error(
@@ -437,19 +506,56 @@ def simulate(
     unfinished = state.unfinished_counts
     ready_per_job = state.ready_per_job
     is_forest = flat.all_out_forests
+    # For pure out-forests every enabled child has exactly one parent, so
+    # readiness never consults indegrees — skip their upkeep entirely unless
+    # an observer may inspect ``state.remaining_indegree``.
+    track_indeg = (not is_forest) or (observer is not None)
 
     ready_total = 0
     total_left = int(unfinished.sum())
     fast_ok = observer is None and scheduler.supports_fast_forward
+    # Flat priority kernel (see Scheduler.frontier_priorities): with one the
+    # fast path also covers truncated-mid-job steps, committing the cap-best
+    # ready subjobs by a stable argsort — select() is never dispatched.
+    prio_flat: Optional[Array] = (
+        scheduler.frontier_priorities(instance) if fast_ok else None
+    )
+    # Encoded priority frontiers: with a non-constant kernel the fast path
+    # stores each frontier pre-sorted by the composite key
+    # ``rank(priority) * n_total + gid`` — unique per node and lexicographic
+    # in (priority, id) — so a mid-job truncation is a plain prefix slice
+    # instead of a per-step argsort. Priorities are dense-ranked first so the
+    # composite never overflows int64 whatever the kernel's magnitudes. A
+    # constant kernel (e.g. Arbitrary's zeros) encodes to the identity:
+    # ``prio_enc`` stays None and frontiers remain plain gid-sorted arrays
+    # (preserving the contiguous-slice child gather).
+    n_total = flat.n_nodes
+    prio_enc: Optional[Array] = None
+    if prio_flat is not None and prio_flat.size:
+        # Cheap O(n) constancy scan first: skip the dense-ranking sort for
+        # constant kernels, whose encoding would be the identity anyway.
+        if int(prio_flat.min()) < int(prio_flat.max()):
+            _ranks = np.unique(prio_flat, return_inverse=True)[1]
+            prio_enc = _ranks.astype(np.int64) * n_total + np.arange(
+                n_total, dtype=np.int64
+            )
+    # Flat ready delivery (see Scheduler.wants_ready_gids): hand newly-ready
+    # nodes over as one ascending gid array instead of grouping per job.
+    use_flat_ready = scheduler.wants_ready_gids and observer is None
+    # ready_per_job only feeds the fast-path frontier scan; skip its upkeep
+    # on the batched slow path when nothing reads it.
+    track_per_job = fast_ok or not use_flat_ready
     # While fast_run is True the engine runs on per-job frontier arrays and
     # defers ready_mask/done_flat (and, for forests, indegree) upkeep; the
     # deferred state is materialized when leaving fast mode, right before
     # the scheduler is resynced.
     fast_run = False
     frontiers: list[Optional[Array]] = [None] * n_jobs
-    # Invariant: stored frontiers are ascending; fr_contig[j] marks the ones
-    # that are a contiguous id range (then their CSR child rows are adjacent
-    # and the per-step gather collapses to one slice).
+    # Invariant: stored frontiers are ascending — in gids when ``prio_enc``
+    # is None, else in encoded (priority, id) keys. fr_contig[j] marks
+    # gid-sorted frontiers that are a contiguous id range (then their CSR
+    # child rows are adjacent and the per-step gather collapses to one
+    # slice); encoded frontiers never claim contiguity.
     fr_contig = [False] * n_jobs
     head = 0  # job ids below this are finished (jobs finish roughly FIFO)
 
@@ -475,11 +581,19 @@ def simulate(
                 # The scheduler's ready bookkeeping is stale anyway while
                 # fast-forwarded; resync() will deliver it wholesale.
                 fr = offsets[job_id] + roots  # roots are ascending
-                frontiers[job_id] = fr
-                fr_contig[job_id] = bool(fr[-1] - fr[0] == fr.size - 1)
+                if prio_enc is not None:
+                    fr = np.sort(prio_enc[fr])
+                    frontiers[job_id] = fr
+                else:
+                    frontiers[job_id] = fr
+                    fr_contig[job_id] = bool(fr[-1] - fr[0] == fr.size - 1)
             else:
-                ready_mask[offsets[job_id] + roots] = True
-                scheduler.on_nodes_ready(t, job_id, roots)
+                root_gids = offsets[job_id] + roots
+                ready_mask[root_gids] = True
+                if use_flat_ready:
+                    scheduler.on_ready_gids(t, root_gids)
+                else:
+                    scheduler.on_nodes_ready(t, job_id, roots)
             ready_per_job[job_id] += roots.size
             ready_total += roots.size
             next_arrival_idx += 1
@@ -506,15 +620,19 @@ def simulate(
             cap = m
             commit_jobs: list[int] = []
             forced = True
+            trunc_job = -1
             for j in range(head, next_arrival_idx):
                 if cap == 0:
                     break
-                c = ready_per_job[j]
+                c = int(ready_per_job[j])
                 if c == 0:
                     continue
                 if c <= cap:
                     commit_jobs.append(j)
                     cap -= c
+                elif prio_flat is not None:
+                    trunc_job = j  # truncation mid-job: the kernel decides
+                    break
                 else:
                     forced = False  # truncation mid-job: tie-break decides
                     break
@@ -527,17 +645,23 @@ def simulate(
                             lo, hi = offsets_list[j], offsets_list[j + 1]
                             fr = np.nonzero(ready_mask[lo:hi])[0]
                             fr += lo
-                            frontiers[j] = fr
-                            fr_contig[j] = bool(
-                                fr.size == 0 or fr[-1] - fr[0] == fr.size - 1
-                            )
+                            if prio_enc is not None:
+                                fr = np.sort(prio_enc[fr])
+                                frontiers[j] = fr
+                            else:
+                                frontiers[j] = fr
+                                fr_contig[j] = bool(
+                                    fr.size == 0
+                                    or fr[-1] - fr[0] == fr.size - 1
+                                )
                     fast_run = True
                     indeg_list = None  # scalar-path copy goes stale
                 finish = t + 1
                 k = 0
                 for j in commit_jobs:
-                    gids = frontiers[j]
-                    assert gids is not None  # commit_jobs have live frontiers
+                    fr = frontiers[j]
+                    assert fr is not None  # commit_jobs have live frontiers
+                    gids = fr if prio_enc is None else fr % n_total
                     completion_flat[gids] = finish
                     if fr_contig[j]:
                         # Contiguous CSR rows: concatenated children are one
@@ -547,23 +671,65 @@ def simulate(
                         ]
                     else:
                         kids, _ = csr_gather(child_indptr, child_indices, gids)
-                    if is_forest:
-                        # Every child's sole parent just completed; sort to
-                        # keep the frontier-ascending invariant.
-                        kids = np.sort(kids)
-                    else:
+                    if not is_forest:
                         np.subtract.at(indeg, kids, 1)
                         kids = np.unique(kids[indeg[kids] == 0])
-                    frontiers[j] = kids
-                    ksz = kids.size
-                    fr_contig[j] = bool(
-                        ksz == 0 or kids[-1] - kids[0] == ksz - 1
-                    )
+                    # (For forests every child's sole parent just completed.)
+                    if prio_enc is None:
+                        # Sort to keep the frontier-ascending invariant
+                        # (np.unique output above is already sorted).
+                        nfr = np.sort(kids) if is_forest else kids
+                        ksz = nfr.size
+                        fr_contig[j] = bool(
+                            ksz == 0 or nfr[-1] - nfr[0] == ksz - 1
+                        )
+                    else:
+                        nfr = np.sort(prio_enc[kids])
+                        ksz = nfr.size
+                    frontiers[j] = nfr
                     taken = gids.size
                     ready_per_job[j] = ksz
                     unfinished[j] -= taken
                     ready_total += ksz - taken
                     k += taken
+                if trunc_job >= 0:
+                    # Priority commit: resolve the mid-job truncation with
+                    # the flat kernel. Frontiers are pre-sorted in tie-break
+                    # order — by encoded (priority, id) keys, or by gid when
+                    # the kernel is constant — so the cap-best nodes are a
+                    # plain prefix slice; the engine never consults the
+                    # scheduler and no per-step sort of the whole frontier
+                    # by priority is needed.
+                    j = trunc_job
+                    fr = frontiers[j]
+                    # trunc_job is only set when a kernel exists, and its
+                    # frontier was materialized on fast-mode entry.
+                    assert fr is not None
+                    taken_enc = fr[:cap]
+                    rest = fr[cap:]
+                    gids = (
+                        taken_enc if prio_enc is None else taken_enc % n_total
+                    )
+                    completion_flat[gids] = finish
+                    kids, _ = csr_gather(child_indptr, child_indices, gids)
+                    if not is_forest:
+                        np.subtract.at(indeg, kids, 1)
+                        kids = np.unique(kids[indeg[kids] == 0])
+                    if prio_enc is not None:
+                        kids = prio_enc[kids]
+                    new_fr = np.concatenate((rest, kids))
+                    new_fr.sort()
+                    frontiers[j] = new_fr
+                    nsz = new_fr.size
+                    if prio_enc is None:
+                        fr_contig[j] = bool(
+                            nsz == 0 or new_fr[-1] - new_fr[0] == nsz - 1
+                        )
+                    ready_per_job[j] = nsz
+                    unfinished[j] -= cap
+                    ready_total += nsz - fr.size
+                    k += cap
+                    stats.kernel_steps += 1
                 total_left -= k
                 stats.steps += 1
                 stats.fast_forwarded_steps += 1
@@ -582,9 +748,10 @@ def simulate(
                 fr = frontiers[j]
                 if fr is not None:
                     if fr.size:
-                        ready_mask[fr] = True
+                        ids = fr if prio_enc is None else fr % n_total
+                        ready_mask[ids] = True
                         if is_forest:
-                            indeg[fr] = 0
+                            indeg[ids] = 0
                     frontiers[j] = None
             if is_forest:
                 # Forest fast mode skips decrements: every node enabled
@@ -594,9 +761,29 @@ def simulate(
             scheduler.resync(t, state)
             stats.resyncs += 1
 
-        selection = list(scheduler.select(t, m))
+        raw = scheduler.select(t, m)
         stats.select_calls += 1
-        k = len(selection)
+        sel_arr: Optional[Array] = None
+        gid_sel: Optional[Array] = None
+        selection: Optional[list[tuple[int, int]]] = None
+        if isinstance(raw, np.ndarray):
+            # Array selections skip the per-pair list round-trip entirely:
+            # (k, 2) rows of (job, local node), or — cheapest — a 1-D array
+            # of flat gids over the instance CSR (no id split round-trip).
+            if raw.ndim == 1 and raw.dtype.kind in "iu":
+                gid_sel = raw
+                k = int(raw.shape[0])
+            elif raw.ndim == 2 and raw.shape[1] == 2 and raw.dtype.kind in "iu":
+                sel_arr = raw
+                k = int(raw.shape[0])
+            else:
+                raise SchedulerProtocolError(
+                    f"{scheduler.name} returned a malformed selection array "
+                    f"(shape {raw.shape}, dtype {raw.dtype}) at t={t}"
+                )
+        else:
+            selection = list(raw)
+            k = len(selection)
         if k > m:
             raise SchedulerProtocolError(
                 f"{scheduler.name} selected {k} > m={m} nodes at t={t}"
@@ -604,10 +791,17 @@ def simulate(
         finish = t + 1
         ready_jobs_in_order: list[int] = []
         ready_locals: list[Array] = []
+        flat_ready_gids: Optional[Array] = None
 
         if 0 < k < _SCALAR_THRESHOLD:
             # Scalar path: tiny steps are cheaper without array dispatch.
-            if indeg_list is None:
+            if selection is None:
+                if sel_arr is not None:
+                    selection = [(int(a), int(b)) for a, b in sel_arr.tolist()]
+                else:
+                    assert gid_sel is not None
+                    selection = _pairs_from_gids(offsets, gid_sel)
+            if track_indeg and indeg_list is None:
                 indeg_list = indeg.tolist()
             newly_by_job: dict[int, list[int]] = {}
             for i, (job_id, node) in enumerate(selection):
@@ -636,69 +830,128 @@ def simulate(
                 ready_total -= 1
                 # Children always live in the selecting job's id range (the
                 # flat CSR concatenates per-job DAGs).
-                for child in child_indices[
-                    child_indptr[gid] : child_indptr[gid + 1]
-                ].tolist():
-                    left = indeg_list[child] - 1
-                    indeg_list[child] = left
-                    indeg[child] = left
-                    if left == 0:
+                if track_indeg:
+                    assert indeg_list is not None
+                    for child in child_indices[
+                        child_indptr[gid] : child_indptr[gid + 1]
+                    ].tolist():
+                        left = indeg_list[child] - 1
+                        indeg_list[child] = left
+                        indeg[child] = left
+                        if left == 0:
+                            newly_by_job.setdefault(job_id, []).append(child - lo)
+                else:
+                    # Out-forest: the sole parent just completed, so every
+                    # child is ready now.
+                    for child in child_indices[
+                        child_indptr[gid] : child_indptr[gid + 1]
+                    ].tolist():
                         newly_by_job.setdefault(job_id, []).append(child - lo)
+            flat_parts: list[Array] = []
             for job_id, locals_ in newly_by_job.items():
                 locals_.sort()
                 arr = np.array(locals_, dtype=_INT)
-                ready_mask[offsets[job_id] + arr] = True
+                garr = offsets[job_id] + arr
+                ready_mask[garr] = True
                 ready_per_job[job_id] += arr.size
                 ready_total += arr.size
-                ready_jobs_in_order.append(job_id)
-                ready_locals.append(arr)
+                if use_flat_ready:
+                    flat_parts.append(garr)
+                else:
+                    ready_jobs_in_order.append(job_id)
+                    ready_locals.append(arr)
+            if flat_parts:
+                if len(flat_parts) == 1:
+                    flat_ready_gids = flat_parts[0]
+                else:
+                    flat_ready_gids = np.concatenate(flat_parts)
+                    flat_ready_gids.sort()
         elif k:
             # Batched path: apply + validate the whole selection at once.
-            try:
-                sel = np.asarray(selection)
-                ok = (
-                    sel.ndim == 2
-                    and sel.shape[1] == 2
-                    and sel.dtype.kind in "iu"
+            if gid_sel is not None:
+                # Flat-gid form: bounds come from the sorted copy, then one
+                # readiness reduction and a sort-diff distinctness check.
+                gids = gid_sel.astype(_INT, copy=False)
+                sg = np.sort(gids)
+                ok = bool(int(sg[0]) >= 0 and int(sg[-1]) < n_total) and bool(
+                    ready_mask[gids].all() and (sg[1:] != sg[:-1]).all()
                 )
-            except (TypeError, ValueError):
-                ok = False
-            if ok:
-                jobs_sel = sel[:, 0].astype(_INT, copy=False)
-                nodes_sel = sel[:, 1].astype(_INT, copy=False)
-                if (jobs_sel < 0).any() or (jobs_sel >= n_jobs).any():
-                    ok = False
+                if ok:
+                    jobs_sel = np.searchsorted(offsets, gids, side="right") - 1
+            else:
+                if sel_arr is not None:
+                    ok = True
+                    jobs_sel = sel_arr[:, 0].astype(_INT, copy=False)
+                    nodes_sel = sel_arr[:, 1].astype(_INT, copy=False)
                 else:
-                    gids = offsets[jobs_sel] + nodes_sel
-                    ok = bool(
-                        (nodes_sel >= 0).all()
-                        and (gids < offsets[jobs_sel + 1]).all()
-                        and ready_mask[gids].all()
-                        and np.unique(gids).size == k
-                    )
+                    try:
+                        sel = np.asarray(selection)
+                        ok = (
+                            sel.ndim == 2
+                            and sel.shape[1] == 2
+                            and sel.dtype.kind in "iu"
+                        )
+                    except (TypeError, ValueError):
+                        ok = False
+                    if ok:
+                        jobs_sel = sel[:, 0].astype(_INT, copy=False)
+                        nodes_sel = sel[:, 1].astype(_INT, copy=False)
+                if ok:
+                    if (jobs_sel < 0).any() or (jobs_sel >= n_jobs).any():
+                        ok = False
+                    else:
+                        gids = offsets[jobs_sel] + nodes_sel
+                        ok = bool(
+                            (
+                                (nodes_sel >= 0)
+                                & (gids < offsets[jobs_sel + 1])
+                            ).all()
+                        )
+                        if ok:
+                            sg = np.sort(gids)
+                            ok = bool(
+                                ready_mask[gids].all()
+                                # Distinctness via sort-diff (cheaper than
+                                # np.unique, which also extracts values).
+                                and (k < 2 or (sg[1:] != sg[:-1]).all())
+                            )
             if not ok:
+                if selection is None:
+                    if sel_arr is not None:
+                        selection = [
+                            (int(a), int(b)) for a, b in sel_arr.tolist()
+                        ]
+                    else:
+                        assert gid_sel is not None
+                        selection = _pairs_from_gids(offsets, gid_sel)
                 raise _diagnose_selection(selection, state, t, scheduler)
             completion_flat[gids] = finish
             done_flat[gids] = True
             ready_mask[gids] = False
             cnt = np.bincount(jobs_sel, minlength=n_jobs)
             unfinished -= cnt
-            ready_per_job -= cnt
+            if track_per_job:
+                ready_per_job -= cnt
             total_left -= k
             ready_total -= k
             if indeg_list is not None:
                 indeg_list = None
             kids, _ = csr_gather(child_indptr, child_indices, gids)
             if kids.size:
-                np.subtract.at(indeg, kids, 1)
-                zero_mask = indeg[kids] == 0
-                if zero_mask.any():
+                if track_indeg:
+                    np.subtract.at(indeg, kids, 1)
+                if is_forest:
+                    # Every child's sole parent just completed: all ready.
+                    stream = kids
+                    childs = np.sort(kids)
+                else:
+                    zero_mask = indeg[kids] == 0
                     zc = kids[zero_mask]
-                    zpos = np.nonzero(zero_mask)[0]
-                    if not is_forest:
+                    if zc.size:
                         # A multi-parent child hits zero on its *last*
                         # decrement; keep that occurrence only so callback
                         # order matches the reference loop exactly.
+                        zpos = np.nonzero(zero_mask)[0]
                         order = np.lexsort((zpos, zc))
                         zc, zpos = zc[order], zpos[order]
                         last = np.ones(zc.size, dtype=bool)
@@ -707,28 +960,43 @@ def simulate(
                         stream = zc[np.argsort(zpos, kind="stable")]
                         childs = zc  # ascending unique
                     else:
-                        stream = zc
-                        childs = np.sort(zc)
+                        stream = childs = zc  # nothing enabled
+                if childs.size:
                     ready_mask[childs] = True
                     ready_total += childs.size
-                    sjobs = np.searchsorted(offsets, stream, side="right") - 1
-                    ready_per_job += np.bincount(sjobs, minlength=n_jobs)
-                    # Group per job in first-enabled order, nodes ascending.
-                    ujobs, first = np.unique(sjobs, return_index=True)
-                    for j in ujobs[np.argsort(first, kind="stable")].tolist():
-                        lo, hi = offsets_list[j], offsets_list[j + 1]
-                        a = np.searchsorted(childs, lo)
-                        b = np.searchsorted(childs, hi)
-                        ready_jobs_in_order.append(j)
-                        ready_locals.append(childs[a:b] - lo)
+                    if track_per_job:
+                        sjobs = (
+                            np.searchsorted(offsets, stream, side="right") - 1
+                        )
+                        ready_per_job += np.bincount(sjobs, minlength=n_jobs)
+                    if use_flat_ready:
+                        flat_ready_gids = childs
+                    else:
+                        # Group per job in first-enabled order, ascending.
+                        ujobs, first = np.unique(sjobs, return_index=True)
+                        for j in ujobs[np.argsort(first, kind="stable")].tolist():
+                            lo, hi = offsets_list[j], offsets_list[j + 1]
+                            a = np.searchsorted(childs, lo)
+                            b = np.searchsorted(childs, hi)
+                            ready_jobs_in_order.append(j)
+                            ready_locals.append(childs[a:b] - lo)
 
         if observer is not None:
+            if selection is None:
+                if sel_arr is not None:
+                    selection = [(int(a), int(b)) for a, b in sel_arr.tolist()]
+                else:
+                    assert gid_sel is not None
+                    selection = _pairs_from_gids(offsets, gid_sel)
             observer.on_step(t, selection, state)
         stats.steps += 1
         stats.selections += k
         t = finish
-        for job_id, arr in zip(ready_jobs_in_order, ready_locals):
-            scheduler.on_nodes_ready(t, job_id, arr)
+        if flat_ready_gids is not None:
+            scheduler.on_ready_gids(t, flat_ready_gids)
+        else:
+            for job_id, arr in zip(ready_jobs_in_order, ready_locals):
+                scheduler.on_nodes_ready(t, job_id, arr)
 
     completion = [
         completion_flat[offsets[i] : offsets[i + 1]] for i in range(n_jobs)
@@ -823,7 +1091,13 @@ def _simulate_reference(
             t = int(releases[arrival_order[next_arrival_idx]])
             continue
 
-        selection = list(scheduler.select(t, m))
+        raw = scheduler.select(t, m)
+        if isinstance(raw, np.ndarray) and raw.ndim == 1:
+            # Flat-gid selections (see ``Selection``): decode to pairs —
+            # the reference engine always works pairwise.
+            selection = _pairs_from_gids(instance.flat_graph.offsets, raw)
+        else:
+            selection = list(raw)
         if len(selection) > m:
             raise SchedulerProtocolError(
                 f"{scheduler.name} selected {len(selection)} > m={m} nodes at t={t}"

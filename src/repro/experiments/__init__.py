@@ -1,6 +1,7 @@
 """Experiments: one module per reproduced table/figure (see DESIGN.md's
 per-experiment index), plus the registry and table plumbing."""
 
+from .pool import shared_pool, shutdown_shared_pool
 from .runner import Claim, ExperimentResult, format_table, repeat_experiment
 
 __all__ = [
@@ -8,6 +9,8 @@ __all__ = [
     "ExperimentResult",
     "format_table",
     "repeat_experiment",
+    "shared_pool",
+    "shutdown_shared_pool",
     "EXPERIMENTS",
     "SCALE_PRESETS",
     "run_experiment",

@@ -1,0 +1,82 @@
+"""Persistent shared process pool for the experiment harness.
+
+``repeat_experiment`` and ``run_all`` used to build (and tear down) a fresh
+``ProcessPoolExecutor`` per call; for the common pattern of many small
+parallel calls — seed sweeps inside a benchmark session, repeated
+``run_all`` invocations — worker spawn and interpreter warm-up dominated.
+This module keeps ONE process-wide executor alive across calls:
+
+* the pool is created lazily on first use and reused by every later call;
+* it is recreated (the old one drained and shut down) only when a caller
+  asks for *more* workers than the live pool has;
+* each worker runs an initializer that inherits the parent's
+  ``REPRO_CACHE_DIR`` so all processes share one on-disk workload cache
+  (generated DAGs are built once, not once per worker);
+* an ``atexit`` hook shuts the pool down with the interpreter.
+
+Worker processes re-import ``repro``; anything monkeypatched in the parent
+(registries, experiment functions) is invisible to them — the same caveat
+as any process pool, documented on :func:`repro.experiments.run_all`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+__all__ = ["shared_pool", "shutdown_shared_pool"]
+
+_CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+_atexit_registered = False
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    """Run in every worker at spawn: inherit the parent's workload cache
+    directory (the env var may not propagate under spawn start methods)."""
+    if cache_dir is not None:
+        os.environ[_CACHE_ENV_VAR] = cache_dir
+
+
+def shared_pool(n_workers: int) -> ProcessPoolExecutor:
+    """Return the process-wide executor, sized for at least ``n_workers``.
+
+    The live pool is reused whenever it already has enough workers; asking
+    for more replaces it (after letting queued work finish). The pool is
+    shared state: callers must not shut it down — use
+    :func:`shutdown_shared_pool` (tests do) or let ``atexit`` handle it.
+    """
+    global _pool, _pool_workers, _atexit_registered
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if _pool is None or _pool_workers < n_workers:
+        if _pool is not None:
+            _pool.shutdown(wait=True)
+        _pool = ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_worker_init,
+            initargs=(os.environ.get(_CACHE_ENV_VAR),),
+        )
+        _pool_workers = n_workers
+        if not _atexit_registered:
+            atexit.register(shutdown_shared_pool)
+            _atexit_registered = True
+    return _pool
+
+
+def shutdown_shared_pool() -> None:
+    """Shut down the shared executor (no-op when none is live).
+
+    The next :func:`shared_pool` call starts a fresh one — callers that
+    mutate ``REPRO_CACHE_DIR`` mid-process (tests) call this so new workers
+    pick the change up.
+    """
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+        _pool = None
+        _pool_workers = 0

@@ -3,7 +3,6 @@ mirrored in code. ``run_all`` regenerates every table/figure."""
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -236,6 +235,16 @@ def _run_registered(task: tuple) -> ExperimentResult:
     )
 
 
+def _run_registered_with_stats(task: tuple) -> tuple[ExperimentResult, object]:
+    """Worker wrapper returning the result plus the engine-stats delta this
+    task cost in its worker (the parent folds it into its accumulator)."""
+    from ..core import engine_stats_snapshot
+
+    before = engine_stats_snapshot()
+    result = _run_registered(task)
+    return result, engine_stats_snapshot().delta(before)
+
+
 def run_all(
     scale: str = "default",
     *,
@@ -248,11 +257,13 @@ def run_all(
 
     ``only`` restricts the run to the given experiment ids (registry order
     is kept regardless of the order given). With ``n_workers > 1`` the runs
-    fan out over a ``ProcessPoolExecutor``; results are returned in
-    registry order regardless of completion order. Worker processes
-    re-import this module, so a monkeypatched registry is only visible to
-    the serial path — tests that stub experiments must use the default
-    (serial) mode.
+    fan out over the persistent shared process pool
+    (:func:`repro.experiments.pool.shared_pool`, reused across calls);
+    results are returned in registry order regardless of completion order,
+    and each worker's :class:`~repro.core.EngineStats` delta is folded into
+    this process's accumulator. Worker processes re-import this module, so
+    a monkeypatched registry is only visible to the serial path — tests
+    that stub experiments must use the default (serial) mode.
     """
     if only is not None:
         unknown = set(only) - set(EXPERIMENTS)
@@ -264,6 +275,13 @@ def run_all(
         if only is None or exp_id in only
     ]
     if n_workers is not None and n_workers > 1:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            return list(pool.map(_run_registered, tasks))
+        from ..core import accumulate_engine_stats
+
+        from .pool import shared_pool
+
+        pool = shared_pool(n_workers)
+        pairs = list(pool.map(_run_registered_with_stats, tasks))
+        for _, delta in pairs:
+            accumulate_engine_stats(delta)
+        return [result for result, _ in pairs]
     return [_run_registered(task) for task in tasks]

@@ -8,9 +8,11 @@ the regenerated tables) and asserts ``result.claims_hold()``.
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
+
+from .pool import shared_pool
 
 __all__ = ["Claim", "ExperimentResult", "format_table", "repeat_experiment"]
 
@@ -77,6 +79,38 @@ def _run_one_seed(task: tuple) -> "ExperimentResult":
     return run_fn(seed=seed, **params)
 
 
+def _run_one_seed_with_stats(task: tuple) -> tuple["ExperimentResult", Any]:
+    """Worker wrapper that also captures the engine effort this task cost
+    in its worker process, as an :class:`~repro.core.EngineStats` delta the
+    parent folds back into its own accumulator."""
+    from ..core import engine_stats_snapshot
+
+    before = engine_stats_snapshot()
+    result = _run_one_seed(task)
+    return result, engine_stats_snapshot().delta(before)
+
+
+def _unpicklable_part(task: tuple) -> Optional[str]:
+    """Name what makes ``task`` unshippable to workers (None if picklable)."""
+    try:
+        pickle.dumps(task)
+        return None
+    except Exception:
+        pass
+    run_fn, params, _seed = task
+    try:
+        pickle.dumps(run_fn)
+    except Exception:
+        name = getattr(run_fn, "__qualname__", None) or repr(run_fn)
+        return f"run_fn {name!r}"
+    for key, value in params.items():
+        try:
+            pickle.dumps(value)
+        except Exception:
+            return f"parameter {key}={value!r}"
+    return "the task tuple"
+
+
 def repeat_experiment(
     run_fn,
     seeds: Sequence[int],
@@ -97,22 +131,35 @@ def repeat_experiment(
     Parameters
     ----------
     n_workers:
-        When > 1, fan the seeds out over a ``ProcessPoolExecutor``.
-        Results come back in seed order regardless of completion order, so
-        output is deterministic. Falls back to serial execution when the
-        experiment closure cannot be pickled (e.g. a local lambda).
+        When > 1, fan the seeds out over the persistent shared process
+        pool (:func:`repro.experiments.pool.shared_pool` — reused across
+        calls, workers inherit the parent's ``REPRO_CACHE_DIR``). Results
+        come back in seed order regardless of completion order, so output
+        is deterministic, and each worker's :class:`~repro.core.
+        EngineStats` delta is folded into this process's accumulator.
+        Falls back to serial execution — with a :class:`RuntimeWarning`
+        naming the offending object — when the experiment closure cannot
+        be pickled (e.g. a local lambda).
     """
     tasks = [(run_fn, dict(params), seed) for seed in seeds]
     results: Optional[list[ExperimentResult]] = None
     if n_workers is not None and n_workers > 1 and len(tasks) > 1:
-        try:
-            pickle.dumps(tasks[0])
-            picklable = True
-        except Exception:
-            picklable = False
-        if picklable:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                results = list(pool.map(_run_one_seed, tasks))
+        offender = _unpicklable_part(tasks[0])
+        if offender is not None:
+            warnings.warn(
+                f"repeat_experiment: {offender} cannot be pickled for "
+                "worker processes; running the seed sweep serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            from ..core import accumulate_engine_stats
+
+            pool = shared_pool(n_workers)
+            pairs = list(pool.map(_run_one_seed_with_stats, tasks))
+            results = [result for result, _ in pairs]
+            for _, delta in pairs:
+                accumulate_engine_stats(delta)
     if results is None:
         results = [_run_one_seed(task) for task in tasks]
 

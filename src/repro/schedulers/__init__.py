@@ -3,6 +3,7 @@ the offline optimum/lower-bound solvers."""
 
 from .base import (
     ArbitraryTieBreak,
+    BucketReadyQueue,
     DepthTieBreak,
     LongestPathTieBreak,
     MostChildrenTieBreak,
@@ -10,6 +11,7 @@ from .base import (
     ReadyHeap,
     ReverseTieBreak,
     TieBreak,
+    make_ready_queue,
 )
 from .fifo import FIFOScheduler
 from .lpf import LPFScheduler, lpf_flow, lpf_schedule
@@ -44,6 +46,8 @@ __all__ = [
     "LongestPathTieBreak",
     "MostChildrenTieBreak",
     "ReadyHeap",
+    "BucketReadyQueue",
+    "make_ready_queue",
     "FIFOScheduler",
     "LPFScheduler",
     "lpf_schedule",

@@ -18,6 +18,19 @@ O(n) ``list.remove`` per finished job. With a :attr:`~TieBreak.pure`
 tie-break the scheduler also opts in to the engine's steady-state fast path
 (see :attr:`~repro.core.Scheduler.supports_fast_forward`), since its walk
 is exactly the FIFO frontier contract.
+
+Two vectorized layers sit on top (``docs/engine-internals.md``):
+
+* ready structures come from :func:`~repro.schedulers.base.make_ready_queue`
+  — a :class:`~repro.schedulers.base.BucketReadyQueue` whenever the
+  tie-break has a priority kernel, the pure-Python
+  :class:`~repro.schedulers.base.ReadyHeap` otherwise; and
+* :meth:`FIFOScheduler.frontier_priorities` hands the engine a flat kernel
+  over all jobs, letting it resolve even *truncated* fast-path steps itself
+  (the scheduler is then never dispatched at all).
+
+``use_priority_kernel=False`` forces the classic heap path — the reference
+configuration the equivalence tests compare against.
 """
 
 from __future__ import annotations
@@ -31,7 +44,7 @@ from ..core.instance import Instance
 from ..core.job import Job
 from ..core.simulator import EngineState, Scheduler, Selection
 from ..core.util import Array
-from .base import ArbitraryTieBreak, ReadyHeap, TieBreak
+from .base import ArbitraryTieBreak, ReadyHeap, ReadyQueue, TieBreak, make_ready_queue
 
 __all__ = ["FIFOScheduler"]
 
@@ -47,15 +60,24 @@ class FIFOScheduler(Scheduler):
         "arbitrary FIFO", and the policy its Section 4 lower bound defeats).
     seed:
         Forwarded to ``tie_break.reset`` (relevant for random tie-breaks).
+    use_priority_kernel:
+        ``None`` (default) uses the tie-break's precomputed priority kernel
+        whenever one exists; ``False`` forces the pure-Python
+        ``TieBreak.key()``/:class:`ReadyHeap` path (the retained reference,
+        bit-identical by the kernel contract).
     """
 
     def __init__(
-        self, tie_break: Optional[TieBreak] = None, seed: Optional[int] = None
+        self,
+        tie_break: Optional[TieBreak] = None,
+        seed: Optional[int] = None,
+        use_priority_kernel: Optional[bool] = None,
     ) -> None:
         self.tie_break = tie_break if tie_break is not None else ArbitraryTieBreak()
         self._seed = seed
+        self._use_kernel = use_priority_kernel is not False
         self.clairvoyant = self.tie_break.clairvoyant
-        self._heaps: list[Optional[ReadyHeap]] = []
+        self._heaps: list[Optional[ReadyQueue]] = []
         self._unfinished: list[int] = []
         self._n_finished = 0
         self._remaining: Array = np.empty(0, dtype=np.int64)
@@ -71,6 +93,28 @@ class FIFOScheduler(Scheduler):
         heap pops in the same order as an incrementally-filled one)."""
         return self.tie_break.pure
 
+    def frontier_priorities(self, instance: Instance) -> Optional[Array]:
+        """Concatenated per-job priority kernels for the engine's priority
+        commit — available iff the tie-break is pure and every job has a
+        kernel (custom ``key()``-only tie-breaks return ``None`` and keep
+        the dispatch/resync path)."""
+        if not self._use_kernel or not self.tie_break.pure:
+            return None
+        kernels = []
+        for job in instance:
+            kernel = self.tie_break.priority_kernel(job)
+            if kernel is None:
+                return None
+            kernels.append(kernel)
+        if not kernels:
+            return None
+        return np.concatenate(kernels)
+
+    def _make_queue(self, job: Job) -> ReadyQueue:
+        if self._use_kernel:
+            return make_ready_queue(job, self.tie_break)
+        return ReadyHeap(job, self.tie_break)
+
     def reset(self, instance: Instance, m: int) -> None:
         self.tie_break.reset(self._seed)
         self._heaps = [None] * len(instance)
@@ -82,7 +126,7 @@ class FIFOScheduler(Scheduler):
         self._instance = instance
 
     def on_job_arrival(self, t: int, job_id: int, job: Job) -> None:
-        self._heaps[job_id] = ReadyHeap(job, self.tie_break)
+        self._heaps[job_id] = self._make_queue(job)
         # Arrivals come in release order, which is id order except for
         # same-time ties — append when possible, insort otherwise.
         if not self._unfinished or job_id > self._unfinished[-1]:
@@ -107,7 +151,7 @@ class FIFOScheduler(Scheduler):
         ]
         self._n_finished = 0
         for job_id in self._unfinished:
-            heap = ReadyHeap(instance[job_id], self.tie_break)
+            heap = self._make_queue(instance[job_id])
             heap.push_all(state.ready_nodes(job_id))
             self._heaps[job_id] = heap
 

@@ -28,10 +28,23 @@ __all__ = ["LPFScheduler", "lpf_schedule", "lpf_flow"]
 
 
 class LPFScheduler(FIFOScheduler):
-    """FIFO across jobs, Longest-Path-First within a job (clairvoyant)."""
+    """FIFO across jobs, Longest-Path-First within a job (clairvoyant).
 
-    def __init__(self, seed: Optional[int] = None) -> None:
-        super().__init__(tie_break=LongestPathTieBreak(), seed=seed)
+    Runs on the vectorized height-kernel path by default (heights are the
+    LPF priority, precomputed per job — see ``docs/engine-internals.md``);
+    ``use_priority_kernel=False`` forces the pure-Python reference heap.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        use_priority_kernel: Optional[bool] = None,
+    ) -> None:
+        super().__init__(
+            tie_break=LongestPathTieBreak(),
+            seed=seed,
+            use_priority_kernel=use_priority_kernel,
+        )
 
     @property
     def name(self) -> str:

@@ -91,13 +91,18 @@ class MostChildrenReplayer:
             counts = self._children_in_next(arr, nxt)
             # Priority: most children in the next level, then greatest
             # height (see the module docstring's reproduction finding),
-            # then id.
+            # then id. Build each level already sorted (one vectorized
+            # lexsort) — a sorted list satisfies the heap invariant, so no
+            # heapify / per-entry tuple comparisons are needed.
             heights = dag.height[arr]
-            heap = [
-                (-int(c), -int(h), int(v))
-                for c, h, v in zip(counts, heights, arr)
-            ]
-            heapq.heapify(heap)
+            order = np.lexsort((arr, -heights, -counts))
+            heap = list(
+                zip(
+                    (-counts[order]).tolist(),
+                    (-heights[order]).tolist(),
+                    arr[order].tolist(),
+                )
+            )
             self._levels.append(heap)
             self._level_remaining.append(len(heap))
             self._remaining += len(heap)

@@ -23,13 +23,20 @@ from ..core.instance import Instance
 from ..core.job import Job
 from ..core.simulator import Scheduler, Selection
 from ..core.util import Array
-from .base import ArbitraryTieBreak, ReadyHeap, TieBreak
+from .base import ArbitraryTieBreak, ReadyQueue, TieBreak, make_ready_queue
 
 __all__ = ["SRPTScheduler"]
 
 
 class SRPTScheduler(Scheduler):
-    """Serve jobs in order of least remaining work (ties: arrival order)."""
+    """Serve jobs in order of least remaining work (ties: arrival order).
+
+    Intra-job ready structures come from
+    :func:`~repro.schedulers.base.make_ready_queue`, so pure tie-breaks with
+    a priority kernel get the vectorized bucket queue automatically. (SRPT's
+    job order is *not* FIFO, so it cannot use the engine's fast path —
+    ``select`` runs every step regardless.)
+    """
 
     clairvoyant = True
 
@@ -45,12 +52,12 @@ class SRPTScheduler(Scheduler):
 
     def reset(self, instance: Instance, m: int) -> None:
         self.tie_break.reset(self._seed)
-        self._heaps: list[Optional[ReadyHeap]] = [None] * len(instance)
+        self._heaps: list[Optional[ReadyQueue]] = [None] * len(instance)
         self._remaining = np.array([j.work for j in instance], dtype=np.int64)
         self._alive: list[int] = []
 
     def on_job_arrival(self, t: int, job_id: int, job: Job) -> None:
-        self._heaps[job_id] = ReadyHeap(job, self.tie_break)
+        self._heaps[job_id] = make_ready_queue(job, self.tie_break)
         self._alive.append(job_id)
 
     def on_nodes_ready(self, t: int, job_id: int, nodes: Array) -> None:

@@ -23,6 +23,28 @@ fails ``steal_attempts`` random steals in a step stays idle even if work
 exists elsewhere — exactly the slack the ABP analysis charges for. Setting
 ``steal_attempts >= m`` with ``deterministic_fallback=True`` recovers a
 fully work-conserving variant.
+
+Implementation notes (vectorized hot path)
+------------------------------------------
+
+Deques hold *global* node ids over the instance CSR; ownership of
+newly-enabled children is one flat int64 array indexed by gid (``-1`` =
+unowned, claimed by the arrival's entry worker). For out-forest instances
+ownership resolves lazily: selections record which worker ran each node
+(one scatter), and delivery looks up the executing worker of the sole
+parent — no per-step CSR child gather at all (general DAGs keep the gather
+and register children eagerly). Per step the policy does one batched RNG
+draw for all idle workers' steal probes and returns the selection as a
+flat gid array the engine applies without a job/node split round-trip; it
+also opts in to flat ready delivery (:attr:`~repro.core.Scheduler.
+wants_ready_gids`), skipping the engine's per-job grouping pass.
+
+Within a step, every worker first pops its own deque and only then the
+idle ones steal (in worker order, probes drawn from one batch per step).
+This is the natural sequentialization of "busy workers keep their own
+work; idle workers steal concurrently"; per-seed streams differ from a
+strictly interleaved obtain loop, but the policy and its guarantees are
+unchanged — runs remain deterministic and reproducible per seed.
 """
 
 from __future__ import annotations
@@ -35,9 +57,11 @@ import numpy as np
 from ..core.instance import Instance
 from ..core.job import Job
 from ..core.simulator import Scheduler, Selection
-from ..core.util import Array
+from ..core.util import Array, csr_gather
 
 __all__ = ["WorkStealingScheduler"]
+
+_INT = np.int64
 
 
 class WorkStealingScheduler(Scheduler):
@@ -54,6 +78,8 @@ class WorkStealingScheduler(Scheduler):
         deques deterministically — making the policy work-conserving (and
         the ``check_work_conserving`` invariant applicable).
     """
+
+    wants_ready_gids = True
 
     def __init__(
         self,
@@ -77,10 +103,28 @@ class WorkStealingScheduler(Scheduler):
         self._rng = np.random.default_rng(self._seed)
         self._instance = instance
         self._m = m
-        self._deques: list[deque[tuple[int, int]]] = [deque() for _ in range(m)]
-        #: worker that executed the most recent completed parent of a node,
-        #: so newly enabled children land on the right deque.
-        self._owner: dict[tuple[int, int], int] = {}
+        flat = instance.flat_graph
+        self._offsets = flat.offsets
+        self._child_indptr = flat.child_indptr
+        self._child_indices = flat.child_indices
+        self._deques: list[deque[int]] = [deque() for _ in range(m)]
+        n = flat.n_nodes
+        #: gid -> worker that executed its most recent completed parent
+        #: (-1: no parent executed yet; such nodes land at the entry worker).
+        self._owner: Array = np.full(n, -1, dtype=_INT)
+        self._parent_of: Optional[Array] = None
+        if flat.all_out_forests:
+            # Forest fast path: each node has one parent, so child ownership
+            # is "worker that ran my parent". Record executions in a flat
+            # ``_ran_by`` scatter (k writes per step) instead of gathering
+            # each selection's children through the CSR. Roots point at the
+            # sentinel slot ``n``, which stays -1 (= entry worker) forever.
+            parent_of = np.full(n + 1, n, dtype=_INT)
+            parent_of[flat.child_indices] = np.repeat(
+                np.arange(n, dtype=_INT), np.diff(flat.child_indptr)
+            )
+            self._parent_of = parent_of
+            self._ran_by: Array = np.full(n + 1, -1, dtype=_INT)
         self._entry_worker = 0
         self._steals = 0
         self._steal_misses = 0
@@ -91,50 +135,82 @@ class WorkStealingScheduler(Scheduler):
         # The whole job enters at one random worker.
         self._entry_worker = int(self._rng.integers(0, self._m))
 
+    def on_ready_gids(self, t: int, gids: Array) -> None:
+        deques = self._deques
+        entry = self._entry_worker
+        if self._parent_of is not None:
+            owners = self._ran_by[self._parent_of[gids]]
+        else:
+            owners = self._owner[gids]
+        for gid, worker in zip(gids.tolist(), owners.tolist()):
+            deques[worker if worker >= 0 else entry].append(gid)  # bottom
+
     def on_nodes_ready(self, t: int, job_id: int, nodes: Array) -> None:
-        for v in nodes:
-            key = (job_id, int(v))
-            worker = self._owner.pop(key, None)
-            if worker is None:
-                worker = self._entry_worker
-            self._deques[worker].append(key)  # push to bottom
+        # Per-job fallback (observer runs and the reference engine deliver
+        # readiness this way); same ascending order as the flat form since
+        # one job's gids are contiguous.
+        self.on_ready_gids(t, self._offsets[job_id] + np.asarray(nodes, dtype=_INT))
 
     # -- per-step policy -----------------------------------------------------
 
     def select(self, t: int, capacity: int) -> Selection:
-        selection: list[tuple[int, int]] = []
-        for worker in range(min(self._m, capacity)):
-            task = self._obtain(worker)
-            if task is None:
-                continue
-            selection.append(task)
-            job_id, node = task
-            # Children enabled by this execution will belong to `worker`.
-            # (We pre-register ownership; the engine will call
-            # on_nodes_ready for those that became ready.)
-            # Note: a child with several parents ends up owned by the last
-            # parent to register — fine for a baseline policy.
-            dag = self._instance[job_id].dag
-            for child in dag.children(node):
-                self._owner[(job_id, int(child))] = worker
-        return selection
-
-    def _obtain(self, worker: int) -> Optional[tuple[int, int]]:
-        own = self._deques[worker]
-        if own:
-            return own.pop()  # bottom: depth-first on own work
-        # Steal from the top of random victims.
-        for _ in range(self.steal_attempts):
-            victim = int(self._rng.integers(0, self._m))
-            if victim != worker and self._deques[victim]:
-                self._steals += 1
-                return self._deques[victim].popleft()
-            self._steal_misses += 1
-        if self.deterministic_fallback:
-            for victim in range(self._m):
-                if victim != worker and self._deques[victim]:
-                    return self._deques[victim].popleft()
-        return None
+        deques = self._deques
+        m = self._m
+        picked: list[int] = []
+        workers: list[int] = []
+        idle: list[int] = []
+        add_pick = picked.append
+        add_worker = workers.append
+        for worker in range(m if m <= capacity else capacity):
+            own = deques[worker]
+            if own:
+                add_pick(own.pop())  # bottom: depth-first on own work
+                add_worker(worker)
+            else:
+                idle.append(worker)
+        if idle:
+            # One batched draw covers every idle worker's probes this step.
+            probes = self._rng.integers(
+                0, m, size=(len(idle), self.steal_attempts)
+            )
+            for worker, row in zip(idle, probes.tolist()):
+                got = -1
+                for victim in row:
+                    if victim != worker and deques[victim]:
+                        self._steals += 1
+                        got = deques[victim].popleft()  # steal from the top
+                        break
+                    self._steal_misses += 1
+                if got < 0 and self.deterministic_fallback:
+                    for victim in range(m):
+                        if victim != worker and deques[victim]:
+                            got = deques[victim].popleft()
+                            break
+                if got >= 0:
+                    add_pick(got)
+                    add_worker(worker)
+        if not picked:
+            return np.empty(0, dtype=_INT)
+        gids = np.array(picked, dtype=_INT)
+        w = np.array(workers, dtype=_INT)
+        # Children enabled by these executions will belong to their worker.
+        if self._parent_of is not None:
+            # Forests resolve ownership lazily at delivery (on_ready_gids)
+            # from the executing worker recorded here.
+            self._ran_by[gids] = w
+        else:
+            # General DAGs pre-register through the CSR; the engine only
+            # delivers the children that actually become ready. A child with
+            # several parents ends up owned by the last parent to register —
+            # fine for a baseline policy.
+            kids, counts = csr_gather(
+                self._child_indptr, self._child_indices, gids
+            )
+            if kids.size:
+                self._owner[kids] = np.repeat(w, counts)
+        # Flat-gid selection: the engine consumes gids without a job/node
+        # id split round-trip (see ``repro.core.simulator.Selection``).
+        return gids
 
     # -- introspection -------------------------------------------------------
 

@@ -35,10 +35,22 @@ class TestPerRunStats:
         st = simulate(_packed_instance(), 4, FIFOScheduler()).engine_stats
         assert st.fast_forwarded_steps > 0
         assert st.resyncs == 0 and st.select_calls == 0
-        # m=6 truncates job 1 mid-frontier once both overlap: the engine
-        # must leave fast mode and resync the scheduler.
+        # m=6 truncates job 1 mid-frontier once both overlap. With the
+        # priority kernel (the default) the engine resolves truncations
+        # itself — still zero dispatches, with kernel steps counted.
         st = simulate(_packed_instance(), 6, FIFOScheduler()).engine_stats
         assert st.fast_forwarded_steps > 0
+        assert st.kernel_steps > 0
+        assert st.select_calls == 0 and st.resyncs == 0
+        assert st.fast_fraction == 1.0
+
+    def test_kernel_disabled_resyncs_like_before(self):
+        # Forcing the reference heap path restores the pre-kernel behavior:
+        # a mid-frontier truncation leaves fast mode and resyncs.
+        scheduler = FIFOScheduler(use_priority_kernel=False)
+        st = simulate(_packed_instance(), 6, scheduler).engine_stats
+        assert st.fast_forwarded_steps > 0
+        assert st.kernel_steps == 0
         assert st.select_calls > 0
         assert st.resyncs >= 1
         assert 0.0 < st.fast_fraction < 1.0

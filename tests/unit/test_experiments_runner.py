@@ -119,6 +119,13 @@ class TestRunAll:
         assert sum(r["cases"] for r in results[0].rows) == 12  # 3 workloads x 1 trial x 4 patterns
 
 
+def _stub_taking_hook(seed=0, hook=None):
+    """Module-level (hence picklable) stub taking an arbitrary parameter."""
+    r = ExperimentResult("EX", "stub", "none")
+    r.add_claim("always", True)
+    return r
+
+
 class TestRepeatExperiment:
     @staticmethod
     def _stub(seed=0):
@@ -148,9 +155,31 @@ class TestRepeatExperiment:
     def test_unpicklable_run_fn_falls_back_to_serial(self):
         probe = []
         run_fn = lambda seed=0: probe.append(seed) or self._stub(seed)  # noqa: E731
-        results, _ = repeat_experiment(run_fn, seeds=[0, 1], n_workers=2)
+        with pytest.warns(RuntimeWarning, match="run_fn .*cannot be pickled"):
+            results, _ = repeat_experiment(run_fn, seeds=[0, 1], n_workers=2)
         assert len(results) == 2
         assert probe == [0, 1]  # ran in this process, in seed order
+
+    def test_unpicklable_param_named_in_warning(self):
+        # The run function itself pickles fine; the lambda parameter is the
+        # culprit and the warning should say so by name.
+        with pytest.warns(RuntimeWarning, match="parameter hook="):
+            results, _ = repeat_experiment(
+                _stub_taking_hook, seeds=[0, 1], n_workers=2, hook=lambda: None
+            )
+        assert len(results) == 2
+
+    def test_parallel_propagates_engine_stats(self):
+        from repro.core import engine_stats_snapshot
+
+        params = dict(width=4, n_nodes=40, trials=1)
+        before = engine_stats_snapshot()
+        repeat_experiment(run_e5, seeds=[0, 1], n_workers=2, **params)
+        delta = engine_stats_snapshot().delta(before)
+        # The work happened in worker processes, but their EngineStats
+        # deltas were folded back into this process's accumulator.
+        assert delta.steps > 0
+        assert delta.selections > 0
 
 
 class TestRunAllParallel:
@@ -189,6 +218,55 @@ class TestEngineStatsNotes:
 
         results = run_all("smoke", n_workers=2, engine_stats=True, only=["E1", "E5"])
         assert all(r.notes[-1].startswith("engine: ") for r in results)
+
+
+class TestSharedPool:
+    def test_pool_is_reused_across_calls(self):
+        from repro.experiments import shared_pool, shutdown_shared_pool
+
+        shutdown_shared_pool()
+        first = shared_pool(2)
+        assert shared_pool(2) is first
+        assert shared_pool(1) is first  # smaller requests reuse the pool
+        grown = shared_pool(3)  # larger requests replace it
+        assert grown is not first
+        shutdown_shared_pool()
+
+    def test_repeat_experiment_uses_shared_pool(self):
+        from repro.experiments import pool, shared_pool, shutdown_shared_pool
+
+        shutdown_shared_pool()
+        live = shared_pool(2)
+        repeat_experiment(run_e5, seeds=[0, 1], n_workers=2, width=4,
+                          n_nodes=40, trials=1)
+        assert pool._pool is live  # still the same executor afterwards
+        shutdown_shared_pool()
+
+    def test_rejects_bad_worker_count(self):
+        from repro.experiments import shared_pool
+
+        with pytest.raises(ValueError):
+            shared_pool(0)
+
+    def test_worker_initializer_ships_cache_dir(self, tmp_path, monkeypatch):
+        from repro.experiments import pool as pool_mod
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        pool_mod.shutdown_shared_pool()
+        try:
+            live = pool_mod.shared_pool(2)
+            dirs = set(
+                live.map(_read_cache_env, range(2))
+            )
+            assert dirs == {str(tmp_path)}
+        finally:
+            pool_mod.shutdown_shared_pool()
+
+
+def _read_cache_env(_):
+    import os
+
+    return os.environ.get("REPRO_CACHE_DIR")
 
 
 class TestScalePresets:

@@ -52,12 +52,89 @@ def test_rule_metadata_complete(rule):
 def test_rule_catalog_is_stable():
     # Adding a rule is fine; renumbering or dropping one is an API break.
     expected = {
-        "RPR001", "RPR002", "RPR003",  # determinism
+        "RPR001", "RPR002", "RPR003", "RPR004",  # determinism
         "RPR101", "RPR102", "RPR103",  # scheduler contracts
         "RPR201", "RPR202", "RPR203",  # engine safety
         "RPR301",  # picklability
     }
     assert expected <= set(RULES)
+
+
+# ----------------------------------------------------------------------
+# RPR004 — impure TieBreak.key()
+# ----------------------------------------------------------------------
+
+
+class TestImpureTieBreakKey:
+    def _fired(self, source):
+        report = lint_source(
+            textwrap.dedent(source), rules=[get_rule("RPR004")]
+        )
+        return report.violations
+
+    def test_flags_instance_rng_stream(self):
+        (v,) = self._fired(
+            """
+            class NoisyTieBreak(TieBreak):
+                def key(self, job, node):
+                    return self._rng.integers(0, 10)
+            """
+        )
+        assert "self._rng.integers" in v.message
+        assert "pure = False" in v.message
+
+    def test_flags_clock_read(self):
+        (v,) = self._fired(
+            """
+            import time
+
+            class ClockTieBreak(TieBreak):
+                def key(self, job, node):
+                    return time.perf_counter()
+            """
+        )
+        assert "time.perf_counter" in v.message
+
+    def test_flags_global_statement(self):
+        (v,) = self._fired(
+            """
+            class CountingTieBreak(TieBreak):
+                def key(self, job, node):
+                    global _calls
+                    _calls += 1
+                    return node
+            """
+        )
+        assert "global _calls" in v.message
+
+    def test_pure_false_opts_out(self):
+        assert not self._fired(
+            """
+            class NoisyTieBreak(TieBreak):
+                pure = False
+
+                def key(self, job, node):
+                    return self._rng.integers(0, 10)
+            """
+        )
+
+    def test_non_tie_break_classes_ignored(self):
+        assert not self._fired(
+            """
+            class Sampler:
+                def key(self, job, node):
+                    return self._rng.integers(0, 10)
+            """
+        )
+
+    def test_pure_key_is_silent(self):
+        assert not self._fired(
+            """
+            class DeepTieBreak(TieBreak):
+                def key(self, job, node):
+                    return -int(job.dag.depth[node])
+            """
+        )
 
 
 # ----------------------------------------------------------------------

@@ -5,6 +5,7 @@ else in the library (schedulers, workloads, analyses, experiments) is built
 on this subpackage.
 """
 
+from .availability import AvailabilityTrace, as_trace
 from .dag import DAG, antichain, caterpillar, chain, complete_kary_tree, spider, star
 from .exceptions import (
     ConfigurationError,
@@ -24,6 +25,7 @@ from .schedule import Schedule
 from .simulator import (
     EngineState,
     EngineStats,
+    FaultHooks,
     Scheduler,
     SimulationObserver,
     accumulate_engine_stats,
@@ -47,6 +49,9 @@ __all__ = [
     "Schedule",
     "Scheduler",
     "SimulationObserver",
+    "AvailabilityTrace",
+    "FaultHooks",
+    "as_trace",
     "EngineState",
     "EngineStats",
     "FlatInstanceGraph",

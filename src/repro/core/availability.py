@@ -1,0 +1,109 @@
+"""Per-step processor availability traces (fluctuating allocations).
+
+The paper's robustness results — most prominently Lemma 5.5 (Most-Children
+replay never idles granted processors) — are stated against an *adversarially
+fluctuating* allocation ``m_t``: at step ``t`` the machine grants ``m_t``
+processors, with ``0 <= m_t <= m``. This module holds the data type the
+simulation engine consumes; the generators that build random/adversarial
+traces live in :mod:`repro.faults` (the engine must not depend on them).
+
+A trace is an explicit prefix of per-step capacities plus a *tail* value
+that applies to every step beyond the prefix. The tail must be positive:
+a trace that stays at zero forever can never finish any instance, and the
+engine's livelock bound needs a horizon after which progress is guaranteed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from .exceptions import ConfigurationError
+
+__all__ = ["AvailabilityTrace", "AvailabilityLike", "as_trace"]
+
+
+@dataclass(frozen=True)
+class AvailabilityTrace:
+    """An immutable per-step processor allocation ``m_t``.
+
+    Attributes
+    ----------
+    values:
+        Explicit capacities for steps ``0 .. len(values) - 1``.
+    tail:
+        Capacity for every step at or beyond ``len(values)`` (must be
+        ``>= 1`` so every run eventually terminates).
+    """
+
+    values: tuple[int, ...]
+    tail: int
+
+    def __post_init__(self) -> None:
+        if self.tail < 1:
+            raise ConfigurationError(
+                f"availability tail must be >= 1, got {self.tail} "
+                "(a forever-zero allocation can never finish a run)"
+            )
+        for idx, v in enumerate(self.values):
+            if v < 0:
+                raise ConfigurationError(
+                    f"availability trace has negative capacity {v} at step {idx}"
+                )
+
+    @property
+    def horizon(self) -> int:
+        """Number of steps with an explicit capacity."""
+        return len(self.values)
+
+    @property
+    def max_value(self) -> int:
+        """Largest capacity the trace ever grants."""
+        return max(self.values, default=self.tail) if self.values else self.tail
+
+    def capacity_at(self, t: int) -> int:
+        """The allocation ``m_t`` for step ``t`` (tail beyond the prefix)."""
+        if t < 0:
+            raise ConfigurationError(f"step index must be >= 0, got {t}")
+        return self.values[t] if t < len(self.values) else self.tail
+
+    def prefix(self, n: int) -> list[int]:
+        """The first ``n`` capacities as a plain list (tail-extended)."""
+        if n <= len(self.values):
+            return list(self.values[:n])
+        return list(self.values) + [self.tail] * (n - len(self.values))
+
+    def clamped(self, m: int) -> "AvailabilityTrace":
+        """A copy with every capacity (and the tail) clamped to ``<= m``."""
+        if m < 1:
+            raise ConfigurationError("m must be positive")
+        return AvailabilityTrace(
+            tuple(min(v, m) for v in self.values), min(self.tail, m)
+        )
+
+
+AvailabilityLike = Union[AvailabilityTrace, Sequence[int]]
+
+
+def as_trace(availability: AvailabilityLike, m: int) -> AvailabilityTrace:
+    """Normalize an availability spec against the machine cap ``m``.
+
+    Accepts an :class:`AvailabilityTrace` or a plain sequence of ints (whose
+    tail defaults to ``m`` — "back to full machine after the trace"). The
+    result is validated: every capacity must satisfy ``0 <= m_t <= m``.
+    """
+    if isinstance(availability, AvailabilityTrace):
+        trace = availability
+    else:
+        trace = AvailabilityTrace(
+            tuple(int(v) for v in availability), tail=m
+        )
+    if trace.max_value > m:
+        raise ConfigurationError(
+            f"availability trace grants {trace.max_value} > m={m} processors"
+        )
+    if trace.tail > m:
+        raise ConfigurationError(
+            f"availability tail {trace.tail} exceeds m={m}"
+        )
+    return trace

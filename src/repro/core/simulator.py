@@ -50,10 +50,11 @@ import abc
 import time
 from dataclasses import dataclass, replace
 from functools import cached_property
-from typing import Optional, Sequence
+from typing import Optional, Protocol, Sequence
 
 import numpy as np
 
+from .availability import AvailabilityLike, AvailabilityTrace, as_trace
 from .exceptions import ConfigurationError, SchedulerProtocolError, SimulationError
 from .instance import Instance
 from .job import Job
@@ -63,6 +64,7 @@ from .util import Array, csr_gather
 __all__ = [
     "Scheduler",
     "SimulationObserver",
+    "FaultHooks",
     "simulate",
     "EngineState",
     "EngineStats",
@@ -194,6 +196,35 @@ class SimulationObserver:
         self, t: int, selection: Selection, state: "EngineState"
     ) -> None:  # pragma: no cover - default no-op
         pass
+
+
+class FaultHooks(Protocol):
+    """Hooks the engine consults when a fault injector is attached.
+
+    The concrete implementation (:class:`repro.faults.FaultInjector`) lives
+    outside the engine so the core never depends on workload/randomness
+    plumbing; any object with this shape works. Attaching one disables the
+    steady-state fast path (every step must be observable for the hooks to
+    fire deterministically) and flat-gid ready delivery (perturbation is
+    defined on per-job delivery groups).
+
+    Determinism contract: :func:`simulate` and the reference loop call the
+    hooks in exactly the same sequence — ``begin_run`` once, then per
+    dispatch step ``should_crash(t)`` and (when the step enabled at least
+    one delivery group) ``delivery_order(t, n_groups)`` — so one seeded
+    injector drives bit-identical runs on both engines.
+    """
+
+    def begin_run(self) -> None:
+        """Reset per-run state (RNG stream, fired-fault log)."""
+
+    def should_crash(self, t: int) -> bool:
+        """True to kill the scheduler at step ``t``; the engine rebuilds it
+        from the committed schedule prefix before the next ``select``."""
+
+    def delivery_order(self, t: int, n_groups: int) -> Optional[Array]:
+        """A permutation of ``range(n_groups)`` to reorder this step's
+        per-job ready delivery groups, or ``None`` to keep engine order."""
 
 
 @dataclass
@@ -454,6 +485,8 @@ def simulate(
     *,
     max_steps: Optional[int] = None,
     observer: Optional[SimulationObserver] = None,
+    availability: Optional[AvailabilityLike] = None,
+    fault_injector: Optional[FaultHooks] = None,
 ) -> Schedule:
     """Run ``scheduler`` on ``instance`` with ``m`` processors to completion.
 
@@ -461,12 +494,27 @@ def simulate(
     ----------
     max_steps:
         Safety bound on simulated time; defaults to a generous bound
-        (``last release + total work + total span + 16``) that any
-        work-conserving policy satisfies trivially. Exceeding it raises
-        :class:`SimulationError` (it indicates a livelocked scheduler).
+        (``last release + total work + total span + 16``, padded by the
+        trace prefix plus a serial drain when ``availability`` is given)
+        that any work-conserving policy satisfies trivially. Exceeding it
+        raises :class:`SimulationError` (it indicates a livelocked
+        scheduler).
     observer:
         Optional hook receiving ``(t, selection, state)`` after each step.
         Supplying one disables the fast path (every step is observed).
+    availability:
+        Optional fluctuating allocation: an
+        :class:`~repro.core.availability.AvailabilityTrace` (or plain
+        sequence of ints, tail-extended by ``m``) granting ``m_t <= m``
+        processors at step ``t``. ``m`` stays the machine cap: it is what
+        ``scheduler.reset`` sees and what selections are validated against
+        per step. Trace generators live in :mod:`repro.faults`.
+    fault_injector:
+        Optional :class:`FaultHooks` (see :class:`repro.faults.
+        FaultInjector`): may kill/restart the scheduler mid-run (the engine
+        rebuilds its state from the committed prefix) and perturb ready
+        delivery group order. Attaching one disables the fast path and
+        flat-gid delivery so both engines drive the hooks identically.
 
     Returns
     -------
@@ -477,14 +525,24 @@ def simulate(
     """
     if m <= 0:
         raise ConfigurationError("m must be positive")
+    trace: Optional[AvailabilityTrace] = (
+        None if availability is None else as_trace(availability, m)
+    )
     if max_steps is None:
         total_span = sum(j.span for j in instance)
         max_steps = instance.horizon_hint + total_span + 16
+        if trace is not None:
+            # Zero-capacity steps stall progress; past the explicit prefix
+            # the tail (>= 1) guarantees motion, so pad the livelock bound
+            # by the prefix plus a serial drain of all work on the tail.
+            max_steps += trace.horizon + instance.total_work
 
     t_wall = time.perf_counter()
     stats = EngineStats()
     state = EngineState(instance, m)
     scheduler.reset(instance, m)
+    if fault_injector is not None:
+        fault_injector.begin_run()
 
     releases = instance.releases
     arrival_order = np.argsort(releases, kind="stable")
@@ -513,7 +571,19 @@ def simulate(
 
     ready_total = 0
     total_left = int(unfinished.sum())
-    fast_ok = observer is None and scheduler.supports_fast_forward
+    # Per-step allocation m_t (hot-loop locals; None means constant m).
+    avail_vals: Optional[list[int]] = None
+    avail_len = 0
+    avail_tail = m
+    if trace is not None:
+        avail_vals = list(trace.values)
+        avail_len = len(avail_vals)
+        avail_tail = trace.tail
+    fast_ok = (
+        observer is None
+        and fault_injector is None
+        and scheduler.supports_fast_forward
+    )
     # Flat priority kernel (see Scheduler.frontier_priorities): with one the
     # fast path also covers truncated-mid-job steps, committing the cap-best
     # ready subjobs by a stable argsort — select() is never dispatched.
@@ -541,7 +611,11 @@ def simulate(
             )
     # Flat ready delivery (see Scheduler.wants_ready_gids): hand newly-ready
     # nodes over as one ascending gid array instead of grouping per job.
-    use_flat_ready = scheduler.wants_ready_gids and observer is None
+    # Fault injection perturbs per-job delivery groups, so it forces the
+    # grouped form (keeping hook sequences identical to the reference loop).
+    use_flat_ready = (
+        scheduler.wants_ready_gids and observer is None and fault_injector is None
+    )
     # ready_per_job only feeds the fast-path frontier scan; skip its upkeep
     # on the batched slow path when nothing reads it.
     track_per_job = fast_ok or not use_flat_ready
@@ -611,13 +685,20 @@ def simulate(
         while head < n_jobs and unfinished[head] == 0:
             head += 1
 
+        # This step's allocation m_t (constant m without a trace).
+        cap_t = (
+            m
+            if avail_vals is None
+            else (avail_vals[t] if t < avail_len else avail_tail)
+        )
+
         # ------------------------------------------------------------------
         # Steady-state fast path: under the FIFO frontier contract the
         # selection is forced whenever the capacity boundary falls on a job
         # boundary — commit whole ready layers without dispatching.
         # ------------------------------------------------------------------
         if fast_ok:
-            cap = m
+            cap = cap_t
             commit_jobs: list[int] = []
             forced = True
             trunc_job = -1
@@ -761,7 +842,24 @@ def simulate(
             scheduler.resync(t, state)
             stats.resyncs += 1
 
-        raw = scheduler.select(t, m)
+        if fault_injector is not None and fault_injector.should_crash(t):
+            # Crash/restart: throw the scheduler's private state away and
+            # rebuild it from the committed schedule prefix — the engine
+            # state is authoritative. Arrivals replay in release order
+            # (matching the original delivery order), then each job's live
+            # ready frontier is delivered wholesale.
+            scheduler.reset(instance, m)
+            for idx in range(next_arrival_idx):
+                job_id = int(arrival_order[idx])
+                scheduler.on_job_arrival(t, job_id, instance[job_id])
+            for idx in range(next_arrival_idx):
+                job_id = int(arrival_order[idx])
+                if unfinished[job_id] > 0:
+                    nodes = state.ready_nodes(job_id)
+                    if nodes.size:
+                        scheduler.on_nodes_ready(t, job_id, nodes)
+
+        raw = scheduler.select(t, cap_t)
         stats.select_calls += 1
         sel_arr: Optional[Array] = None
         gid_sel: Optional[Array] = None
@@ -784,9 +882,9 @@ def simulate(
         else:
             selection = list(raw)
             k = len(selection)
-        if k > m:
+        if k > cap_t:
             raise SchedulerProtocolError(
-                f"{scheduler.name} selected {k} > m={m} nodes at t={t}"
+                f"{scheduler.name} selected {k} > m={cap_t} nodes at t={t}"
             )
         finish = t + 1
         ready_jobs_in_order: list[int] = []
@@ -995,6 +1093,17 @@ def simulate(
         if flat_ready_gids is not None:
             scheduler.on_ready_gids(t, flat_ready_gids)
         else:
+            if fault_injector is not None and ready_jobs_in_order:
+                # Perturb the order delivery groups arrive in (the per-job
+                # node arrays stay ascending — that part is contractual).
+                order = fault_injector.delivery_order(
+                    t, len(ready_jobs_in_order)
+                )
+                if order is not None:
+                    ready_jobs_in_order = [
+                        ready_jobs_in_order[int(i)] for i in order
+                    ]
+                    ready_locals = [ready_locals[int(i)] for i in order]
             for job_id, arr in zip(ready_jobs_in_order, ready_locals):
                 scheduler.on_nodes_ready(t, job_id, arr)
 
@@ -1014,22 +1123,33 @@ def _simulate_reference(
     scheduler: Scheduler,
     *,
     max_steps: Optional[int] = None,
+    availability: Optional[AvailabilityLike] = None,
+    fault_injector: Optional[FaultHooks] = None,
 ) -> Schedule:
     """The original per-node simulation loop, kept verbatim as ground truth.
 
     The differential-equivalence tests assert that :func:`simulate`
     produces bit-identical completion arrays to this loop for every
-    scheduler on a spread of seeded workloads. Not a hot path — it exists
-    to pin semantics, not to be fast.
+    scheduler on a spread of seeded workloads — including runs under an
+    availability trace and/or a fault injector, whose hooks fire in the
+    exact same sequence here as in the vectorized engine. Not a hot path —
+    it exists to pin semantics, not to be fast.
     """
     if m <= 0:
         raise ConfigurationError("m must be positive")
+    trace: Optional[AvailabilityTrace] = (
+        None if availability is None else as_trace(availability, m)
+    )
     if max_steps is None:
         total_span = sum(j.span for j in instance)
         max_steps = instance.horizon_hint + total_span + 16
+        if trace is not None:
+            max_steps += trace.horizon + instance.total_work
 
     completion = [np.zeros(job.dag.n, dtype=_INT) for job in instance]
     scheduler.reset(instance, m)
+    if fault_injector is not None:
+        fault_injector.begin_run()
 
     releases = instance.releases
     arrival_order = np.argsort(releases, kind="stable")
@@ -1091,16 +1211,35 @@ def _simulate_reference(
             t = int(releases[arrival_order[next_arrival_idx]])
             continue
 
-        raw = scheduler.select(t, m)
+        cap_t = m if trace is None else trace.capacity_at(t)
+
+        if fault_injector is not None and fault_injector.should_crash(t):
+            # Crash/restart, mirroring the vectorized engine exactly:
+            # reset, replay arrivals in release order, re-deliver each
+            # unfinished job's live ready frontier.
+            scheduler.reset(instance, m)
+            for idx in range(next_arrival_idx):
+                job_id = int(arrival_order[idx])
+                scheduler.on_job_arrival(t, job_id, instance[job_id])
+            for idx in range(next_arrival_idx):
+                job_id = int(arrival_order[idx])
+                if unfinished[job_id] > 0 and ready_sets[job_id]:
+                    scheduler.on_nodes_ready(
+                        t,
+                        job_id,
+                        np.array(sorted(ready_sets[job_id]), dtype=_INT),
+                    )
+
+        raw = scheduler.select(t, cap_t)
         if isinstance(raw, np.ndarray) and raw.ndim == 1:
             # Flat-gid selections (see ``Selection``): decode to pairs —
             # the reference engine always works pairwise.
             selection = _pairs_from_gids(instance.flat_graph.offsets, raw)
         else:
             selection = list(raw)
-        if len(selection) > m:
+        if len(selection) > cap_t:
             raise SchedulerProtocolError(
-                f"{scheduler.name} selected {len(selection)} > m={m} nodes at t={t}"
+                f"{scheduler.name} selected {len(selection)} > m={cap_t} nodes at t={t}"
             )
 
         finish = t + 1
@@ -1125,7 +1264,12 @@ def _simulate_reference(
                 if indeg[child] == 0:
                     newly_ready.setdefault(job_id, []).append(int(child))
         t = finish
-        for job_id, nodes in newly_ready.items():
+        groups = list(newly_ready.items())
+        if fault_injector is not None and groups:
+            order = fault_injector.delivery_order(t, len(groups))
+            if order is not None:
+                groups = [groups[int(i)] for i in order]
+        for job_id, nodes in groups:
             arr = np.array(sorted(nodes), dtype=_INT)
             ready_sets[job_id].update(nodes)
             ready_total += len(nodes)

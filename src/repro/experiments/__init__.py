@@ -3,6 +3,12 @@ per-experiment index), plus the registry and table plumbing."""
 
 from .pool import shared_pool, shutdown_shared_pool
 from .runner import Claim, ExperimentResult, format_table, repeat_experiment
+from .supervisor import (
+    SupervisedOutcome,
+    SupervisorConfig,
+    TaskTimeoutError,
+    run_supervised,
+)
 
 __all__ = [
     "Claim",
@@ -11,6 +17,10 @@ __all__ = [
     "repeat_experiment",
     "shared_pool",
     "shutdown_shared_pool",
+    "SupervisedOutcome",
+    "SupervisorConfig",
+    "TaskTimeoutError",
+    "run_supervised",
     "EXPERIMENTS",
     "SCALE_PRESETS",
     "run_experiment",

@@ -7,12 +7,19 @@ parallel calls — seed sweeps inside a benchmark session, repeated
 This module keeps ONE process-wide executor alive across calls:
 
 * the pool is created lazily on first use and reused by every later call;
-* it is recreated (the old one drained and shut down) only when a caller
-  asks for *more* workers than the live pool has;
+* it is recreated (the old one drained and shut down) when a caller asks
+  for *more* workers than the live pool has, **or** when the live pool is
+  unusable — broken (a worker died and poisoned the executor), or shut
+  down behind our back — so one crash never wedges every later sweep;
 * each worker runs an initializer that inherits the parent's
   ``REPRO_CACHE_DIR`` so all processes share one on-disk workload cache
   (generated DAGs are built once, not once per worker);
 * an ``atexit`` hook shuts the pool down with the interpreter.
+
+For hang recovery the supervised harness
+(:mod:`repro.experiments.supervisor`) needs to reclaim workers stuck in a
+task; ``shutdown_shared_pool(force=True)`` terminates worker processes
+(escalating to SIGKILL for survivors) instead of waiting for them.
 
 Worker processes re-import ``repro``; anything monkeypatched in the parent
 (registries, experiment functions) is invisible to them — the same caveat
@@ -42,20 +49,38 @@ def _worker_init(cache_dir: Optional[str]) -> None:
         os.environ[_CACHE_ENV_VAR] = cache_dir
 
 
+def _pool_unusable(pool: ProcessPoolExecutor) -> bool:
+    """True when ``pool`` can no longer accept work.
+
+    ``_broken`` is set (to a message) once a worker dies abruptly — every
+    later ``submit`` would raise ``BrokenProcessPool`` forever;
+    ``_shutdown_thread`` flips once ``shutdown()`` ran. Both are CPython
+    implementation details, so read defensively: an attribute going away
+    in a future version degrades to "looks healthy" and the submit-time
+    exception still gets handled by the supervisor's rebuild path.
+    """
+    return bool(getattr(pool, "_broken", False)) or bool(
+        getattr(pool, "_shutdown_thread", False)
+    )
+
+
 def shared_pool(n_workers: int) -> ProcessPoolExecutor:
     """Return the process-wide executor, sized for at least ``n_workers``.
 
-    The live pool is reused whenever it already has enough workers; asking
-    for more replaces it (after letting queued work finish). The pool is
-    shared state: callers must not shut it down — use
-    :func:`shutdown_shared_pool` (tests do) or let ``atexit`` handle it.
+    The live pool is reused whenever it already has enough workers *and*
+    is still usable; a broken or externally shut down pool is replaced, as
+    is one that is too small (after letting queued work finish). The pool
+    is shared state: callers must not shut it down — use
+    :func:`shutdown_shared_pool` (tests and the supervisor do) or let
+    ``atexit`` handle it.
     """
     global _pool, _pool_workers, _atexit_registered
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
-    if _pool is None or _pool_workers < n_workers:
+    if _pool is None or _pool_workers < n_workers or _pool_unusable(_pool):
         if _pool is not None:
-            _pool.shutdown(wait=True)
+            # A broken pool cannot drain; don't wait on its corpse.
+            _pool.shutdown(wait=not _pool_unusable(_pool))
         _pool = ProcessPoolExecutor(
             max_workers=n_workers,
             initializer=_worker_init,
@@ -68,15 +93,39 @@ def shared_pool(n_workers: int) -> ProcessPoolExecutor:
     return _pool
 
 
-def shutdown_shared_pool() -> None:
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcefully stop a pool's worker processes (hang recovery).
+
+    SIGTERM first, a bounded join, then SIGKILL for anything still alive.
+    Reads the private ``_processes`` map defensively — if the attribute
+    disappears in a future CPython, force-shutdown degrades to the plain
+    (waiting) shutdown.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        proc.terminate()
+    for proc in list(processes.values()):
+        proc.join(timeout=5)
+        if proc.is_alive():  # pragma: no cover - needs a SIGTERM-immune task
+            proc.kill()
+            proc.join(timeout=5)
+
+
+def shutdown_shared_pool(force: bool = False) -> None:
     """Shut down the shared executor (no-op when none is live).
 
-    The next :func:`shared_pool` call starts a fresh one — callers that
-    mutate ``REPRO_CACHE_DIR`` mid-process (tests) call this so new workers
-    pick the change up.
+    With ``force=True`` worker processes are terminated instead of joined
+    — the only way to reclaim a worker wedged inside a hung task; queued
+    futures are cancelled. The next :func:`shared_pool` call starts a
+    fresh pool either way — callers that mutate ``REPRO_CACHE_DIR``
+    mid-process (tests) call this so new workers pick the change up.
     """
     global _pool, _pool_workers
     if _pool is not None:
-        _pool.shutdown(wait=True)
+        if force:
+            _terminate_workers(_pool)
+            _pool.shutdown(wait=True, cancel_futures=True)
+        else:
+            _pool.shutdown(wait=True)
         _pool = None
         _pool_workers = 0

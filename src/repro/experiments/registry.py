@@ -4,7 +4,10 @@ mirrored in code. ``run_all`` regenerates every table/figure."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:
+    from .supervisor import SupervisorConfig
 
 from . import (
     e1_packing,
@@ -245,12 +248,33 @@ def _run_registered_with_stats(task: tuple) -> tuple[ExperimentResult, object]:
     return result, engine_stats_snapshot().delta(before)
 
 
+def _run_registered_local(task: tuple) -> tuple[ExperimentResult, object]:
+    """In-process twin of :func:`_run_registered_with_stats` for the
+    supervisor's serial paths; the zero delta avoids double-counting
+    effort that already landed in this process's accumulator."""
+    from ..core import EngineStats
+
+    return _run_registered(task), EngineStats()
+
+
+def _registered_key(task: tuple) -> str:
+    """Stable checkpoint-journal key for one ``run_all`` task."""
+    exp_id, scale, engine_stats, kwargs = task
+    return (
+        f"run_all|{exp_id}|scale={scale}|stats={engine_stats}"
+        f"|{sorted(kwargs.items())!r}"
+    )
+
+
 def run_all(
     scale: str = "default",
     *,
     n_workers: Optional[int] = None,
     engine_stats: bool = False,
     only: Optional[list[str]] = None,
+    supervisor: Optional["SupervisorConfig"] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = True,
     **params_by_id,
 ) -> list[ExperimentResult]:
     """Run every experiment; ``params_by_id`` maps id -> kwargs dict.
@@ -258,12 +282,21 @@ def run_all(
     ``only`` restricts the run to the given experiment ids (registry order
     is kept regardless of the order given). With ``n_workers > 1`` the runs
     fan out over the persistent shared process pool
-    (:func:`repro.experiments.pool.shared_pool`, reused across calls);
-    results are returned in registry order regardless of completion order,
+    (:func:`repro.experiments.pool.shared_pool`, reused across calls) under
+    :func:`repro.experiments.supervisor.run_supervised` — worker crashes
+    rebuild the pool, hung tasks hit the ``supervisor`` timeout, and after
+    repeated pool failures the sweep degrades to serial execution.
+    Results are returned in registry order regardless of completion order,
     and each worker's :class:`~repro.core.EngineStats` delta is folded into
     this process's accumulator. Worker processes re-import this module, so
     a monkeypatched registry is only visible to the serial path — tests
     that stub experiments must use the default (serial) mode.
+
+    With ``checkpoint_dir`` every completed experiment is journaled
+    atomically, so a killed sweep re-invoked with the same arguments and
+    ``resume=True`` skips straight past the finished ids (works for both
+    the serial and the parallel path). ``KeyboardInterrupt`` is re-raised
+    after a clean pool shutdown; journaled results survive for the resume.
     """
     if only is not None:
         unknown = set(only) - set(EXPERIMENTS)
@@ -274,14 +307,42 @@ def run_all(
         for exp_id in EXPERIMENTS
         if only is None or exp_id in only
     ]
+    keys = [_registered_key(task) for task in tasks]
     if n_workers is not None and n_workers > 1:
         from ..core import accumulate_engine_stats
 
-        from .pool import shared_pool
+        from .supervisor import run_supervised
 
-        pool = shared_pool(n_workers)
-        pairs = list(pool.map(_run_registered_with_stats, tasks))
-        for _, delta in pairs:
-            accumulate_engine_stats(delta)
-        return [result for result, _ in pairs]
+        outcome = run_supervised(
+            _run_registered_with_stats,
+            tasks,
+            n_workers=n_workers,
+            config=supervisor,
+            keys=keys,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            local_fn=_run_registered_local,
+        )
+        resumed = set(outcome.resumed_indices)
+        for idx, pair in enumerate(outcome.results):
+            if pair is not None and idx not in resumed:
+                accumulate_engine_stats(pair[1])
+        if outcome.interrupted:
+            raise KeyboardInterrupt
+        return [result for result, _ in outcome.results]
+    if checkpoint_dir is not None:
+        from .supervisor import run_supervised
+
+        outcome = run_supervised(
+            _run_registered_local,
+            tasks,
+            n_workers=1,
+            config=supervisor,
+            keys=keys,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
+        if outcome.interrupted:
+            raise KeyboardInterrupt
+        return [result for result, _ in outcome.results]
     return [_run_registered(task) for task in tasks]

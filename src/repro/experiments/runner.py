@@ -7,12 +7,13 @@ the regenerated tables) and asserts ``result.claims_hold()``.
 
 from __future__ import annotations
 
+import os
 import pickle
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
-from .pool import shared_pool
+from .supervisor import SupervisorConfig, run_supervised
 
 __all__ = ["Claim", "ExperimentResult", "format_table", "repeat_experiment"]
 
@@ -90,6 +91,23 @@ def _run_one_seed_with_stats(task: tuple) -> tuple["ExperimentResult", Any]:
     return result, engine_stats_snapshot().delta(before)
 
 
+def _run_one_seed_local(task: tuple) -> tuple["ExperimentResult", Any]:
+    """In-process twin of :func:`_run_one_seed_with_stats` for the
+    supervisor's serial-degradation path. The delta is deliberately zero:
+    an in-process ``simulate`` already lands in this process's accumulator,
+    so folding a nonzero delta back would double-count the effort."""
+    from ..core import EngineStats
+
+    return _run_one_seed(task), EngineStats()
+
+
+def _task_key(prefix: str, run_fn: Any, params: dict, seed: int) -> str:
+    """Stable checkpoint-journal key for one ``(run_fn, params, seed)``
+    task (same logical task across invocations → same key)."""
+    name = f"{getattr(run_fn, '__module__', '?')}.{getattr(run_fn, '__qualname__', repr(run_fn))}"
+    return f"{prefix}|{name}|seed={seed}|{sorted(params.items())!r}"
+
+
 def _unpicklable_part(task: tuple) -> Optional[str]:
     """Name what makes ``task`` unshippable to workers (None if picklable)."""
     try:
@@ -116,6 +134,9 @@ def repeat_experiment(
     seeds: Sequence[int],
     *,
     n_workers: Optional[int] = None,
+    supervisor: Optional[SupervisorConfig] = None,
+    checkpoint_dir: Optional[str | os.PathLike] = None,
+    resume: bool = True,
     **params,
 ) -> tuple[list[ExperimentResult], dict[str, float]]:
     """Run an experiment across several seeds and aggregate its claims.
@@ -133,13 +154,27 @@ def repeat_experiment(
     n_workers:
         When > 1, fan the seeds out over the persistent shared process
         pool (:func:`repro.experiments.pool.shared_pool` — reused across
-        calls, workers inherit the parent's ``REPRO_CACHE_DIR``). Results
+        calls, workers inherit the parent's ``REPRO_CACHE_DIR``) under
+        :func:`repro.experiments.supervisor.run_supervised`. Results
         come back in seed order regardless of completion order, so output
         is deterministic, and each worker's :class:`~repro.core.
         EngineStats` delta is folded into this process's accumulator.
         Falls back to serial execution — with a :class:`RuntimeWarning`
         naming the offending object — when the experiment closure cannot
         be pickled (e.g. a local lambda).
+    supervisor:
+        Fault-tolerance policy (per-task timeout, retries, pool-rebuild
+        budget) for the parallel path; default
+        :class:`~repro.experiments.supervisor.SupervisorConfig`.
+    checkpoint_dir / resume:
+        Journal completed seeds to ``checkpoint_dir`` (atomic writes) so
+        an interrupted sweep can resume; with ``resume=True`` journaled
+        seeds are served from disk instead of re-running. Keys include
+        the experiment function, seed and parameters, so a changed sweep
+        never reuses a stale entry.
+
+    ``KeyboardInterrupt`` mid-sweep is re-raised after a clean pool
+    shutdown; journaled seeds survive for the next (resumed) invocation.
     """
     tasks = [(run_fn, dict(params), seed) for seed in seeds]
     results: Optional[list[ExperimentResult]] = None
@@ -155,13 +190,47 @@ def repeat_experiment(
         else:
             from ..core import accumulate_engine_stats
 
-            pool = shared_pool(n_workers)
-            pairs = list(pool.map(_run_one_seed_with_stats, tasks))
-            results = [result for result, _ in pairs]
-            for _, delta in pairs:
-                accumulate_engine_stats(delta)
+            keys = [
+                _task_key("repeat", run_fn, task_params, seed)
+                for _, task_params, seed in tasks
+            ]
+            outcome = run_supervised(
+                _run_one_seed_with_stats,
+                tasks,
+                n_workers=n_workers,
+                config=supervisor,
+                keys=keys,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+                local_fn=_run_one_seed_local,
+            )
+            resumed = set(outcome.resumed_indices)
+            for idx, pair in enumerate(outcome.results):
+                if pair is not None and idx not in resumed:
+                    accumulate_engine_stats(pair[1])
+            if outcome.interrupted:
+                raise KeyboardInterrupt
+            results = [result for result, _ in outcome.results]
     if results is None:
-        results = [_run_one_seed(task) for task in tasks]
+        if checkpoint_dir is not None:
+            keys = [
+                _task_key("repeat", run_fn, task_params, seed)
+                for _, task_params, seed in tasks
+            ]
+            outcome = run_supervised(
+                _run_one_seed_local,
+                tasks,
+                n_workers=1,
+                config=supervisor,
+                keys=keys,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
+            if outcome.interrupted:
+                raise KeyboardInterrupt
+            results = [result for result, _ in outcome.results]
+        else:
+            results = [_run_one_seed(task) for task in tasks]
 
     # Key claims by description across ALL results, in first-seen order.
     descriptions: list[str] = []

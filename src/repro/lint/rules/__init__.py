@@ -2,6 +2,12 @@
 
 from __future__ import annotations
 
-from . import contracts, determinism, engine_safety, picklability
+from . import contracts, determinism, engine_safety, failure_paths, picklability
 
-__all__ = ["contracts", "determinism", "engine_safety", "picklability"]
+__all__ = [
+    "contracts",
+    "determinism",
+    "engine_safety",
+    "failure_paths",
+    "picklability",
+]

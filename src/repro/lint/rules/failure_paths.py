@@ -1,0 +1,96 @@
+"""Failure-path rules: RPR005 (no silently swallowed exceptions in the
+engine and scheduler layers).
+
+RPR202 bans the bare ``except:`` everywhere; RPR005 goes further for the
+layers whose correctness the whole reproduction rests on. In ``repro.core``
+and ``repro.schedulers`` an ``except SomeError: pass`` turns an engine bug
+into a silently wrong schedule — the worst possible failure mode for a
+paper reproduction, where a wrong number looks exactly like a result.
+Harness-side layers (experiments, workloads, viz, analysis, lint) are
+exempt: caches, journals, and cleanup paths legitimately treat some
+failures as best-effort, and each such swallow there documents itself with
+a comment. In enforced layers, a deliberate swallow needs an explicit
+suppression (``# repro-lint: disable=RPR005 (reason)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import TYPE_CHECKING, Iterator
+
+from ..model import Violation
+from ..registry import Rule, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import FileContext
+
+__all__ = ["SilentSwallowRule"]
+
+#: Path components whose files are harness-side: best-effort failure
+#: handling (cache misses, journal cleanup, plot fallbacks) is legitimate
+#: there and each instance carries its own explanatory comment.
+_EXEMPT_PARTS = frozenset(
+    {"experiments", "workloads", "viz", "analysis", "lint", "tests",
+     "benchmarks"}
+)
+
+
+def _swallows_silently(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all: only ``pass`` and/or
+    bare ``...`` statements (docstring-style constants count as nothing)."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # `...` or a string used as a pseudo-comment
+        return False
+    return True
+
+
+def _caught_names(handler: ast.ExceptHandler) -> str:
+    if handler.type is None:
+        return "everything"
+    return ast.unparse(handler.type)
+
+
+@register_rule
+class SilentSwallowRule(Rule):
+    rule_id = "RPR005"
+    title = "no silently swallowed exceptions in engine/scheduler code"
+    rationale = (
+        "an `except ...: pass` in repro.core or repro.schedulers converts "
+        "an engine bug into a silently wrong schedule — indistinguishable "
+        "from a genuine result. Engine/scheduler failure paths must raise, "
+        "repair, or record; harness layers (experiments, workloads, viz, "
+        "analysis, lint) are exempt because best-effort caches and cleanup "
+        "legitimately ignore some failures there."
+    )
+    bad_example = """\
+def commit_step(state, selection):
+    try:
+        state.apply(selection)
+    except ValueError:
+        pass
+"""
+    good_example = """\
+def commit_step(state, selection):
+    try:
+        state.apply(selection)
+    except ValueError as exc:
+        raise SchedulerProtocolError(f"selection rejected: {exc}") from exc
+"""
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        if _EXEMPT_PARTS.intersection(PurePath(ctx.path).parts):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and _swallows_silently(node):
+                yield self.violation(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"exception handler catches {_caught_names(node)} and "
+                    "silently discards it; raise, repair, or record the "
+                    "failure (engine/scheduler code must not hide errors)",
+                )

@@ -1,0 +1,179 @@
+"""Chaos tests: end-to-end fault recovery across the harness.
+
+Covers the acceptance scenario — a sweep that hits an injected worker
+crash, a hang exceeding the task timeout, and a corrupted cache/journal
+entry still completes (via retry, pool rebuild, or serial degradation),
+and a killed-then-resumed sweep matches the uninterrupted run exactly.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import (
+    SupervisorConfig,
+    repeat_experiment,
+    run_supervised,
+    shutdown_shared_pool,
+)
+from repro.experiments.e5_mc_busy import run as e5_run
+from repro.faults import run_chaos_trials
+
+E5_PARAMS = dict(width=4, n_nodes=40, trials=1)
+
+
+def _misbehave_once(task):
+    """Crash hard, hang, or corrupt its own journal entry — once each,
+    gated on per-fault sentinel files — then succeed on retry."""
+    sentinel_dir, mode, x = task
+    sentinel = os.path.join(sentinel_dir, f"{mode}-{x}")
+    if mode == "crash" and not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os._exit(1)
+    if mode == "hang" and not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        time.sleep(60)
+    return 10 * x
+
+
+def _interrupt_at(task):
+    """Raise KeyboardInterrupt for the marked seed, once (sentinel-gated)."""
+    run_fn, params, seed = task
+    sentinel = params["sentinel"]
+    if seed == params["kill_at"] and not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        raise KeyboardInterrupt
+    return run_fn(seed=seed, width=params["width"], n_nodes=params["n_nodes"],
+                  trials=params["trials"])
+
+
+def _e5_task(seed, sentinel, kill_at):
+    return (
+        e5_run,
+        dict(sentinel=sentinel, kill_at=kill_at, **E5_PARAMS),
+        seed,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    shutdown_shared_pool()
+    yield
+    shutdown_shared_pool()
+
+
+class TestMixedFaultSweep:
+    def test_sweep_completes_through_crash_and_hang(self, tmp_path):
+        config = SupervisorConfig(
+            task_timeout=2.0, max_retries=3, max_pool_rebuilds=4,
+            backoff_base=0.001, backoff_cap=0.002,
+        )
+        tasks = [
+            (str(tmp_path), mode, x)
+            for x, mode in enumerate(["ok", "crash", "ok", "hang", "ok"])
+        ]
+        out = run_supervised(
+            _misbehave_once, tasks, n_workers=2, config=config
+        )
+        assert out.results == [0, 10, 20, 30, 40]
+        # At least one forced rebuild; a single one may recover both faults
+        # (killing the crashed pool also reclaims the sleeping worker, whose
+        # sentinel then lets the retry succeed).
+        assert out.pool_rebuilds >= 1
+        assert not out.degraded_to_serial
+
+
+class TestKilledThenResumedSweep:
+    def test_resumed_sweep_matches_uninterrupted_run(self, tmp_path):
+        seeds = [0, 1, 2, 3]
+        baseline, baseline_rates = repeat_experiment(
+            e5_run, seeds, **E5_PARAMS
+        )
+
+        sentinel = str(tmp_path / "killed")
+        ckpt = tmp_path / "journal"
+        keys = [f"e5|seed={s}" for s in seeds]
+        tasks = [_e5_task(s, sentinel, kill_at=2) for s in seeds]
+
+        out = run_supervised(
+            _interrupt_at, tasks, n_workers=2,
+            keys=keys, checkpoint_dir=ckpt,
+        )
+        assert out.interrupted
+        assert 0 < out.completed < len(seeds)
+
+        # Second invocation: the sentinel exists, so the killed seed runs
+        # normally; earlier seeds come from the journal.
+        out2 = run_supervised(
+            _interrupt_at, tasks, n_workers=2,
+            keys=keys, checkpoint_dir=ckpt,
+        )
+        assert not out2.interrupted
+        assert out2.resumed == out.completed
+        resumed_renders = [r.render() for r in out2.results]
+        assert resumed_renders == [r.render() for r in baseline]
+
+    def test_repeat_experiment_checkpoint_roundtrip(self, tmp_path):
+        seeds = [0, 1]
+        plain, plain_rates = repeat_experiment(e5_run, seeds, **E5_PARAMS)
+        first, first_rates = repeat_experiment(
+            e5_run, seeds, n_workers=2, checkpoint_dir=tmp_path, **E5_PARAMS
+        )
+        second, second_rates = repeat_experiment(
+            e5_run, seeds, n_workers=2, checkpoint_dir=tmp_path, **E5_PARAMS
+        )
+        assert first_rates == plain_rates == second_rates
+        assert [r.render() for r in first] == [r.render() for r in plain]
+        assert [r.render() for r in second] == [r.render() for r in plain]
+
+    def test_resumed_stats_are_not_double_folded(self, tmp_path):
+        from repro.core import engine_stats_snapshot
+
+        seeds = [0, 1]
+        repeat_experiment(
+            e5_run, seeds, n_workers=2, checkpoint_dir=tmp_path, **E5_PARAMS
+        )
+        before = engine_stats_snapshot()
+        repeat_experiment(
+            e5_run, seeds, n_workers=2, checkpoint_dir=tmp_path, **E5_PARAMS
+        )
+        delta = engine_stats_snapshot().delta(before)
+        assert delta.steps == 0  # fully resumed: no engine effort re-counted
+
+
+class TestRunAllCheckpoint:
+    def test_run_all_killed_then_resumed_matches(self, tmp_path, monkeypatch):
+        from repro.experiments import run_all
+
+        only = ["E1", "E2"]
+        baseline = run_all("smoke", only=only)
+        # Seed the journal with a partial sweep (E1 only), as a killed run
+        # would leave it, then resume the full sweep.
+        partial = tmp_path / "journal"
+        run_all("smoke", only=["E1"], checkpoint_dir=partial)
+        resumed = run_all("smoke", only=only, checkpoint_dir=partial)
+        assert [r.render() for r in resumed] == [r.render() for r in baseline]
+
+
+class TestChaosSuite:
+    def test_chaos_trials_pass_and_exercise_faults(self):
+        report = run_chaos_trials(seed=20260806, trials=2)
+        assert report.ok, report.failures
+        assert report.traces_checked >= 2 * 9 * 4
+        assert report.injected_crashes > 0
+        assert report.perturbed_steps > 0
+        assert report.mc_replays > 0
+        assert str(report.seed) in report.summary()
+
+    def test_chaos_unknown_pattern_rejected(self):
+        with pytest.raises(KeyError):
+            run_chaos_trials(seed=1, trials=1, patterns=["no-such-pattern"])
+
+    def test_chaos_cli_roundtrip(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--seed", "5", "--trials", "1",
+                     "--fault-trace", "blackout"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos[seed=5]" in out and "OK" in out

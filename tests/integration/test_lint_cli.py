@@ -114,7 +114,7 @@ def test_reasoned_suppression_exits_zero(tmp_path):
         "try:\n"
         "    x = 1\n"
         "except:  # repro-lint: disable=RPR202 (fixture exercises the pragma)\n"
-        "    pass\n"
+        "    x = 0\n"
     )
     proc = run_lint(str(tmp_path), "--format", "json")
     assert proc.returncode == 0, proc.stdout + proc.stderr
@@ -128,7 +128,7 @@ def test_reasonless_suppression_fails_with_rpr000(tmp_path):
         "try:\n"
         "    x = 1\n"
         "except:  # repro-lint: disable=RPR202\n"
-        "    pass\n"
+        "    x = 0\n"
     )
     proc = run_lint(str(tmp_path), "--format", "json")
     assert proc.returncode == 1

@@ -53,11 +53,69 @@ def test_rule_catalog_is_stable():
     # Adding a rule is fine; renumbering or dropping one is an API break.
     expected = {
         "RPR001", "RPR002", "RPR003", "RPR004",  # determinism
+        "RPR005",  # failure paths
         "RPR101", "RPR102", "RPR103",  # scheduler contracts
         "RPR201", "RPR202", "RPR203",  # engine safety
         "RPR301",  # picklability
     }
     assert expected <= set(RULES)
+
+
+# ----------------------------------------------------------------------
+# RPR005 — silently swallowed exceptions (engine/scheduler scope)
+# ----------------------------------------------------------------------
+
+
+class TestSilentSwallowScope:
+    SNIPPET = textwrap.dedent(
+        """\
+        def load(path):
+            try:
+                return open(path).read()
+            except OSError:
+                pass
+        """
+    )
+
+    def _violations(self, path):
+        rule = get_rule("RPR005")
+        report = lint_source(self.SNIPPET, path=path, rules=[rule])
+        return [v for v in report.violations if v.rule_id == "RPR005"]
+
+    def test_fires_in_core_and_schedulers(self):
+        assert self._violations("src/repro/core/simulator.py")
+        assert self._violations("src/repro/schedulers/fifo.py")
+
+    def test_exempt_in_harness_layers(self):
+        for layer in ("experiments", "workloads", "viz", "analysis", "lint"):
+            assert not self._violations(f"src/repro/{layer}/x.py"), layer
+
+    def test_ellipsis_body_counts_as_swallow(self):
+        rule = get_rule("RPR005")
+        src = "try:\n    f()\nexcept ValueError:\n    ...\n"
+        report = lint_source(src, path="core.py", rules=[rule])
+        assert any(v.rule_id == "RPR005" for v in report.violations)
+
+    def test_handler_that_records_is_allowed(self):
+        rule = get_rule("RPR005")
+        src = (
+            "try:\n    f()\nexcept ValueError:\n"
+            "    log.warning('recovering')\n"
+        )
+        report = lint_source(src, path="core.py", rules=[rule])
+        assert not report.violations
+
+    def test_suppression_with_reason_is_honored(self):
+        rule = get_rule("RPR005")
+        src = (
+            "try:\n    f()\n"
+            "except ValueError:  "
+            "# repro-lint: disable=RPR005 (benign probe failure)\n"
+            "    pass\n"
+        )
+        report = lint_source(src, path="core.py", rules=[rule])
+        assert report.violations == []
+        assert report.suppressed_count == 1
 
 
 # ----------------------------------------------------------------------
@@ -239,7 +297,8 @@ def test_lint_paths_walks_and_skips_caches(tmp_path):
     (pkg / "__pycache__" / "junk.py").write_text("try:\n    x = 1\nexcept:\n    pass\n")
     report = lint_paths([pkg])
     assert report.files_checked == 2
-    assert {v.rule_id for v in report.violations} == {"RPR202"}
+    # `except: pass` trips both the bare-except and silent-swallow rules.
+    assert {v.rule_id for v in report.violations} == {"RPR202", "RPR005"}
     assert all("__pycache__" not in v.path for v in report.violations)
 
 

@@ -71,14 +71,77 @@ def _bench_worksteal_irregular():
     return _irregular_stream(), (lambda: WorkStealingScheduler(seed=0)), 16
 
 
-#: name -> setup() returning (instance, scheduler_factory, m). Names match
-#: the corresponding ``test_engine_throughput.py`` benchmarks.
+def _parallel_chains():
+    import numpy as np
+
+    from repro.core import DAG, Instance, Job
+
+    def chain(n):
+        return DAG.from_parents(np.arange(-1, n - 1, dtype=np.int64))
+
+    return Instance([Job(chain(4000), 0, f"c{i}") for i in range(16)])
+
+
+def _spider_legs():
+    import numpy as np
+
+    from repro.core import DAG, Instance, Job
+
+    parents = [-1]
+    for _ in range(16):
+        parents.append(0)
+        for _ in range(2000 - 1):
+            parents.append(len(parents) - 1)
+    dag = DAG.from_parents(np.array(parents, dtype=np.int64))
+    return Instance([Job(dag, 0, "spider")])
+
+
+def _bench_fifo_parallel_chains():
+    from repro.schedulers import ArbitraryTieBreak, FIFOScheduler
+
+    return _parallel_chains(), (lambda: FIFOScheduler(ArbitraryTieBreak())), 16
+
+
+def _bench_fifo_parallel_chains_per_step():
+    from repro.schedulers import ArbitraryTieBreak, FIFOScheduler
+
+    return (
+        _parallel_chains(),
+        (lambda: FIFOScheduler(ArbitraryTieBreak())),
+        16,
+        {"use_macro_steps": False},
+    )
+
+
+def _bench_lpf_spider_legs():
+    from repro.schedulers import FIFOScheduler, LongestPathTieBreak
+
+    return _spider_legs(), (lambda: FIFOScheduler(LongestPathTieBreak())), 16
+
+
+def _bench_fifo_adversarial_combs():
+    from repro.schedulers import ArbitraryTieBreak, FIFOScheduler
+    from repro.workloads import build_fifo_adversary
+
+    instance = build_fifo_adversary(16, n_jobs=24, seed=0).instance
+    return instance, (lambda: FIFOScheduler(ArbitraryTieBreak())), 16
+
+
+#: name -> setup() returning (instance, scheduler_factory, m) or
+#: (instance, scheduler_factory, m, simulate_kwargs). Names match the
+#: corresponding ``test_engine_throughput.py`` benchmarks. The
+#: ``*_per_step`` twin pins the same workload with macro-stepping off, so
+#: the recorded baseline itself documents the compression win.
 MICROBENCHES = {
     "fifo_on_packed_rectangles": _bench_fifo_packed,
     "lpf_on_irregular_trees": _bench_lpf_irregular,
     "mc_on_irregular_trees": _bench_mc_irregular,
     "srpt_on_irregular_trees": _bench_srpt_irregular,
     "worksteal_on_irregular_trees": _bench_worksteal_irregular,
+    "fifo_on_parallel_chains": _bench_fifo_parallel_chains,
+    "fifo_on_parallel_chains_per_step": _bench_fifo_parallel_chains_per_step,
+    "lpf_on_spider_legs": _bench_lpf_spider_legs,
+    "fifo_on_adversarial_combs": _bench_fifo_adversarial_combs,
 }
 
 
@@ -88,11 +151,12 @@ def measure(rounds: int = 3) -> dict:
 
     out = {}
     for name, setup in MICROBENCHES.items():
-        instance, scheduler_factory, m = setup()
+        instance, scheduler_factory, m, *rest = setup()
+        sim_kwargs = rest[0] if rest else {}
         best = float("inf")
         for _ in range(rounds):
             start = time.perf_counter()
-            schedule = simulate(instance, m, scheduler_factory())
+            schedule = simulate(instance, m, scheduler_factory(), **sim_kwargs)
             best = min(best, time.perf_counter() - start)
         assert schedule.is_complete
         out[name] = {

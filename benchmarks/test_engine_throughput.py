@@ -6,9 +6,10 @@ the numbers to watch when touching the hot loop in
 ``repro.core.simulator`` (see the profiling notes in that module).
 """
 
+import numpy as np
 import pytest
 
-from repro.core import Instance, Job, simulate
+from repro.core import DAG, Instance, Job, simulate
 from repro.schedulers import (
     ArbitraryTieBreak,
     FIFOScheduler,
@@ -18,6 +19,19 @@ from repro.schedulers import (
     WorkStealingScheduler,
 )
 from repro.workloads import layered_tree, quicksort_tree
+
+
+def _chain(n: int) -> DAG:
+    return DAG.from_parents(np.arange(-1, n - 1, dtype=np.int64))
+
+
+def _spider(legs: int, leg_len: int) -> DAG:
+    parents = [-1]
+    for _ in range(legs):
+        parents.append(0)
+        for _ in range(leg_len - 1):
+            parents.append(len(parents) - 1)
+    return DAG.from_parents(np.array(parents, dtype=np.int64))
 
 
 @pytest.fixture(scope="module")
@@ -35,13 +49,32 @@ def irregular_stream():
     return Instance([Job(d, 40 * i, f"q{i}") for i, d in enumerate(dags)])
 
 
-def _throughput(benchmark, instance, scheduler_factory, m):
-    schedule = benchmark(lambda: simulate(instance, m, scheduler_factory()))
+@pytest.fixture(scope="module")
+def parallel_chains():
+    """16 jobs x one 4000-node chain each — a 16-wide rectangle tail, the
+    macro-stepping best case (every step forced for the chains' whole
+    length)."""
+    return Instance([Job(_chain(4000), 0, f"c{i}") for i in range(16)])
+
+
+@pytest.fixture(scope="module")
+def spider_legs():
+    """One root fanning into 16 legs of 2000: after the root, pure chain
+    progress under LPF's non-constant kernel (times the encoded-frontier
+    macro path)."""
+    return Instance([Job(_spider(16, 2000), 0, "spider")])
+
+
+def _throughput(benchmark, instance, scheduler_factory, m, **sim_kwargs):
+    schedule = benchmark(
+        lambda: simulate(instance, m, scheduler_factory(), **sim_kwargs)
+    )
     benchmark.extra_info["subjobs"] = instance.total_work
     benchmark.extra_info["subjobs_per_sec"] = (
         instance.total_work / benchmark.stats.stats.mean
     )
     assert schedule.is_complete
+    return schedule
 
 
 def test_fifo_on_packed_rectangles(benchmark, packed_stream):
@@ -72,6 +105,48 @@ def test_srpt_on_irregular_trees(benchmark, irregular_stream):
 def test_worksteal_on_irregular_trees(benchmark, irregular_stream):
     _throughput(
         benchmark, irregular_stream, lambda: WorkStealingScheduler(seed=0), 16
+    )
+
+
+def test_fifo_on_parallel_chains(benchmark, parallel_chains):
+    """Chain-run macro-stepping collapses the whole rectangle tail into a
+    handful of vectorized commits; compare against the per-step twin
+    below for the compression win."""
+    schedule = _throughput(
+        benchmark, parallel_chains, lambda: FIFOScheduler(ArbitraryTieBreak()), 16
+    )
+    assert schedule.engine_stats.macro_steps > 0
+
+
+def test_fifo_on_parallel_chains_per_step(benchmark, parallel_chains):
+    """The same workload with ``use_macro_steps=False``: the per-step
+    fast path's throughput floor the macro path is measured against."""
+    schedule = _throughput(
+        benchmark,
+        parallel_chains,
+        lambda: FIFOScheduler(ArbitraryTieBreak()),
+        16,
+        use_macro_steps=False,
+    )
+    assert schedule.engine_stats.macro_steps == 0
+
+
+def test_lpf_on_spider_legs(benchmark, spider_legs):
+    schedule = _throughput(
+        benchmark, spider_legs, lambda: FIFOScheduler(LongestPathTieBreak()), 16
+    )
+    assert schedule.engine_stats.macro_steps > 0
+
+
+def test_fifo_on_adversarial_combs(benchmark):
+    """The Section-4 lower-bound family (comb gadgets with long handles):
+    chain-heavy but overloaded, so macro commits rarely arm — this guards
+    the macro-eligibility checks' overhead on the dispatch-heavy regime."""
+    from repro.workloads import build_fifo_adversary
+
+    instance = build_fifo_adversary(16, n_jobs=24, seed=0).instance
+    _throughput(
+        benchmark, instance, lambda: FIFOScheduler(ArbitraryTieBreak()), 16
     )
 
 

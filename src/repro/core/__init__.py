@@ -6,7 +6,16 @@ on this subpackage.
 """
 
 from .availability import AvailabilityTrace, as_trace
-from .dag import DAG, antichain, caterpillar, chain, complete_kary_tree, spider, star
+from .dag import (
+    DAG,
+    ChainRuns,
+    antichain,
+    caterpillar,
+    chain,
+    complete_kary_tree,
+    spider,
+    star,
+)
 from .exceptions import (
     ConfigurationError,
     CycleError,
@@ -19,7 +28,7 @@ from .exceptions import (
     SimulationError,
     SolverError,
 )
-from .instance import FlatInstanceGraph, Instance
+from .instance import FlatChainRuns, FlatInstanceGraph, Instance
 from .job import Job, merge_jobs
 from .schedule import Schedule
 from .simulator import (
@@ -55,6 +64,8 @@ __all__ = [
     "EngineState",
     "EngineStats",
     "FlatInstanceGraph",
+    "FlatChainRuns",
+    "ChainRuns",
     "engine_stats_snapshot",
     "reset_engine_stats",
     "accumulate_engine_stats",

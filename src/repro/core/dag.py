@@ -24,6 +24,7 @@ Instances are immutable: every combinator returns a new DAG.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Any
 
@@ -32,9 +33,59 @@ import numpy as np
 from .exceptions import CycleError, GraphError, NotAForestError
 from .util import Array, as_int_array, build_csr, csr_gather, check_nonnegative_int
 
-__all__ = ["DAG", "chain", "antichain", "star", "complete_kary_tree", "spider", "caterpillar"]
+__all__ = [
+    "DAG",
+    "ChainRuns",
+    "chain",
+    "antichain",
+    "star",
+    "complete_kary_tree",
+    "spider",
+    "caterpillar",
+]
 
 _INT = np.int64
+
+
+@dataclass(frozen=True)
+class ChainRuns:
+    """Chain-run decomposition of a DAG (engine macro-stepping input).
+
+    A *chain run* is a maximal path ``v_0 → v_1 → ... → v_{k-1}`` in which
+    every non-terminal node has exactly one child and every non-head node
+    has exactly one parent. Runs partition the node set: a node whose sole
+    parent branches (or that has zero / multiple parents) heads a new run,
+    and a node with out-degree ≠ 1 — or whose sole child has another
+    parent — terminates its run. Singleton runs are legal, so every node
+    belongs to exactly one run and ``steps_to_end >= 1`` everywhere.
+
+    While a run's current node is scheduled, the next ``steps_to_end - 1``
+    selections of that slot are forced one-per-step — the property the
+    simulator's macro-step commit exploits (``docs/engine-internals.md``).
+
+    Attributes
+    ----------
+    order:
+        ``(n,)`` all nodes grouped by run, path order within each run.
+    indptr:
+        ``(n_runs + 1,)`` run ``r`` occupies ``order[indptr[r]:indptr[r+1]]``.
+    run_id:
+        ``(n,)`` run index of each node.
+    index_of:
+        ``(n,)`` position of each node inside ``order``.
+    steps_to_end:
+        ``(n,)`` nodes from ``v`` through its run's terminal, inclusive.
+    """
+
+    order: Array
+    indptr: Array
+    run_id: Array
+    index_of: Array
+    steps_to_end: Array
+
+    @property
+    def n_runs(self) -> int:
+        return int(self.indptr.size - 1)
 
 
 class DAG:
@@ -314,6 +365,50 @@ class DAG:
         return (
             self.is_out_tree
             and bool(np.all(self.outdegree <= 1))
+        )
+
+    @cached_property
+    def chain_runs(self) -> ChainRuns:
+        """The :class:`ChainRuns` decomposition (computed once, cached).
+
+        Vectorized: chain links are one mask over the parent CSR, run heads
+        resolve by pointer doubling (O(n log n) work, O(log n) passes), and
+        in-run positions fall out of :attr:`depth` — a chain child is
+        always exactly one level below its chain parent.
+        """
+        n = self.n
+        # v's chain parent: its sole parent p, provided p has exactly one
+        # child (then the edge p→v can never be scheduled other than
+        # back-to-back under a forced frontier).
+        link = np.full(n, -1, dtype=_INT)
+        single = np.nonzero(self.indegree == 1)[0]
+        if single.size:
+            par = self.parent_indices[self.parent_indptr[single]]
+            chained = self.outdegree[par] == 1
+            link[single[chained]] = par[chained]
+        head = np.where(link >= 0, link, np.arange(n, dtype=_INT))
+        while True:
+            nxt = head[head]
+            if np.array_equal(nxt, head):
+                break
+            head = nxt
+        heads, run_id = np.unique(head, return_inverse=True)
+        run_id = run_id.astype(_INT, copy=False)
+        indptr = np.zeros(heads.size + 1, dtype=_INT)
+        np.cumsum(np.bincount(run_id, minlength=heads.size), out=indptr[1:])
+        pos = self.depth - self.depth[head]
+        index_of = indptr[run_id] + pos
+        order = np.empty(n, dtype=_INT)
+        order[index_of] = np.arange(n, dtype=_INT)
+        steps_to_end = indptr[run_id + 1] - index_of
+        for arr in (order, indptr, run_id, index_of, steps_to_end):
+            arr.setflags(write=False)
+        return ChainRuns(
+            order=order,
+            indptr=indptr,
+            run_id=run_id,
+            index_of=index_of,
+            steps_to_end=steps_to_end,
         )
 
     def require_out_forest(self) -> None:

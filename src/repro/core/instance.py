@@ -23,9 +23,38 @@ from .exceptions import ConfigurationError
 from .job import Job, merge_jobs
 from .util import Array, check_nonnegative_int
 
-__all__ = ["Instance", "FlatInstanceGraph"]
+__all__ = ["Instance", "FlatInstanceGraph", "FlatChainRuns"]
 
 _INT = np.int64
+
+
+@dataclass(frozen=True)
+class FlatChainRuns:
+    """Instance-level chain-run layout over global node ids.
+
+    The per-job :class:`~repro.core.dag.ChainRuns` decompositions
+    concatenated into the flat id space of :class:`FlatInstanceGraph`
+    (runs never span jobs). This is the lookup structure behind the
+    engine's macro-step commit: a frontier gid at ``run_nodes`` position
+    ``p`` is followed, for the next ``steps_to_end - 1`` forced steps, by
+    ``run_nodes[p + 1], run_nodes[p + 2], ...`` — so Δt consecutive forced
+    selections of a chain slot are the contiguous block
+    ``run_nodes[p : p + Δt]``.
+
+    Attributes
+    ----------
+    run_nodes:
+        ``(n,)`` global ids grouped by run, path order within each run.
+    node_index:
+        ``(n,)`` position of each gid inside ``run_nodes``.
+    steps_to_end:
+        ``(n,)`` nodes from the gid through its run's terminal, inclusive
+        (always ``>= 1``).
+    """
+
+    run_nodes: Array
+    node_index: Array
+    steps_to_end: Array
 
 
 @dataclass(frozen=True)
@@ -162,6 +191,34 @@ class Instance:
             child_indices=child_indices,
             indegree=indegree,
             all_out_forests=self.is_out_forest,
+        )
+
+    @cached_property
+    def chain_layout(self) -> FlatChainRuns:
+        """The flat :class:`FlatChainRuns` arrays (computed once, cached).
+
+        Per-job runs are shifted into the global id space; each job's block
+        of ``run_nodes`` occupies its ``offsets`` slice, so the flat
+        position of a gid is the job offset plus its in-job run index.
+        """
+        offsets = self.flat_graph.offsets
+        run_parts: list[Array] = []
+        index_parts: list[Array] = []
+        steps_parts: list[Array] = []
+        for off, job in zip(offsets[:-1].tolist(), self.jobs):
+            runs = job.dag.chain_runs
+            run_parts.append(runs.order + off)
+            index_parts.append(runs.index_of + off)
+            steps_parts.append(runs.steps_to_end)
+        run_nodes = np.concatenate(run_parts)
+        node_index = np.concatenate(index_parts)
+        steps_to_end = np.concatenate(steps_parts)
+        for arr in (run_nodes, node_index, steps_to_end):
+            arr.setflags(write=False)
+        return FlatChainRuns(
+            run_nodes=run_nodes,
+            node_index=node_index,
+            steps_to_end=steps_to_end,
         )
 
     def arrivals_at(self, t: int) -> list[int]:

@@ -93,6 +93,30 @@ class Schedule:
         object.__setattr__(self, "m", int(m))
         object.__setattr__(self, "completion", tuple(frozen))
 
+    @classmethod
+    def from_flat(
+        cls, instance: Instance, m: int, completion_flat: Array
+    ) -> "Schedule":
+        """Build a schedule from one flat completion array over the
+        instance's global node-id space (``Instance.flat_graph``).
+
+        The engine commits completion times into a single flat array; this
+        constructor slices it back into the per-job layout the Schedule
+        API exposes. The per-job arrays are frozen views into the caller's
+        buffer, so the caller must not write through it afterwards.
+        """
+        offsets = instance.flat_graph.offsets
+        if completion_flat.shape != (int(offsets[-1]),):
+            raise ScheduleError(
+                f"flat completion array has shape {completion_flat.shape}, "
+                f"expected ({int(offsets[-1])},)"
+            )
+        per_job = [
+            completion_flat[offsets[i] : offsets[i + 1]]
+            for i in range(len(instance))
+        ]
+        return cls(instance, m, per_job)
+
     # ------------------------------------------------------------------
     # Completeness / metrics
     # ------------------------------------------------------------------

@@ -39,6 +39,13 @@ bit-identical to the reference per-node loop (kept as
 :func:`_simulate_reference` and enforced by the differential-equivalence
 tests).
 
+On chain-heavy out-forest instances the fast path additionally
+*macro-steps*: using the precomputed chain-run decomposition
+(:attr:`~repro.core.instance.Instance.chain_layout`) it detects that a
+forced selection will repeat verbatim for the next Δt steps and commits
+all Δt schedule columns in one vectorized write (see
+:attr:`Scheduler.macro_step_safe` and ``docs/engine-internals.md``).
+
 Per-run counters are collected in :class:`EngineStats` (attached to the
 returned schedule as ``schedule.engine_stats``) and accumulated process-wide
 (:func:`engine_stats_snapshot`).
@@ -114,6 +121,19 @@ class Scheduler(abc.ABC):
     #: MUST NOT keep selection-relevant state that a resync cannot rebuild
     #: (e.g. RNG streams advanced per ready node).
     supports_fast_forward: bool = False
+
+    #: Opt-in to chain-run macro-stepping on top of the fast path
+    #: (requires :attr:`supports_fast_forward`; ignored without it).
+    #: Setting this True declares that when a *forced* whole-frontier
+    #: selection would repeat verbatim for the next Δt steps — every
+    #: selected gid sits on a chain run, no arrival or capacity change
+    #: intervenes — the engine may commit all Δt schedule columns in one
+    #: batch without any per-step callbacks in between. Schedulers whose
+    #: behaviour depends on observing each step individually (beyond what
+    #: :meth:`resync` rebuilds) must leave it False; fault hooks,
+    #: observers, and impure tie-breaks force the per-step path anyway.
+    #: Lint rule RPR006 flags declarations that contradict per-step hooks.
+    macro_step_safe: bool = False
 
     #: Opt-in to flat ready delivery: when True (and no observer is
     #: attached) the engine calls :meth:`on_ready_gids` with ascending
@@ -242,6 +262,14 @@ class EngineStats:
         The subset of fast-forwarded steps that truncated a job mid-frontier
         and were resolved by the scheduler's priority kernel
         (:meth:`Scheduler.frontier_priorities`) instead of a dispatch.
+    macro_steps:
+        Macro-step batch commits: each wrote several consecutive forced
+        schedule columns in one vectorized pass (chain-run compression,
+        see :attr:`Scheduler.macro_step_safe`).
+    compressed_steps:
+        Time steps covered by those macro batches (a subset of
+        ``fast_forwarded_steps``; ``compressed_steps / macro_steps`` is the
+        average compression ratio Δt).
     selections:
         Subjobs scheduled in total.
     select_calls:
@@ -259,6 +287,8 @@ class EngineStats:
     resyncs: int = 0
     sim_seconds: float = 0.0
     kernel_steps: int = 0
+    macro_steps: int = 0
+    compressed_steps: int = 0
 
     @property
     def ns_per_subjob(self) -> float:
@@ -275,6 +305,8 @@ class EngineStats:
         self.steps += other.steps
         self.fast_forwarded_steps += other.fast_forwarded_steps
         self.kernel_steps += other.kernel_steps
+        self.macro_steps += other.macro_steps
+        self.compressed_steps += other.compressed_steps
         self.selections += other.selections
         self.select_calls += other.select_calls
         self.resyncs += other.resyncs
@@ -287,6 +319,8 @@ class EngineStats:
             fast_forwarded_steps=self.fast_forwarded_steps
             - earlier.fast_forwarded_steps,
             kernel_steps=self.kernel_steps - earlier.kernel_steps,
+            macro_steps=self.macro_steps - earlier.macro_steps,
+            compressed_steps=self.compressed_steps - earlier.compressed_steps,
             selections=self.selections - earlier.selections,
             select_calls=self.select_calls - earlier.select_calls,
             resyncs=self.resyncs - earlier.resyncs,
@@ -298,7 +332,9 @@ class EngineStats:
         return (
             f"steps={self.steps} fast={self.fast_forwarded_steps} "
             f"({100.0 * self.fast_fraction:.0f}%) "
-            f"kernel={self.kernel_steps} selections={self.selections} "
+            f"kernel={self.kernel_steps} macro={self.macro_steps} "
+            f"compressed={self.compressed_steps} "
+            f"selections={self.selections} "
             f"select_calls={self.select_calls} resyncs={self.resyncs} "
             f"ns/subjob={self.ns_per_subjob:.0f}"
         )
@@ -487,6 +523,7 @@ def simulate(
     observer: Optional[SimulationObserver] = None,
     availability: Optional[AvailabilityLike] = None,
     fault_injector: Optional[FaultHooks] = None,
+    use_macro_steps: Optional[bool] = None,
 ) -> Schedule:
     """Run ``scheduler`` on ``instance`` with ``m`` processors to completion.
 
@@ -515,6 +552,13 @@ def simulate(
         rebuilds its state from the committed prefix) and perturb ready
         delivery group order. Attaching one disables the fast path and
         flat-gid delivery so both engines drive the hooks identically.
+    use_macro_steps:
+        Chain-run macro-stepping override. ``None`` (default) lets the
+        scheduler's :attr:`Scheduler.macro_step_safe` contract decide;
+        ``False`` forces the per-step fast path even for safe schedulers
+        (the reference configuration the macro equivalence tests compare
+        against); ``True`` still requires the contract — it never enables
+        macro-stepping for a scheduler that did not declare it safe.
 
     Returns
     -------
@@ -609,6 +653,28 @@ def simulate(
             prio_enc = _ranks.astype(np.int64) * n_total + np.arange(
                 n_total, dtype=np.int64
             )
+    # Chain-run macro-stepping (see Scheduler.macro_step_safe and
+    # docs/engine-internals.md): when the forced whole-frontier selection
+    # would repeat verbatim for the next Δt steps — every committed gid on
+    # a chain run, no arrival, no capacity change — commit all Δt schedule
+    # columns in one vectorized write instead of Δt loop iterations.
+    # Restricted to out-forest instances: only there may the fast path skip
+    # interior indegree decrements entirely (the forest exit below zeroes
+    # indegrees wholesale from the done mask).
+    macro_ok = (
+        fast_ok
+        and is_forest
+        and scheduler.macro_step_safe
+        and use_macro_steps is not False
+    )
+    run_nodes: Optional[Array] = None
+    node_index: Optional[Array] = None
+    steps_to_end: Optional[Array] = None
+    if macro_ok:
+        chains = instance.chain_layout
+        run_nodes = chains.run_nodes
+        node_index = chains.node_index
+        steps_to_end = chains.steps_to_end
     # Flat ready delivery (see Scheduler.wants_ready_gids): hand newly-ready
     # nodes over as one ascending gid array instead of grouping per job.
     # Fault injection perturbs per-job delivery groups, so it forces the
@@ -737,6 +803,91 @@ def simulate(
                                 )
                     fast_run = True
                     indeg_list = None  # scalar-path copy goes stale
+                if macro_ok and trunc_job < 0 and commit_jobs:
+                    # Macro-step commit: find Δt, the number of steps this
+                    # exact forced selection pattern repeats. Three bounds:
+                    # the gap to the next arrival (a new job changes the
+                    # packing), the shortest chain-run remainder among the
+                    # committed frontiers (a slot stays forced only while
+                    # its node has a sole in-chain successor), and the
+                    # window over which the availability trace stays cap_t.
+                    if next_arrival_idx < n_jobs:
+                        dt = int(releases[arrival_order[next_arrival_idx]]) - t
+                    else:
+                        dt = total_left  # chain remainders tighten below
+                    macro_gids: list[Array] = []
+                    if dt > 1:
+                        assert steps_to_end is not None  # set when macro_ok
+                        for j in commit_jobs:
+                            fr = frontiers[j]
+                            assert fr is not None
+                            g = fr if prio_enc is None else fr % n_total
+                            macro_gids.append(g)
+                            r = int(steps_to_end[g].min())
+                            if r < dt:
+                                dt = r
+                                if dt == 1:
+                                    break
+                    if dt > 1 and avail_vals is not None and t < avail_len:
+                        # Inside the explicit trace prefix m_t may vary;
+                        # past it the tail is constant and equals cap_t
+                        # (this step already drew it), so no bound applies.
+                        span = 1
+                        while span < dt:
+                            tk = t + span
+                            if (
+                                avail_vals[tk] if tk < avail_len else avail_tail
+                            ) != cap_t:
+                                break
+                            span += 1
+                        dt = span
+                    if dt > 1:
+                        assert run_nodes is not None and node_index is not None
+                        assert steps_to_end is not None
+                        span_idx = np.arange(dt, dtype=_INT)
+                        times = t + 1 + span_idx
+                        k = 0
+                        for j, gids in zip(commit_jobs, macro_gids):
+                            starts = node_index[gids]
+                            # (c, Δt) block of chain nodes: column i holds
+                            # the nodes forced at step t + i; the times row
+                            # broadcasts across the c committed slots.
+                            nodes = run_nodes[starts[:, None] + span_idx]
+                            completion_flat[nodes] = times
+                            rem = steps_to_end[gids]
+                            cont = rem > dt
+                            nxt = run_nodes[starts[cont] + dt]
+                            term = run_nodes[starts[~cont] + (dt - 1)]
+                            kids, _ = csr_gather(
+                                child_indptr, child_indices, term
+                            )
+                            # (Forest: every child's sole parent — a run
+                            # terminal committed in the last column — is
+                            # done, so all gathered children are ready.)
+                            new = np.concatenate((nxt, kids))
+                            if prio_enc is None:
+                                nfr = np.sort(new)
+                                nsz = nfr.size
+                                fr_contig[j] = bool(
+                                    nsz == 0 or nfr[-1] - nfr[0] == nsz - 1
+                                )
+                            else:
+                                nfr = np.sort(prio_enc[new])
+                                nsz = nfr.size
+                            frontiers[j] = nfr
+                            c = gids.size
+                            ready_per_job[j] = nsz
+                            unfinished[j] -= c * dt
+                            ready_total += nsz - c
+                            k += c * dt
+                        total_left -= k
+                        stats.steps += dt
+                        stats.fast_forwarded_steps += dt
+                        stats.macro_steps += 1
+                        stats.compressed_steps += dt
+                        stats.selections += k
+                        t += dt
+                        continue
                 finish = t + 1
                 k = 0
                 for j in commit_jobs:
@@ -1107,10 +1258,7 @@ def simulate(
             for job_id, arr in zip(ready_jobs_in_order, ready_locals):
                 scheduler.on_nodes_ready(t, job_id, arr)
 
-    completion = [
-        completion_flat[offsets[i] : offsets[i + 1]] for i in range(n_jobs)
-    ]
-    schedule = Schedule(instance, m, completion)
+    schedule = Schedule.from_flat(instance, m, completion_flat)
     stats.sim_seconds = time.perf_counter() - t_wall
     _GLOBAL_STATS.add(stats)
     object.__setattr__(schedule, "engine_stats", stats)

@@ -1,5 +1,6 @@
 """C1 scheduler-contract rules: RPR101 (fast-forward requires resync),
-RPR102 (select must not mutate the model), RPR103 (engine-reserved names).
+RPR102 (select must not mutate the model), RPR103 (engine-reserved names),
+RPR006 (macro_step_safe must not contradict per-step hooks).
 
 The engine's fast-forward optimisation skips ``select()`` calls while a
 scheduler's frontier is FIFO-stable; any scheduler that opts in via
@@ -18,12 +19,14 @@ from typing import TYPE_CHECKING, Iterator
 from ..model import Violation
 from ..registry import Rule, register_rule
 from .common import attribute_parts, iter_functions
+from .determinism import ImpureTieBreakKeyRule
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..engine import FileContext
 
 __all__ = [
     "FastForwardContractRule",
+    "MacroStepContractRule",
     "ReservedEngineNameRule",
     "SelectMutatesModelRule",
 ]
@@ -219,4 +222,98 @@ class MyScheduler(Scheduler):
             )
             if name.endswith("Scheduler") or name.endswith("SchedulerBase"):
                 return True
+        return False
+
+
+@register_rule
+class MacroStepContractRule(Rule):
+    rule_id = "RPR006"
+    title = "macro_step_safe must not contradict per-step hooks"
+    rationale = (
+        "declaring `macro_step_safe = True` lets the engine batch several "
+        "consecutive forced steps into one macro commit with NO per-step "
+        "callbacks in between; a class that also defines the per-step "
+        "`on_step` hook, an impure `key()`, or `pure = False` depends on "
+        "exactly the step-by-step behaviour the macro path skips, so the "
+        "declaration silently diverges from the per-step engines. Drop "
+        "one of the two declarations."
+    )
+    bad_example = """\
+class TracingScheduler(Scheduler):
+    macro_step_safe = True
+
+    def on_step(self, t, selection, state):
+        self._trace.append(t)
+"""
+    good_example = """\
+class ChainScheduler(Scheduler):
+    macro_step_safe = True
+
+    def resync(self, t, state):
+        pass
+"""
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._declares_macro_safe(node):
+                continue
+            if "on_step" in _names_defined_in_class_body(node):
+                yield self.violation(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"class `{node.name}` declares `macro_step_safe = True` "
+                    "but defines the per-step hook `on_step`; macro commits "
+                    "batch steps without callbacks, so the hook would miss "
+                    "every compressed step",
+                )
+            if ImpureTieBreakKeyRule._declares_impure(node):
+                yield self.violation(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"class `{node.name}` declares `macro_step_safe = True` "
+                    "alongside `pure = False`; an impure policy re-evaluates "
+                    "per step, which macro commits skip",
+                )
+            for func in iter_functions(node):
+                if func.name != "key":
+                    continue
+                for sub in ast.walk(func):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    why = ImpureTieBreakKeyRule._impure_call(ctx, sub)
+                    if why is not None:
+                        yield self.violation(
+                            ctx,
+                            sub.lineno,
+                            sub.col_offset,
+                            f"`{node.name}.key()` {why} while the class "
+                            "declares `macro_step_safe = True`; an impure "
+                            "key needs per-step evaluation, which macro "
+                            "commits skip",
+                        )
+
+    @staticmethod
+    def _declares_macro_safe(node: ast.ClassDef) -> bool:
+        """``macro_step_safe = True`` as a constant in the class body
+        (a property or computed value expresses a conditional contract
+        and is left to the runtime/tests)."""
+        for stmt in node.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "macro_step_safe"
+                    and isinstance(value, ast.Constant)
+                    and value.value is True
+                ):
+                    return True
         return False

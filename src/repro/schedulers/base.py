@@ -86,6 +86,15 @@ class TieBreak(abc.ABC):
     #: to the engine fast path (``Scheduler.supports_fast_forward``).
     pure: bool = True
 
+    #: True iff this tie-break is compatible with the engine's chain-run
+    #: macro-stepping (``Scheduler.macro_step_safe``): batching several
+    #: consecutive *forced* whole-frontier commits — which never consult
+    #: the tie-break at all — must not change behaviour. That holds for
+    #: any :attr:`pure` rule (and the engine additionally requires purity),
+    #: so the default is True; set False only for a tie-break that keeps
+    #: per-step state the forced path would skip updating.
+    macro_step_safe: bool = True
+
     def reset(self, seed: Optional[int] = None) -> None:
         """Reinitialize any internal state (e.g. RNG) before a run."""
 

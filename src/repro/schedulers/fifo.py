@@ -29,6 +29,11 @@ Two vectorized layers sit on top (``docs/engine-internals.md``):
   over all jobs, letting it resolve even *truncated* fast-path steps itself
   (the scheduler is then never dispatched at all).
 
+With a pure tie-break the scheduler also declares
+:attr:`~repro.core.Scheduler.macro_step_safe`, letting the engine compress
+runs of forced steps on chain-heavy out-forests into single vectorized
+macro commits.
+
 ``use_priority_kernel=False`` forces the classic heap path — the reference
 configuration the equivalence tests compare against.
 """
@@ -92,6 +97,14 @@ class FIFOScheduler(Scheduler):
         fast-forwarding is sound whenever the tie-break is pure (a rebuilt
         heap pops in the same order as an incrementally-filled one)."""
         return self.tie_break.pure
+
+    @property
+    def macro_step_safe(self) -> bool:
+        """Chain-run macro-stepping only batches *forced* whole-frontier
+        commits, which never consult the tie-break — safe exactly when
+        fast-forwarding is (pure tie-break) and the tie-break itself does
+        not keep per-step state (:attr:`TieBreak.macro_step_safe`)."""
+        return self.tie_break.pure and self.tie_break.macro_step_safe
 
     def frontier_priorities(self, instance: Instance) -> Optional[Array]:
         """Concatenated per-job priority kernels for the engine's priority

@@ -33,6 +33,9 @@ class LPFScheduler(FIFOScheduler):
     Runs on the vectorized height-kernel path by default (heights are the
     LPF priority, precomputed per job — see ``docs/engine-internals.md``);
     ``use_priority_kernel=False`` forces the pure-Python reference heap.
+    Inherits FIFO's ``macro_step_safe`` declaration: on chain-heavy
+    out-forests (spider legs, rectangle tails) the engine compresses runs
+    of forced LPF steps into single macro commits.
     """
 
     def __init__(

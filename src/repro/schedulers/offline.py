@@ -78,14 +78,25 @@ def max_flow_lower_bound(instance: Instance, m: int) -> int:
     best = max(depth_profile_lower_bound(job.dag, m) for job in instance)
     releases = instance.releases
     works = np.array([j.work for j in instance], dtype=np.int64)
+    # Jobs are stored in release order, so the work released in [s, t] is a
+    # prefix-sum difference: W_le[ti] - W_lt[si], where W_le counts work
+    # with release <= uniq[ti] and W_lt work with release < uniq[si].
+    csum = np.cumsum(works)
     uniq = np.unique(releases)
+    last = np.searchsorted(releases, uniq, side="right") - 1
+    w_le = csum[last]
+    w_lt = np.concatenate((np.zeros(1, dtype=np.int64), w_le[:-1]))
+    total = int(csum[-1])
     for si in range(uniq.size):
         s = int(uniq[si])
-        mask_s = releases >= s
-        for ti in range(si, uniq.size):
-            t = int(uniq[ti])
-            w = int(works[mask_s & (releases <= t)].sum())
-            best = max(best, s + -(-w // m) - t)
+        base = int(w_lt[si])
+        # The best any row from here on can reach is ceil((total-base)/m)
+        # (attained only at t == s), and base is nondecreasing in si — once
+        # that ceiling cannot beat `best`, no later row can either.
+        if -(-(total - base) // m) <= best:
+            break
+        row = s + -(-(w_le[si:] - base) // m) - uniq[si:]
+        best = max(best, int(row.max()))
     return max(best, 1)
 
 

@@ -35,6 +35,13 @@ __all__ = ["cached_generator", "workload_cache_dir", "clear_workload_cache"]
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
+#: Cache schema version, folded into every entry's key. Bump whenever the
+#: pickled payload of cached generators changes shape — v2: instances and
+#: DAGs grew precomputed chain-run arrays (``DAG.chain_runs`` /
+#: ``Instance.chain_layout``), so entries pickled by older code must be
+#: regenerated rather than deserialized without the new cached fields.
+_SCHEMA_VERSION = 2
+
 
 def workload_cache_dir() -> Optional[Path]:
     """The directory backing the workload cache, or ``None`` when disabled.
@@ -107,7 +114,9 @@ def cached_generator(
             if safe is not None and not safe(arguments):
                 return func(*args, **kwargs)
             digest = hashlib.sha256(
-                repr((func.__module__, func.__qualname__, items)).encode()
+                repr(
+                    (_SCHEMA_VERSION, func.__module__, func.__qualname__, items)
+                ).encode()
             ).hexdigest()
             path = root / f"{func.__name__}-{digest[:32]}.wlcache"
             if path.is_file():

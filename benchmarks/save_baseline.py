@@ -144,13 +144,117 @@ MICROBENCHES = {
     "fifo_on_adversarial_combs": _bench_fifo_adversarial_combs,
 }
 
+_SWEEP_TRIALS = 10_000
+_sweep_instances_cache = None
 
-def measure(rounds: int = 3) -> dict:
+
+def _sweep_instances():
+    """The 10^4-trial sweep corpus (3 small out-forest jobs per trial),
+    generated once and shared by every sweep bench so the batched and
+    pool paths time the exact same instances."""
+    global _sweep_instances_cache
+    if _sweep_instances_cache is None:
+        import numpy as np
+
+        from repro.core import Instance, Job
+        from repro.workloads import random_out_forest
+
+        out = []
+        for s in range(_SWEEP_TRIALS):
+            rng = np.random.default_rng(s)
+            jobs = [
+                Job(
+                    random_out_forest(40, seed=int(rng.integers(1 << 30))),
+                    release=int(rng.integers(0, 10)),
+                )
+                for _ in range(3)
+            ]
+            out.append(Instance(jobs))
+        _sweep_instances_cache = out
+    return _sweep_instances_cache
+
+
+def _pool_sweep_worker(task):
+    """Per-trial pool dispatch: the pre-batching way `repeat_experiment`
+    fanned independent trials out (module-level for picklability)."""
+    import numpy as np
+
+    from repro.core import simulate
+    from repro.schedulers import ArbitraryTieBreak, FIFOScheduler
+
+    instance, m = task
+    schedule = simulate(instance, m, FIFOScheduler(ArbitraryTieBreak()))
+    return sum(int(np.asarray(c).size) for c in schedule.completion)
+
+
+def _sweep_bench_batched(tie_break_name):
+    instances = _sweep_instances()  # generated in setup, outside the timer
+
+    def run():
+        from repro.core import simulate_batch
+        from repro.schedulers import (
+            ArbitraryTieBreak,
+            FIFOScheduler,
+            LongestPathTieBreak,
+        )
+
+        tb = (
+            LongestPathTieBreak()
+            if tie_break_name == "lpf"
+            else ArbitraryTieBreak()
+        )
+        schedules = simulate_batch(instances, 4, FIFOScheduler(tb))
+        stats = schedules[0].engine_stats
+        assert stats is not None and stats.batch_steps > 0
+        return sum(s.instance.total_work for s in schedules)
+
+    return run
+
+
+def _sweep_bench_pool():
+    instances = _sweep_instances()
+
+    def run():
+        import os
+
+        from repro.experiments import shared_pool
+
+        pool = shared_pool(os.cpu_count() or 1)
+        tasks = [(inst, 4) for inst in instances]
+        return sum(pool.map(_pool_sweep_worker, tasks, chunksize=64))
+
+    return run
+
+
+#: Whole-sweep benches: name -> (setup() -> run(), rounds_cap). ``run``
+#: executes the sweep and returns the subjob count it completed. The
+#: ``pool_sweep`` entry is the pre-batching per-trial persistent-pool
+#: path — the denominator of the batched engine's headline speedup — and
+#: is capped at one round to keep ``--compare`` runs bounded.
+SWEEP_BENCHES = {
+    "batched_sweep_10k_fifo": (lambda: _sweep_bench_batched("fifo"), 3),
+    "batched_sweep_10k_lpf": (lambda: _sweep_bench_batched("lpf"), 3),
+    "pool_sweep_10k_fifo": (lambda: _sweep_bench_pool(), 1),
+}
+
+
+def all_bench_names() -> list[str]:
+    return [*MICROBENCHES, *SWEEP_BENCHES]
+
+
+def measure(rounds: int = 3, only: list[str] | None = None) -> dict:
     """Time every microbench; returns name -> measurement dict."""
     from repro.core import simulate
 
+    selected = set(only) if only is not None else None
+
+    def wanted(name):
+        return selected is None or name in selected
+
     out = {}
     for name, setup in MICROBENCHES.items():
+        if not wanted(name):
+            continue
         instance, scheduler_factory, m, *rest = setup()
         sim_kwargs = rest[0] if rest else {}
         best = float("inf")
@@ -164,11 +268,36 @@ def measure(rounds: int = 3) -> dict:
             "best_seconds": round(best, 6),
             "subjobs_per_sec": round(instance.total_work / best, 1),
         }
+    for name, (setup, rounds_cap) in SWEEP_BENCHES.items():
+        if not wanted(name):
+            continue
+        run = setup()
+        best = float("inf")
+        for _ in range(max(1, min(rounds, rounds_cap))):
+            start = time.perf_counter()
+            subjobs = run()
+            best = min(best, time.perf_counter() - start)
+        out[name] = {
+            "subjobs": int(subjobs),
+            "best_seconds": round(best, 6),
+            "subjobs_per_sec": round(subjobs / best, 1),
+        }
     return out
 
 
-def save(rounds: int) -> int:
-    results = measure(rounds)
+def save(rounds: int, only: list[str] | None = None) -> int:
+    results = measure(rounds, only)
+    if only is not None:
+        # Partial re-record: merge into the existing baseline rather than
+        # dropping every bench that was not re-timed.
+        merged = {}
+        if BASELINE_PATH.is_file():
+            try:
+                merged = json.loads(BASELINE_PATH.read_text())
+            except json.JSONDecodeError:
+                merged = {}
+        merged.update(results)
+        results = merged
     BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
     for name, row in results.items():
         print(f"{name:<32} {row['subjobs_per_sec']:>12,.0f} subjobs/s")
@@ -200,7 +329,7 @@ def _publish_step_summary(markdown: str) -> None:
         fh.write(markdown + "\n")
 
 
-def compare(rounds: int) -> int:
+def compare(rounds: int, only: list[str] | None = None) -> int:
     if not BASELINE_PATH.is_file():
         print(f"no baseline at {BASELINE_PATH}; run without --compare first",
               file=sys.stderr)
@@ -214,7 +343,7 @@ def compare(rounds: int) -> int:
             file=sys.stderr,
         )
         return 2
-    results = measure(rounds)
+    results = measure(rounds, only)
     status = 0
     rows: list[tuple[str, str, str, str, str]] = []
     for name, row in results.items():
@@ -251,9 +380,27 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--rounds", type=int, default=3, help="timing rounds per bench (best-of)"
     )
+    parser.add_argument(
+        "--only",
+        type=str,
+        default=None,
+        help="comma-separated bench names to run (others are skipped; with "
+        "a plain save the rest of the recorded baseline is kept)",
+    )
     args = parser.parse_args(argv)
+    only = None
+    if args.only is not None:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = [name for name in only if name not in all_bench_names()]
+        if unknown:
+            print(
+                f"unknown bench name(s): {', '.join(unknown)}; "
+                f"choose from: {', '.join(all_bench_names())}",
+                file=sys.stderr,
+            )
+            return 2
     try:
-        return compare(args.rounds) if args.compare else save(args.rounds)
+        return compare(args.rounds, only) if args.compare else save(args.rounds, only)
     except Exception as exc:  # the CI guard wants an exit code, not a traceback
         print(f"benchmark harness failed: {type(exc).__name__}: {exc}",
               file=sys.stderr)

@@ -157,3 +157,74 @@ def test_adversary_cosimulation_build(benchmark):
 
     adv = benchmark(lambda: build_fifo_adversary(32, n_jobs=64))
     assert adv.fifo_max_flow > adv.opt_upper_bound
+
+
+@pytest.fixture(scope="module")
+def trial_sweep():
+    """2000 small out-forest trials (3 jobs each): the homogeneous-sweep
+    shape the batched engine targets. A slice of the 10^4-trial corpus in
+    ``save_baseline.py`` (full size lives there; this keeps the pytest
+    benches quick)."""
+    from repro.workloads import random_out_forest
+
+    out = []
+    for s in range(2000):
+        rng = np.random.default_rng(s)
+        jobs = [
+            Job(
+                random_out_forest(40, seed=int(rng.integers(1 << 30))),
+                release=int(rng.integers(0, 10)),
+            )
+            for _ in range(3)
+        ]
+        out.append(Instance(jobs))
+    return out
+
+
+def _sweep_throughput(benchmark, instances, scheduler_factory, m):
+    from repro.core import simulate_batch
+
+    schedules = benchmark(
+        lambda: simulate_batch(instances, m, scheduler_factory())
+    )
+    subjobs = sum(inst.total_work for inst in instances)
+    benchmark.extra_info["subjobs"] = subjobs
+    benchmark.extra_info["subjobs_per_sec"] = (
+        subjobs / benchmark.stats.stats.mean
+    )
+    return schedules
+
+
+def test_fifo_batched_sweep(benchmark, trial_sweep):
+    """The batched lockstep engine across the whole sweep in one call;
+    compare against the per-instance twin below for the batching win."""
+    schedules = _sweep_throughput(
+        benchmark, trial_sweep, lambda: FIFOScheduler(ArbitraryTieBreak()), 4
+    )
+    stats = schedules[0].engine_stats
+    assert stats is not None and stats.batch_steps > 0
+    assert stats.fallback_runs == 0
+
+
+def test_lpf_batched_sweep(benchmark, trial_sweep):
+    schedules = _sweep_throughput(
+        benchmark, trial_sweep, lambda: FIFOScheduler(LongestPathTieBreak()), 4
+    )
+    assert schedules[0].engine_stats.batch_steps > 0
+
+
+def test_fifo_sweep_per_instance(benchmark, trial_sweep):
+    """The same sweep as one ``simulate`` call per trial: the per-instance
+    floor ``test_fifo_batched_sweep`` is measured against."""
+    scheduler = FIFOScheduler(ArbitraryTieBreak())
+
+    def run():
+        return [simulate(inst, 4, scheduler) for inst in trial_sweep]
+
+    schedules = benchmark(run)
+    subjobs = sum(inst.total_work for inst in trial_sweep)
+    benchmark.extra_info["subjobs"] = subjobs
+    benchmark.extra_info["subjobs_per_sec"] = (
+        subjobs / benchmark.stats.stats.mean
+    )
+    assert all(s.is_complete for s in schedules)

@@ -28,7 +28,13 @@ from .exceptions import (
     SimulationError,
     SolverError,
 )
-from .instance import FlatChainRuns, FlatInstanceGraph, Instance
+from .instance import (
+    FlatChainRuns,
+    FlatInstanceGraph,
+    Instance,
+    InstanceBatch,
+    pack_instances,
+)
 from .job import Job, merge_jobs
 from .schedule import Schedule
 from .simulator import (
@@ -41,6 +47,7 @@ from .simulator import (
     engine_stats_snapshot,
     reset_engine_stats,
     simulate,
+    simulate_batch,
 )
 from .io import (
     load_instance_json,
@@ -65,6 +72,8 @@ __all__ = [
     "EngineStats",
     "FlatInstanceGraph",
     "FlatChainRuns",
+    "InstanceBatch",
+    "pack_instances",
     "ChainRuns",
     "engine_stats_snapshot",
     "reset_engine_stats",
@@ -80,6 +89,7 @@ __all__ = [
     "save_schedule_npz",
     "load_schedule_npz",
     "simulate",
+    "simulate_batch",
     "merge_jobs",
     "chain",
     "antichain",

@@ -55,15 +55,15 @@ from __future__ import annotations
 
 import abc
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from functools import cached_property
-from typing import Optional, Protocol, Sequence
+from typing import Optional, Protocol, Sequence, Union
 
 import numpy as np
 
 from .availability import AvailabilityLike, AvailabilityTrace, as_trace
 from .exceptions import ConfigurationError, SchedulerProtocolError, SimulationError
-from .instance import Instance
+from .instance import Instance, InstanceBatch, pack_instances
 from .job import Job
 from .schedule import Schedule
 from .util import Array, csr_gather
@@ -73,6 +73,7 @@ __all__ = [
     "SimulationObserver",
     "FaultHooks",
     "simulate",
+    "simulate_batch",
     "EngineState",
     "EngineStats",
     "engine_stats_snapshot",
@@ -134,6 +135,22 @@ class Scheduler(abc.ABC):
     #: observers, and impure tie-breaks force the per-step path anyway.
     #: Lint rule RPR006 flags declarations that contradict per-step hooks.
     macro_step_safe: bool = False
+
+    #: Opt-in to the batched multi-instance engine
+    #: (:func:`simulate_batch`). Setting this True declares that the
+    #: scheduler's behaviour on every instance is *fully determined* by its
+    #: priority kernel under the FIFO frontier contract: with
+    #: :attr:`supports_fast_forward` True and
+    #: :meth:`frontier_priorities` returning an array, each step's
+    #: selection is exactly the capacity-smallest ready subjobs by
+    #: ``(job id, kernel priority, node id)`` — so B independent instances
+    #: can be advanced in lockstep array passes with no per-instance
+    #: dispatch at all. Schedulers that keep per-step observable state
+    #: (hooks beyond what the kernel encodes, impure tie-breaks) must
+    #: leave it False; :func:`simulate_batch` then falls back to
+    #: per-instance :func:`simulate` runs. Lint rule RPR007 flags
+    #: declarations that contradict per-instance-only hooks.
+    batch_capable: bool = False
 
     #: Opt-in to flat ready delivery: when True (and no observer is
     #: attached) the engine calls :meth:`on_ready_gids` with ascending
@@ -277,7 +294,21 @@ class EngineStats:
     resyncs:
         :meth:`Scheduler.resync` calls issued when leaving the fast path.
     sim_seconds:
-        Wall-clock time spent inside :func:`simulate`.
+        Wall-clock time spent inside :func:`simulate` /
+        :func:`simulate_batch`.
+    batch_steps:
+        Lockstep commits of the batched multi-instance engine
+        (:func:`simulate_batch`): each advanced every active instance of a
+        batch by one step (or by Δt steps for a batched macro commit) in
+        one NumPy pass.
+    fallback_runs:
+        Instances :func:`simulate_batch` routed through per-instance
+        :func:`simulate` because they (or their scheduler) were ineligible
+        for the lockstep path.
+    batch_size_histogram:
+        Histogram of active-instance counts over batched commits, bucketed
+        by power of two (key ``b`` counts commits with ``2**b <= active <
+        2**(b+1)``) so the dict stays small whatever the batch size.
     """
 
     steps: int = 0
@@ -289,6 +320,9 @@ class EngineStats:
     kernel_steps: int = 0
     macro_steps: int = 0
     compressed_steps: int = 0
+    batch_steps: int = 0
+    fallback_runs: int = 0
+    batch_size_histogram: dict[int, int] = field(default_factory=dict)
 
     @property
     def ns_per_subjob(self) -> float:
@@ -301,7 +335,12 @@ class EngineStats:
         return self.fast_forwarded_steps / max(1, self.steps)
 
     def add(self, other: "EngineStats") -> None:
-        """Accumulate ``other`` into this counter block (in place)."""
+        """Accumulate ``other`` into this counter block (in place).
+
+        The histogram is merged key-wise by summation — the parallel
+        harness folds many per-worker deltas into one accumulator, and an
+        overwrite here would silently drop every worker but the last.
+        """
         self.steps += other.steps
         self.fast_forwarded_steps += other.fast_forwarded_steps
         self.kernel_steps += other.kernel_steps
@@ -311,9 +350,20 @@ class EngineStats:
         self.select_calls += other.select_calls
         self.resyncs += other.resyncs
         self.sim_seconds += other.sim_seconds
+        self.batch_steps += other.batch_steps
+        self.fallback_runs += other.fallback_runs
+        for bucket, count in other.batch_size_histogram.items():
+            self.batch_size_histogram[bucket] = (
+                self.batch_size_histogram.get(bucket, 0) + count
+            )
 
     def delta(self, earlier: "EngineStats") -> "EngineStats":
         """Counter difference ``self - earlier`` (for snapshot windows)."""
+        hist = {
+            bucket: count - earlier.batch_size_histogram.get(bucket, 0)
+            for bucket, count in self.batch_size_histogram.items()
+            if count != earlier.batch_size_histogram.get(bucket, 0)
+        }
         return EngineStats(
             steps=self.steps - earlier.steps,
             fast_forwarded_steps=self.fast_forwarded_steps
@@ -325,11 +375,22 @@ class EngineStats:
             select_calls=self.select_calls - earlier.select_calls,
             resyncs=self.resyncs - earlier.resyncs,
             sim_seconds=self.sim_seconds - earlier.sim_seconds,
+            batch_steps=self.batch_steps - earlier.batch_steps,
+            fallback_runs=self.fallback_runs - earlier.fallback_runs,
+            batch_size_histogram=hist,
+        )
+
+    def record_batch_step(self, n_active: int) -> None:
+        """Count one batched commit over ``n_active`` live instances."""
+        self.batch_steps += 1
+        bucket = max(0, int(n_active).bit_length() - 1)
+        self.batch_size_histogram[bucket] = (
+            self.batch_size_histogram.get(bucket, 0) + 1
         )
 
     def summary(self) -> str:
         """One-line human-readable rendering (experiment notes, CLI)."""
-        return (
+        text = (
             f"steps={self.steps} fast={self.fast_forwarded_steps} "
             f"({100.0 * self.fast_fraction:.0f}%) "
             f"kernel={self.kernel_steps} macro={self.macro_steps} "
@@ -338,6 +399,18 @@ class EngineStats:
             f"select_calls={self.select_calls} resyncs={self.resyncs} "
             f"ns/subjob={self.ns_per_subjob:.0f}"
         )
+        if self.batch_steps or self.fallback_runs:
+            sizes = " ".join(
+                f"2^{b}:{self.batch_size_histogram[b]}"
+                for b in sorted(self.batch_size_histogram)
+            )
+            text += (
+                f" batch_steps={self.batch_steps} "
+                f"fallback_runs={self.fallback_runs}"
+            )
+            if sizes:
+                text += f" batch_sizes[{sizes}]"
+        return text
 
 
 #: Process-wide accumulation over every ``simulate`` call (see
@@ -350,8 +423,15 @@ def engine_stats_snapshot() -> EngineStats:
 
     Take one snapshot before and one after a block of work and use
     :meth:`EngineStats.delta` to attribute engine effort to that block.
+
+    The histogram dict is copied, not aliased: a shallow ``replace`` would
+    let later runs mutate past snapshots (and pool-task folds would then
+    overwrite instead of sum).
     """
-    return replace(_GLOBAL_STATS)
+    return replace(
+        _GLOBAL_STATS,
+        batch_size_histogram=dict(_GLOBAL_STATS.batch_size_histogram),
+    )
 
 
 def reset_engine_stats() -> None:
@@ -1263,6 +1343,430 @@ def simulate(
     _GLOBAL_STATS.add(stats)
     object.__setattr__(schedule, "engine_stats", stats)
     return schedule
+
+
+# ----------------------------------------------------------------------
+# Batched multi-instance engine
+# ----------------------------------------------------------------------
+
+#: Element cap on one macro commit's ``(selected, Δt)`` chain block.
+#: Splitting an over-budget macro window into several commits is pure
+#: compression bookkeeping — the committed columns are identical — so this
+#: only bounds peak memory, never results.
+_MACRO_BLOCK_BUDGET = 1 << 22
+
+#: Availability accepted by :func:`simulate_batch`: one spec shared by the
+#: whole batch (an :class:`~repro.core.availability.AvailabilityTrace` or a
+#: plain sequence of ints), or a per-instance sequence of such specs
+#: (``None`` entries meaning "constant m" for that instance).
+BatchAvailability = Union[
+    AvailabilityLike, Sequence[Optional[AvailabilityLike]], None
+]
+
+
+def _merge_sorted(a: Array, b: Array) -> Array:
+    """Merge two sorted int64 arrays with disjoint values in O(len)."""
+    if b.size == 0:
+        return a
+    if a.size == 0:
+        return b
+    slots = np.searchsorted(a, b) + np.arange(b.size, dtype=_INT)
+    out = np.empty(a.size + b.size, dtype=a.dtype)
+    out[slots] = b
+    keep = np.ones(out.size, dtype=bool)
+    keep[slots] = False
+    out[keep] = a
+    return out
+
+
+def _normalize_batch_availability(
+    availability: BatchAvailability, m: int, n: int
+) -> Optional[list[Optional[AvailabilityTrace]]]:
+    """Resolve a batch availability spec to per-instance traces.
+
+    Returns ``None`` for the constant-``m`` case; otherwise a length-``n``
+    list of validated traces (``None`` entries = constant ``m``).
+    """
+    if availability is None:
+        return None
+    if isinstance(availability, AvailabilityTrace):
+        shared = as_trace(availability, m)
+        return [shared] * n
+    seq = list(availability)
+    if all(isinstance(v, (int, np.integer)) for v in seq):
+        shared = as_trace([int(v) for v in seq], m)
+        return [shared] * n
+    if len(seq) != n:
+        raise ConfigurationError(
+            f"per-instance availability has {len(seq)} entries for "
+            f"{n} instances"
+        )
+    return [None if v is None else as_trace(v, m) for v in seq]
+
+
+def _batch_priorities(
+    scheduler: Scheduler, instances: Sequence[Instance], m: int
+) -> list[Optional[Array]]:
+    """Probe per-instance eligibility for the lockstep path.
+
+    Mirrors :func:`simulate`'s kernel setup: ``reset`` then
+    :meth:`Scheduler.frontier_priorities` per instance. ``None`` entries
+    mark instances that must fall back to per-instance runs.
+    """
+    if not (scheduler.batch_capable and scheduler.supports_fast_forward):
+        return [None] * len(instances)
+    kernels: list[Optional[Array]] = []
+    for inst in instances:
+        scheduler.reset(inst, m)
+        kernels.append(scheduler.frontier_priorities(inst))
+    return kernels
+
+
+def _simulate_batch_packed(
+    batch: InstanceBatch,
+    m: int,
+    prio_full: Array,
+    traces: Optional[list[Optional[AvailabilityTrace]]],
+    max_steps: int,
+    macro_ok: bool,
+    stats: EngineStats,
+) -> Array:
+    """Advance every instance of ``batch`` in lockstep; returns the
+    batch-global completion array.
+
+    Correctness rests on the priority-commit observation: under the FIFO
+    frontier contract with a priority kernel, each instance's step-``t``
+    selection is exactly its ``cap_t`` smallest ready nodes in
+    ``(job id, kernel priority, node id)`` order — truncated or not. The
+    engine therefore keeps ONE sorted array of ready *selection ranks*
+    (the batch-global permutation ``sel_rank`` below); per step, each
+    instance's selection is a prefix slice of its rank segment, and all B
+    commits are single NumPy writes.
+    """
+    node_off = batch.node_off
+    n_total = int(node_off[-1])
+    n_inst = batch.n_instances
+    is_forest = batch.all_out_forests
+
+    # Batch-global selection order: instance-major because batch-global
+    # job ids are; within a job, (priority, id) — exactly the per-instance
+    # encoded-frontier order. lexsort is stable, so ties keep ascending id.
+    order = np.lexsort((prio_full, batch.job_of_node)).astype(_INT)
+    sel_rank = np.empty(n_total, dtype=_INT)
+    sel_rank[order] = np.arange(n_total, dtype=_INT)
+    # Instance b's nodes occupy the contiguous rank range
+    # [node_off[b], node_off[b+1]) — segment boundaries into the sorted
+    # frontier come from one searchsorted against node_off.
+
+    # Arrival schedule: every DAG root keyed by (release, selection rank).
+    root_keys = sel_rank[batch.root_gids]
+    arr_order = np.lexsort((root_keys, batch.root_release))
+    arr_rel = batch.root_release[arr_order]
+    arr_keys = root_keys[arr_order]
+    n_roots = int(arr_rel.size)
+    p = 0  # roots below this index have been delivered
+
+    completion_flat = np.zeros(n_total, dtype=_INT)
+    left = np.diff(node_off)  # per-instance unfinished counts
+    total_left = int(left.sum())
+    indeg = None if is_forest else batch.indegree.copy()
+    child_indptr = batch.child_indptr
+    child_indices = batch.child_indices
+    fkeys = np.empty(0, dtype=_INT)  # sorted ranks of all ready nodes
+
+    # Per-instance capacities: constant m, or a padded (B, L) prefix
+    # matrix plus tail vector (rows without a trace are all-m).
+    if traces is None:
+        horizons = tails = cap_mat = None
+        max_horizon = 0
+    else:
+        horizons = np.array(
+            [0 if tr is None else tr.horizon for tr in traces], dtype=_INT
+        )
+        tails = np.array(
+            [m if tr is None else tr.tail for tr in traces], dtype=_INT
+        )
+        max_horizon = int(horizons.max())
+        cap_mat = np.full((n_inst, max_horizon), m, dtype=_INT)
+        for b, tr in enumerate(traces):
+            if tr is not None and tr.horizon:
+                cap_mat[b, : tr.horizon] = tr.values
+
+    t = 0
+    while total_left:
+        if t > max_steps:
+            raise SimulationError(
+                f"simulation exceeded max_steps={max_steps}; batched run "
+                f"appears to be livelocked ({total_left} subjobs left)"
+            )
+        if p < n_roots and arr_rel[p] == t:
+            q = int(np.searchsorted(arr_rel, t, side="right"))
+            fkeys = _merge_sorted(fkeys, arr_keys[p:q])
+            p = q
+        if fkeys.size == 0:
+            # The whole batch is idle: jump to the next arrival anywhere.
+            if p >= n_roots:
+                raise SimulationError(
+                    "no ready work and no future arrivals but "
+                    f"{total_left} subjobs unfinished"
+                )
+            t = int(arr_rel[p])
+            continue
+
+        seg = np.searchsorted(fkeys, node_off)
+        counts = np.diff(seg)
+        if traces is None:
+            caps = None
+            k = np.minimum(counts, m)
+        else:
+            caps = tails.copy()
+            live = horizons > t
+            if live.any():
+                caps[live] = cap_mat[live, t]
+            k = np.minimum(counts, caps)
+        total_k = int(k.sum())
+        n_active = int(np.count_nonzero(left))
+
+        if total_k == 0:
+            # Every instance with ready work drew zero capacity: commit an
+            # empty step (time still advances, like the per-instance engine).
+            stats.steps += 1
+            stats.fast_forwarded_steps += 1
+            stats.record_batch_step(n_active)
+            t += 1
+            continue
+
+        # Ragged prefix gather: instance b takes the first k[b] entries of
+        # its frontier segment (= its forced/kernel selection this step).
+        csum = np.cumsum(k)
+        idx = (
+            np.repeat(seg[:-1], k)
+            + np.arange(total_k, dtype=_INT)
+            - np.repeat(csum - k, k)
+        )
+        taken = fkeys[idx]
+        keep = np.ones(fkeys.size, dtype=bool)
+        keep[idx] = False
+        remaining = fkeys[keep]
+        gids = order[taken]
+        truncated_any = bool(np.any((k < counts) & (k > 0)))
+
+        # Batched macro-step: when every capacity-holding instance commits
+        # its whole frontier, the pattern repeats for Δt steps bounded by
+        # the next arrival, the shortest chain-run remainder among the
+        # selected nodes, the window over which every instance's capacity
+        # keeps its regime, and the macro block memory budget.
+        dt = 1
+        if macro_ok and not truncated_any:
+            if p < n_roots:
+                dt = int(arr_rel[p]) - t
+            else:
+                dt = total_left  # chain remainders tighten below
+            if dt > 1:
+                assert batch.steps_to_end is not None
+                dt = min(dt, int(batch.steps_to_end[gids].min()))
+            if dt > 1:
+                dt = min(dt, max(1, _MACRO_BLOCK_BUDGET // total_k))
+            if dt > 1 and traces is not None:
+                committing = k > 0
+                idle_front = (counts > 0) & ~committing
+                span = 1
+                while span < dt:
+                    tk = t + span
+                    if tk >= max_horizon:
+                        ck = tails
+                    else:
+                        ck = tails.copy()
+                        live = horizons > tk
+                        ck[live] = cap_mat[live, tk]
+                    ok = bool(
+                        np.all(ck[committing] >= counts[committing])
+                    ) and bool(np.all(ck[idle_front] == 0))
+                    if not ok:
+                        break
+                    if tk >= max_horizon:
+                        span = dt  # constant beyond every prefix
+                        break
+                    span += 1
+                dt = span
+        if dt > 1:
+            assert batch.run_nodes is not None
+            assert batch.node_index is not None
+            assert batch.steps_to_end is not None
+            starts = batch.node_index[gids]
+            span_idx = np.arange(dt, dtype=_INT)
+            # (total_k, Δt) chain block: column i holds the nodes every
+            # committing instance is forced to run at step t + i.
+            nodes = batch.run_nodes[starts[:, None] + span_idx]
+            completion_flat[nodes] = t + 1 + span_idx
+            rem = batch.steps_to_end[gids]
+            cont = rem > dt
+            nxt = batch.run_nodes[starts[cont] + dt]
+            term = batch.run_nodes[starts[~cont] + (dt - 1)]
+            kids, _ = csr_gather(child_indptr, child_indices, term)
+            new_keys = np.sort(sel_rank[np.concatenate((nxt, kids))])
+            fkeys = _merge_sorted(remaining, new_keys)
+            left -= k * dt
+            total_left -= total_k * dt
+            stats.steps += dt
+            stats.fast_forwarded_steps += dt
+            stats.macro_steps += 1
+            stats.compressed_steps += dt
+            stats.selections += total_k * dt
+            stats.record_batch_step(n_active)
+            t += dt
+            continue
+
+        completion_flat[gids] = t + 1
+        kids, _ = csr_gather(child_indptr, child_indices, gids)
+        if is_forest:
+            newly = kids  # sole parent just completed: all ready
+        else:
+            assert indeg is not None
+            np.subtract.at(indeg, kids, 1)
+            newly = kids[indeg[kids] == 0]
+            if newly.size:
+                newly = np.unique(newly)
+        new_keys = np.sort(sel_rank[newly])
+        fkeys = _merge_sorted(remaining, new_keys)
+        left -= k
+        total_left -= total_k
+        stats.steps += 1
+        stats.fast_forwarded_steps += 1
+        stats.selections += total_k
+        if truncated_any:
+            stats.kernel_steps += 1
+        stats.record_batch_step(n_active)
+        t += 1
+
+    return completion_flat
+
+
+def simulate_batch(
+    instances: Sequence[Instance],
+    m: int,
+    scheduler: Scheduler,
+    *,
+    availability: BatchAvailability = None,
+    max_steps: Optional[int] = None,
+    use_macro_steps: Optional[bool] = None,
+    batch: Optional[InstanceBatch] = None,
+) -> list[Schedule]:
+    """Run ``scheduler`` on many independent instances in lockstep.
+
+    The batched engine packs the instances' flat-CSR layouts along a batch
+    axis (:func:`~repro.core.instance.pack_instances`) and advances every
+    eligible instance per time step with single NumPy passes — including a
+    batched chain-run macro-step. Results are **bit-identical** to running
+    :func:`simulate` per instance (enforced by the three-way property
+    suite): eligibility is exactly the regime in which the per-instance
+    engine never dispatches ``select`` — the scheduler declares
+    :attr:`Scheduler.batch_capable` (and the fast-forward contract) and
+    exposes a priority kernel for the instance. Ineligible instances are
+    transparently routed through per-instance :func:`simulate` (counted in
+    :attr:`EngineStats.fallback_runs`).
+
+    Parameters
+    ----------
+    instances:
+        Independent instances; one schedule is returned per instance, in
+        order.
+    scheduler:
+        A single scheduler instance, ``reset`` per probed/fallback run —
+        the same reuse contract as consecutive :func:`simulate` calls.
+    availability:
+        One spec for the whole batch, or a per-instance sequence of specs
+        (see :data:`BatchAvailability`).
+    max_steps / use_macro_steps:
+        As for :func:`simulate`; the default step bound covers the whole
+        batch.
+    batch:
+        Optional pre-packed :class:`InstanceBatch` for ``instances``
+        (reused across sweeps to skip packing); must pack exactly these
+        instances.
+
+    Returns
+    -------
+    list[Schedule]
+        One validated-feasible schedule per instance. Batched runs share
+        one :class:`EngineStats` block (attached to each of their
+        schedules); fallback runs carry their own per-run stats.
+    """
+    if m <= 0:
+        raise ConfigurationError("m must be positive")
+    insts = tuple(instances)
+    if not insts:
+        return []
+    traces = _normalize_batch_availability(availability, m, len(insts))
+    kernels = _batch_priorities(scheduler, insts, m)
+    eligible = [b for b, kern in enumerate(kernels) if kern is not None]
+
+    if max_steps is None:
+        # Same shape of guard as simulate()'s default, loosened so it costs
+        # O(B) instead of a per-job Python scan: jobs are release-sorted so
+        # jobs[-1] is the latest arrival, and span-sums are bounded by total
+        # work (== flat n_nodes, cached and needed for packing anyway).
+        max_steps = 16 + max(
+            (inst.jobs[-1].release if inst.jobs else 0)
+            + 2 * inst.flat_graph.n_nodes
+            for inst in insts
+        )
+        if traces is not None:
+            max_steps += max(
+                (0 if tr is None else tr.horizon) + inst.flat_graph.n_nodes
+                for tr, inst in zip(traces, insts)
+            )
+
+    stats = EngineStats()
+    t_wall = time.perf_counter()
+    results: list[Optional[Schedule]] = [None] * len(insts)
+
+    if eligible:
+        if batch is not None and len(eligible) == len(insts):
+            if len(batch.instances) != len(insts) or any(
+                a is not b for a, b in zip(batch.instances, insts)
+            ):
+                raise ConfigurationError(
+                    "simulate_batch: `batch` does not pack these instances"
+                )
+            packed = batch
+        else:
+            packed = pack_instances([insts[b] for b in eligible])
+        prio_full = np.concatenate([kernels[b] for b in eligible])
+        sub_traces = (
+            None if traces is None else [traces[b] for b in eligible]
+        )
+        macro_ok = (
+            packed.all_out_forests
+            and scheduler.macro_step_safe
+            and use_macro_steps is not False
+        )
+        completion_flat = _simulate_batch_packed(
+            packed, m, prio_full, sub_traces, max_steps, macro_ok, stats
+        )
+        for view, b in zip(
+            packed.completion_views(completion_flat), eligible
+        ):
+            schedule = Schedule.from_flat(insts[b], m, view)
+            object.__setattr__(schedule, "engine_stats", stats)
+            results[b] = schedule
+
+    stats.fallback_runs = len(insts) - len(eligible)
+    stats.sim_seconds = time.perf_counter() - t_wall
+    _GLOBAL_STATS.add(stats)
+
+    for b, kern in enumerate(kernels):
+        if kern is None:
+            results[b] = simulate(
+                insts[b],
+                m,
+                scheduler,
+                availability=None if traces is None else traces[b],
+                max_steps=max_steps,
+                use_macro_steps=use_macro_steps,
+            )
+    assert all(s is not None for s in results)
+    return results  # type: ignore[return-value]
 
 
 def _simulate_reference(

@@ -2,7 +2,13 @@
 per-experiment index), plus the registry and table plumbing."""
 
 from .pool import shared_pool, shutdown_shared_pool
-from .runner import Claim, ExperimentResult, format_table, repeat_experiment
+from .runner import (
+    Claim,
+    ExperimentResult,
+    format_table,
+    repeat_experiment,
+    run_trials,
+)
 from .supervisor import (
     SupervisedOutcome,
     SupervisorConfig,
@@ -15,6 +21,7 @@ __all__ = [
     "ExperimentResult",
     "format_table",
     "repeat_experiment",
+    "run_trials",
     "shared_pool",
     "shutdown_shared_pool",
     "SupervisedOutcome",

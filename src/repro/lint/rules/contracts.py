@@ -1,6 +1,7 @@
 """C1 scheduler-contract rules: RPR101 (fast-forward requires resync),
 RPR102 (select must not mutate the model), RPR103 (engine-reserved names),
-RPR006 (macro_step_safe must not contradict per-step hooks).
+RPR006 (macro_step_safe must not contradict per-step hooks), RPR007
+(batch_capable must not contradict per-instance hooks).
 
 The engine's fast-forward optimisation skips ``select()`` calls while a
 scheduler's frontier is FIFO-stable; any scheduler that opts in via
@@ -25,6 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..engine import FileContext
 
 __all__ = [
+    "BatchCapableContractRule",
     "FastForwardContractRule",
     "MacroStepContractRule",
     "ReservedEngineNameRule",
@@ -301,19 +303,104 @@ class ChainScheduler(Scheduler):
         """``macro_step_safe = True`` as a constant in the class body
         (a property or computed value expresses a conditional contract
         and is left to the runtime/tests)."""
-        for stmt in node.body:
-            targets: list[ast.expr] = []
-            value: ast.expr | None = None
-            if isinstance(stmt, ast.Assign):
-                targets, value = stmt.targets, stmt.value
-            elif isinstance(stmt, ast.AnnAssign):
-                targets, value = [stmt.target], stmt.value
-            for target in targets:
-                if (
-                    isinstance(target, ast.Name)
-                    and target.id == "macro_step_safe"
-                    and isinstance(value, ast.Constant)
-                    and value.value is True
-                ):
-                    return True
-        return False
+        return _declares_constant_true(node, "macro_step_safe")
+
+
+def _declares_constant_true(node: ast.ClassDef, name: str) -> bool:
+    """``name = True`` as a literal constant in the class body."""
+    for stmt in node.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == name
+                and isinstance(value, ast.Constant)
+                and value.value is True
+            ):
+                return True
+    return False
+
+
+#: Per-instance engine callbacks the batched lockstep engine never
+#: dispatches: a batch-capable scheduler defining one depends on behaviour
+#: its batched runs cannot observe.
+_PER_INSTANCE_HOOKS = ("on_step", "on_job_arrival", "on_nodes_ready")
+
+
+@register_rule
+class BatchCapableContractRule(Rule):
+    rule_id = "RPR007"
+    title = "batch_capable must not contradict per-instance hooks"
+    rationale = (
+        "declaring `batch_capable = True` routes the scheduler's runs "
+        "through `simulate_batch`, whose lockstep loop resolves every "
+        "selection from the frontier priority kernel and NEVER dispatches "
+        "the per-instance callbacks (`on_step`, `on_job_arrival`, "
+        "`on_nodes_ready`) or `select`. A class that both opts in and "
+        "defines a per-instance-only hook (or declares `pure = False`, or "
+        "ships no `frontier_priorities` kernel at all) depends on exactly "
+        "the per-step dispatch the batched engine skips, so batched and "
+        "per-instance runs silently diverge. Make the flag conditional (a "
+        "property, like `FIFOScheduler.batch_capable`) or drop the hook."
+    )
+    bad_example = """\
+class TracingScheduler(Scheduler):
+    batch_capable = True
+
+    def frontier_priorities(self, instance):
+        return self._kernel
+
+    def on_step(self, t, selection, state):
+        self._trace.append(t)
+"""
+    good_example = """\
+class KernelScheduler(Scheduler):
+    batch_capable = True
+
+    def frontier_priorities(self, instance):
+        return self._kernel
+"""
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _declares_constant_true(node, "batch_capable"):
+                continue
+            defined = _names_defined_in_class_body(node)
+            for hook in _PER_INSTANCE_HOOKS:
+                if hook in defined:
+                    yield self.violation(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"class `{node.name}` declares `batch_capable = "
+                        f"True` but defines the per-instance hook `{hook}`; "
+                        "the batched lockstep engine never dispatches it, "
+                        "so batched runs would silently skip the hook",
+                    )
+            if ImpureTieBreakKeyRule._declares_impure(node):
+                yield self.violation(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"class `{node.name}` declares `batch_capable = True` "
+                    "alongside `pure = False`; batched selection is "
+                    "kernel-determined and cannot re-evaluate an impure "
+                    "policy per step",
+                )
+            if "frontier_priorities" not in defined:
+                yield self.violation(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"class `{node.name}` declares `batch_capable = True` "
+                    "but defines no `frontier_priorities`; without a "
+                    "priority kernel every batched run falls back to the "
+                    "per-instance engine, making the declaration dead",
+                )

@@ -106,6 +106,16 @@ class FIFOScheduler(Scheduler):
         not keep per-step state (:attr:`TieBreak.macro_step_safe`)."""
         return self.tie_break.pure and self.tie_break.macro_step_safe
 
+    @property
+    def batch_capable(self) -> bool:
+        """FIFO's selection is fully determined by its priority kernel
+        under the frontier contract, so the batched lockstep engine
+        (:func:`~repro.core.simulate_batch`) is sound exactly when the
+        kernel path is: pure tie-break with the kernel enabled. Instances
+        whose tie-break lacks a kernel still fall back per instance (the
+        engine probes :meth:`frontier_priorities` per run)."""
+        return self._use_kernel and self.tie_break.pure
+
     def frontier_priorities(self, instance: Instance) -> Optional[Array]:
         """Concatenated per-job priority kernels for the engine's priority
         commit — available iff the tie-break is pure and every job has a

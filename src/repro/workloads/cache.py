@@ -38,9 +38,11 @@ _ENV_VAR = "REPRO_CACHE_DIR"
 #: Cache schema version, folded into every entry's key. Bump whenever the
 #: pickled payload of cached generators changes shape — v2: instances and
 #: DAGs grew precomputed chain-run arrays (``DAG.chain_runs`` /
-#: ``Instance.chain_layout``), so entries pickled by older code must be
-#: regenerated rather than deserialized without the new cached fields.
-_SCHEMA_VERSION = 2
+#: ``Instance.chain_layout``); v3: ``Instance.__getstate__`` now strips the
+#: cached flat/chain layouts from the pickle (they are rebuilt, re-frozen,
+#: on first use), so v2 entries carrying thawed-on-unpickle arrays must be
+#: regenerated rather than trusted to satisfy the frozen-CSR contract.
+_SCHEMA_VERSION = 3
 
 
 def workload_cache_dir() -> Optional[Path]:

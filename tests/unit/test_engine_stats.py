@@ -111,3 +111,62 @@ class TestArithmetic:
     def test_fast_fraction_handles_zero_steps(self):
         assert EngineStats().fast_fraction == 0.0
         assert EngineStats().ns_per_subjob == 0.0
+
+
+class TestBatchedCounters:
+    def test_record_batch_step_buckets_by_power_of_two(self):
+        st = EngineStats()
+        for n_active in (1, 2, 3, 4, 1000):
+            st.record_batch_step(n_active)
+        assert st.batch_steps == 5
+        assert st.batch_size_histogram == {0: 1, 1: 2, 2: 1, 9: 1}
+
+    def test_add_merges_histograms_key_wise(self):
+        """The per-worker aggregation bug this guards: folding worker
+        deltas must SUM histogram buckets, not overwrite them (overwrite
+        keeps only the last worker's counts)."""
+        total = EngineStats()
+        a = EngineStats(batch_steps=3, batch_size_histogram={1: 2, 3: 1})
+        b = EngineStats(batch_steps=2, batch_size_histogram={1: 1, 5: 1})
+        total.add(a)
+        total.add(b)
+        assert total.batch_steps == 5
+        assert total.batch_size_histogram == {1: 3, 3: 1, 5: 1}
+
+    def test_delta_subtracts_histograms_per_key(self):
+        now = EngineStats(
+            batch_steps=7,
+            fallback_runs=3,
+            batch_size_histogram={1: 4, 2: 2, 5: 1},
+        )
+        before = EngineStats(
+            batch_steps=4, fallback_runs=1, batch_size_histogram={1: 4, 2: 1}
+        )
+        d = now.delta(before)
+        assert d.batch_steps == 3
+        assert d.fallback_runs == 2
+        assert d.batch_size_histogram == {2: 1, 5: 1}  # equal keys dropped
+
+    def test_snapshot_histogram_is_a_deep_copy(self):
+        baseline = engine_stats_snapshot().batch_size_histogram.get(61, 0)
+        snap = engine_stats_snapshot()
+        snap.batch_size_histogram[61] = baseline + 99
+        # Mutating the snapshot's dict must not write through to the
+        # global accumulator (a shallow replace() would share the dict).
+        assert engine_stats_snapshot().batch_size_histogram.get(61, 0) == baseline
+
+    def test_summary_omits_batch_fields_when_unused(self):
+        st = EngineStats(steps=10, selections=5)
+        assert "batch_steps" not in st.summary()
+
+    def test_summary_includes_batch_fields_when_used(self):
+        st = EngineStats(
+            batch_steps=4,
+            fallback_runs=1,
+            batch_size_histogram={3: 4},
+            steps=40,
+        )
+        text = st.summary()
+        assert "batch_steps=4" in text
+        assert "fallback_runs=1" in text
+        assert "2^3" in text

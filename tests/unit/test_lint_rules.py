@@ -55,6 +55,7 @@ def test_rule_catalog_is_stable():
         "RPR001", "RPR002", "RPR003", "RPR004",  # determinism
         "RPR005",  # failure paths
         "RPR006",  # macro-step contract
+        "RPR007",  # batch-capable contract
         "RPR101", "RPR102", "RPR103",  # scheduler contracts
         "RPR201", "RPR202", "RPR203",  # engine safety
         "RPR301",  # picklability

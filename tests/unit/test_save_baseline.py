@@ -23,7 +23,14 @@ def tool(tmp_path, monkeypatch):
         inst = Instance([Job(layered_tree([4] * 10, seed=0), 0, "t")])
         return inst, (lambda: FIFOScheduler(ArbitraryTieBreak())), 4
 
+    def tiny_sweep():
+        def run():
+            return 40
+
+        return run
+
     monkeypatch.setattr(mod, "MICROBENCHES", {"tiny": tiny})
+    monkeypatch.setattr(mod, "SWEEP_BENCHES", {"tiny_sweep": (tiny_sweep, 1)})
     monkeypatch.setattr(mod, "BASELINE_PATH", tmp_path / "BENCH_engine.json")
     return mod
 
@@ -59,3 +66,22 @@ class TestSaveBaseline:
         tool.BASELINE_PATH.write_text(json.dumps({"other": saved["tiny"]}))
         assert tool.main(["--compare", "--rounds", "1"]) == 0
         assert "no baseline" in capsys.readouterr().out
+
+    def test_only_unknown_name_errors(self, tool, capsys):
+        assert tool.main(["--only", "nope"]) == 2
+        assert "unknown bench name" in capsys.readouterr().err
+
+    def test_only_selects_and_save_merges(self, tool, capsys):
+        assert tool.main(["--rounds", "1"]) == 0
+        full = json.loads(tool.BASELINE_PATH.read_text())
+        assert set(full) == {"tiny", "tiny_sweep"}
+        # Partial re-record keeps the un-timed bench's entry intact.
+        assert tool.main(["--rounds", "1", "--only", "tiny_sweep"]) == 0
+        merged = json.loads(tool.BASELINE_PATH.read_text())
+        assert set(merged) == {"tiny", "tiny_sweep"}
+        assert merged["tiny"] == full["tiny"]
+        # Partial compare only times (and reports) the selected bench.
+        capsys.readouterr()
+        assert tool.main(["--compare", "--rounds", "1", "--only", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out and "tiny_sweep" not in out

@@ -100,6 +100,41 @@ class TestSafetyValves:
         assert tree.n == 6
 
 
+class TestSchemaVersioning:
+    def test_current_schema_is_v3(self):
+        from repro.workloads import cache as cache_mod
+
+        assert cache_mod._SCHEMA_VERSION == 3
+
+    def test_v2_entries_are_invalidated_cleanly(self, cache_dir, monkeypatch):
+        """Entries written under schema v2 never satisfy a v3 lookup: the
+        version is folded into the key, so old files are simply unmatched
+        (left dangling, not deserialized) and the generator re-runs."""
+        from repro.workloads import cache as cache_mod
+
+        calls = []
+
+        @cached_generator
+        def make(n: int, seed=None):
+            calls.append(n)
+            return list(range(n))
+
+        monkeypatch.setattr(cache_mod, "_SCHEMA_VERSION", 2)
+        assert make(5, seed=9) == [0, 1, 2, 3, 4]
+        (v2_entry,) = _entries(cache_dir)
+        assert calls == [5]
+
+        monkeypatch.setattr(cache_mod, "_SCHEMA_VERSION", 3)
+        assert make(5, seed=9) == [0, 1, 2, 3, 4]
+        assert calls == [5, 5]  # regenerated, not served from the v2 file
+        entries = _entries(cache_dir)
+        assert len(entries) == 2 and v2_entry in entries
+
+        # And the v3 entry round-trips as usual.
+        assert make(5, seed=9) == [0, 1, 2, 3, 4]
+        assert calls == [5, 5]
+
+
 class TestDecorator:
     def test_wraps_metadata_and_custom_fn(self, cache_dir):
         calls = []

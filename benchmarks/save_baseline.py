@@ -10,6 +10,10 @@ baseline — the guard the CI throughput job runs.
 
 Timings use best-of-N (default N=3) wall-clock rounds: the minimum is the
 least noisy estimator for a deterministic workload on a shared machine.
+
+Besides the engine benches this also records the lint tooling bench
+(``--only lint_warm_cache_src``): cold vs warm incremental-cache wall
+time over ``src/repro``, with a byte-identical report check.
 """
 
 from __future__ import annotations
@@ -238,8 +242,57 @@ SWEEP_BENCHES = {
 }
 
 
+def _bench_lint_warm_cache(rounds: int) -> dict:
+    """Cold vs warm incremental lint over ``src/repro``.
+
+    Times one cold whole-program run into a fresh cache, then best-of-N
+    warm runs against it, asserting every warm report is byte-identical
+    to the cold one. The throughput figure (files per warm second) feeds
+    the generic ``--compare`` guard; ``cold_seconds``/``warm_speedup``
+    are recorded alongside so the baseline documents the cache win.
+    """
+    import shutil
+    import tempfile
+
+    from repro.lint import lint_paths
+
+    src = Path(__file__).resolve().parents[1] / "src" / "repro"
+    tmp = Path(tempfile.mkdtemp(prefix="repro-lint-bench-"))
+    try:
+        cache = tmp / "cache"
+        start = time.perf_counter()
+        cold = lint_paths([src], cache_dir=cache)
+        cold_seconds = time.perf_counter() - start
+        cold_blob = json.dumps(cold.to_json(), sort_keys=True)
+        best = float("inf")
+        for _ in range(max(1, rounds)):
+            start = time.perf_counter()
+            warm = lint_paths([src], cache_dir=cache)
+            best = min(best, time.perf_counter() - start)
+            assert json.dumps(warm.to_json(), sort_keys=True) == cold_blob, (
+                "warm lint report differs from cold run"
+            )
+        files = int(cold.files_checked)
+        return {
+            "subjobs": files,
+            "best_seconds": round(best, 6),
+            "subjobs_per_sec": round(files / best, 1),
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_speedup": round(cold_seconds / best, 2),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+#: Tooling benches: name -> bench(rounds) returning a measurement row in
+#: the same shape as the engine benches ("subjobs" = files linted).
+LINT_BENCHES = {
+    "lint_warm_cache_src": _bench_lint_warm_cache,
+}
+
+
 def all_bench_names() -> list[str]:
-    return [*MICROBENCHES, *SWEEP_BENCHES]
+    return [*MICROBENCHES, *SWEEP_BENCHES, *LINT_BENCHES]
 
 
 def measure(rounds: int = 3, only: list[str] | None = None) -> dict:
@@ -282,6 +335,10 @@ def measure(rounds: int = 3, only: list[str] | None = None) -> dict:
             "best_seconds": round(best, 6),
             "subjobs_per_sec": round(subjobs / best, 1),
         }
+    for name, bench in LINT_BENCHES.items():
+        if not wanted(name):
+            continue
+        out[name] = bench(rounds)
     return out
 
 

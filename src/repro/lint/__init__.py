@@ -14,9 +14,16 @@ Rule families (see :mod:`repro.lint.rules` and ``docs/lint.md``):
   feeding scheduler selections, wall-clock/entropy reads);
 * ``RPR1xx`` — scheduler-contract rules (fast-forward requires ``resync``,
   ``select`` must not mutate the model, engine-reserved private names);
-* ``RPR2xx`` — engine-safety rules (no in-place ops on frozen CSR arrays,
+* ``RPR2xx`` — engine-safety rules (no in-place ops on frozen CSR arrays —
+  now interprocedural, following tainted arrays through helper calls —
   no bare ``except``, no mutable default arguments);
-* ``RPR3xx`` — picklability of experiment-harness callables.
+* ``RPR30x`` — picklability of experiment-harness callables;
+* ``RPR31x`` — whole-program contract verification: declared
+  ``batch_capable`` / ``macro_step_safe`` / tie-break purity opt-ins are
+  checked against *inferred* per-function effect summaries built over a
+  cross-module call graph (:mod:`repro.lint.callgraph`,
+  :mod:`repro.lint.summaries`), with the offending call path named in
+  every message.
 
 Violations can be suppressed per line with an *explained* pragma::
 
@@ -37,22 +44,38 @@ or from the command line: ``python -m repro lint src [--format json]``.
 
 from __future__ import annotations
 
-from .engine import FileContext, lint_paths, lint_source
+from .callgraph import ProjectIndex, build_index, module_name_for
+from .engine import (
+    FileContext,
+    build_project,
+    lint_paths,
+    lint_source,
+    ruleset_fingerprint,
+)
 from .model import LintReport, Violation
 from .registry import RULES, Rule, all_rules, get_rule, register_rule
+from .summaries import FunctionSummary, SummaryTable, build_summaries
 
 # Importing the rule modules registers every built-in rule.
 from . import rules as _rules  # noqa: F401
 
 __all__ = [
     "FileContext",
+    "FunctionSummary",
     "LintReport",
+    "ProjectIndex",
     "RULES",
     "Rule",
+    "SummaryTable",
     "Violation",
     "all_rules",
+    "build_index",
+    "build_project",
+    "build_summaries",
     "get_rule",
     "lint_paths",
     "lint_source",
+    "module_name_for",
     "register_rule",
+    "ruleset_fingerprint",
 ]

@@ -1,0 +1,104 @@
+"""The committed findings baseline: land new rules without blocking.
+
+A baseline file records *accepted* findings — debt acknowledged when a new
+rule lands against an existing tree — so `repro lint` can gate on "no new
+findings" instead of "zero findings". Entries match on
+``(path, rule_id, message)`` and deliberately **not** on line/column:
+unrelated edits shift lines constantly, and a baseline that rots with
+every reflow is worse than none. Matching is multiset-style (three
+identical accepted findings cover exactly three occurrences; a fourth is
+reported).
+
+Workflow::
+
+    repro lint src --update-baseline          # record current findings
+    repro lint src                            # gates on new findings only
+    repro lint src --baseline other.json      # explicit location
+
+The default location is ``lint-baseline.json`` next to the tree being
+linted (the repo root commits it). Shrink the file by fixing findings and
+re-running ``--update-baseline``; review diffs of the file like code.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from .model import LintReport, Violation
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_Key = tuple[str, str, str]
+
+
+def _key(violation: Violation) -> _Key:
+    return (violation.path, violation.rule_id, violation.message)
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Load a baseline file into a multiset of accepted finding keys.
+
+    A missing file is an empty baseline; a malformed one raises
+    ``ValueError`` (a silently ignored baseline would un-accept every
+    entry and fail the build confusingly).
+    """
+    p = Path(path)
+    if not p.is_file():
+        return Counter()
+    try:
+        payload = json.loads(p.read_text(encoding="utf-8"))
+        entries = payload["entries"]
+        counter: Counter = Counter()
+        for entry in entries:
+            counter[(entry["path"], entry["rule_id"], entry["message"])] += int(
+                entry.get("count", 1)
+            )
+        return counter
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ValueError(f"malformed lint baseline {p}: {exc}") from exc
+
+
+def write_baseline(violations: Iterable[Violation], path: str | Path) -> int:
+    """Record ``violations`` as the new accepted baseline; returns count."""
+    counter: Counter = Counter(_key(v) for v in violations)
+    entries = [
+        {"path": p, "rule_id": rule_id, "message": message, "count": count}
+        for (p, rule_id, message), count in sorted(counter.items())
+    ]
+    payload = {
+        "comment": (
+            "Accepted `repro lint` findings. Entries match on "
+            "(path, rule_id, message); shrink this file by fixing findings "
+            "and re-running `repro lint --update-baseline`."
+        ),
+        "version": 1,
+        "entries": entries,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return sum(counter.values())
+
+
+def apply_baseline(report: LintReport, baseline: Counter) -> None:
+    """Filter baselined violations out of ``report`` in place."""
+    if not baseline:
+        return
+    remaining = Counter(baseline)
+    kept: list[Violation] = []
+    for violation in report.violations:
+        key = _key(violation)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            report.baselined_count += 1
+        else:
+            kept.append(violation)
+    report.violations = kept

@@ -1,16 +1,38 @@
-"""Argument handling for the ``repro lint`` subcommand."""
+"""Argument handling for the ``repro lint`` subcommand.
+
+Beyond the original run-the-rules flags, the CLI fronts the incremental
+engine:
+
+* ``--jobs N`` — parallel per-file analysis over a process pool;
+* ``--cache-dir`` / ``--no-cache`` — the incremental findings cache
+  (default ``.repro-lint-cache`` in the working directory; git-ignored);
+* ``--changed [REF]`` — report findings only for files touched in the
+  git diff against REF (default ``HEAD``) plus untracked files; every
+  file still feeds the whole-program call graph, so interprocedural
+  findings in changed files stay correct;
+* ``--baseline`` / ``--update-baseline`` — the committed accepted-debt
+  file (see :mod:`repro.lint.baseline`);
+* ``--format sarif`` + ``--output`` — SARIF 2.1.0 for code scanning.
+"""
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
-from typing import Sequence
+from pathlib import Path
+from typing import Optional, Sequence
 
-from .engine import lint_paths
+from .baseline import DEFAULT_BASELINE_NAME, load_baseline, write_baseline
+from .engine import lint_paths, ruleset_fingerprint
 from .registry import RULES, all_rules
+from .sarif import render_sarif
 
 __all__ = ["add_lint_arguments", "run_lint"]
+
+#: Default cache location, relative to the working directory. Git-ignored.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -22,9 +44,15 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--select",
@@ -37,6 +65,55 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze files with N parallel worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=(
+            "incremental cache directory (default: "
+            f"{DEFAULT_CACHE_DIR}); findings and symbol tables are reused "
+            "for files whose content, rule set, and cross-module summary "
+            "dependencies are unchanged"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache for this run",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help=(
+            "report findings only for files changed relative to git REF "
+            "(default HEAD) plus untracked files; the whole tree is still "
+            "indexed so interprocedural results stay correct"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of accepted findings (default: "
+            f"{DEFAULT_BASELINE_NAME} in the working directory, if present)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
 
 
 def _list_rules() -> int:
@@ -44,6 +121,38 @@ def _list_rules() -> int:
         print(f"{rule.rule_id}  {rule.title}")
         print(f"        {rule.rationale}")
     return 0
+
+
+def _git_changed_files(ref: str) -> Optional[set[str]]:
+    """Paths changed vs ``ref`` plus untracked files, or ``None`` on error."""
+    changed: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "-z", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True, timeout=30
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        changed.update(tok for tok in proc.stdout.split("\0") if tok)
+    return changed
+
+
+def _resolve_restrict(ref: str) -> Optional[set[str]]:
+    """Changed-file set normalized the way the engine keys files."""
+    changed = _git_changed_files(ref)
+    if changed is None:
+        return None
+    return {str(Path(p)) for p in changed if p.endswith(".py")}
+
+
+def _emit(args: argparse.Namespace, text: str) -> None:
+    if args.output is not None:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -63,16 +172,58 @@ def run_lint(args: argparse.Namespace) -> int:
             return 2
         rules = [RULES[rule_id] for rule_id in wanted]
 
+    restrict: Optional[set[str]] = None
+    if args.changed is not None:
+        restrict = _resolve_restrict(args.changed)
+        if restrict is None:
+            print(
+                f"--changed: git diff against {args.changed!r} failed; "
+                "linting everything",
+                file=sys.stderr,
+            )
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(
+        DEFAULT_BASELINE_NAME
+    )
+    baseline = None
+    if not args.update_baseline:
+        try:
+            loaded = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        baseline = loaded or None
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+
     try:
-        report = lint_paths(args.paths, rules=rules)
+        report = lint_paths(
+            args.paths,
+            rules=rules,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            restrict=restrict,
+            baseline=baseline,
+        )
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
 
+    if args.update_baseline:
+        count = write_baseline(report.violations, baseline_path)
+        print(f"recorded {count} finding(s) into {baseline_path}")
+        return 0
+
+    active = list(rules) if rules is not None else list(all_rules())
     if args.format == "json":
-        print(json.dumps(report.to_json(), indent=2))
+        _emit(args, json.dumps(report.to_json(), indent=2))
+    elif args.format == "sarif":
+        _emit(args, render_sarif(report, active, ruleset_fingerprint()))
     else:
-        print(report.render_text())
+        _emit(args, report.render_text())
     return 0 if report.ok else 1
 
 

@@ -55,8 +55,20 @@ class Suppression:
     def has_reason(self) -> bool:
         return bool(self.reason.strip())
 
-    def covers(self, violation: Violation) -> bool:
-        return violation.line == self.line and violation.rule_id in self.rule_ids
+    def covers(self, violation: Violation, anchor_line: int | None = None) -> bool:
+        """Does this pragma suppress ``violation``?
+
+        A pragma covers the physical line it sits on; when the engine
+        knows the violation lies on a *continuation line* of a multi-line
+        statement, it passes that statement's first physical line as
+        ``anchor_line`` so a pragma placed there covers the whole
+        statement (both placements are legal).
+        """
+        if violation.rule_id not in self.rule_ids:
+            return False
+        return violation.line == self.line or (
+            anchor_line is not None and anchor_line == self.line
+        )
 
 
 def parse_suppressions(source_lines: list[str]) -> list[Suppression]:
@@ -74,11 +86,18 @@ def parse_suppressions(source_lines: list[str]) -> list[Suppression]:
 
 @dataclass
 class LintReport:
-    """Aggregated result of linting a set of files."""
+    """Aggregated result of linting a set of files.
+
+    ``baselined_count`` counts violations filtered out because they match
+    an entry in the committed baseline file (see
+    :mod:`repro.lint.baseline`); they are accepted debt, not clean code,
+    so the report tracks them separately from suppressions.
+    """
 
     violations: list[Violation] = field(default_factory=list)
     files_checked: int = 0
     suppressed_count: int = 0
+    baselined_count: int = 0
 
     @property
     def ok(self) -> bool:
@@ -88,15 +107,19 @@ class LintReport:
         self.violations.extend(other.violations)
         self.files_checked += other.files_checked
         self.suppressed_count += other.suppressed_count
+        self.baselined_count += other.baselined_count
 
     def sort(self) -> None:
+        """Deterministic (path, line, col, rule_id, message) order — the
+        same regardless of serial, parallel, or cached execution."""
         self.violations.sort()
 
     def to_json(self) -> dict[str, Any]:
         return {
-            "version": 1,
+            "version": 2,
             "files_checked": self.files_checked,
             "suppressed": self.suppressed_count,
+            "baselined": self.baselined_count,
             "violation_count": len(self.violations),
             "violations": [v.to_json() for v in self.violations],
         }
@@ -111,5 +134,7 @@ class LintReport:
         )
         if self.suppressed_count:
             summary += f" ({self.suppressed_count} suppressed)"
+        if self.baselined_count:
+            summary += f" ({self.baselined_count} baselined)"
         lines.append(summary)
         return "\n".join(lines)

@@ -2,10 +2,18 @@
 
 from __future__ import annotations
 
-from . import contracts, determinism, engine_safety, failure_paths, picklability
+from . import (
+    contracts,
+    contracts_global,
+    determinism,
+    engine_safety,
+    failure_paths,
+    picklability,
+)
 
 __all__ = [
     "contracts",
+    "contracts_global",
     "determinism",
     "engine_safety",
     "failure_paths",

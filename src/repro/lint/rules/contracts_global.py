@@ -1,0 +1,267 @@
+"""W1 whole-program contract verification: RPR310 (batch_capable vs
+inferred effects), RPR311 (macro_step_safe vs inferred effects), RPR312
+(pure tie-break whose ``key()`` is transitively impure).
+
+The per-file contract rules (RPR006/RPR007) catch declarations that
+contradict *same-class* structure — an ``on_step`` hook next to
+``batch_capable = True``. This module catches the contradictions no
+single file can show: a scheduler whose ``select()`` looks clean but
+reaches an unseeded RNG draw two helper calls away, in another module.
+
+The rules consult the whole-program effect summaries
+(:mod:`repro.lint.summaries`) through
+:meth:`FileContext.lookup_summary`, which both returns the transitively
+closed effects of a method and records the lookup as an incremental-cache
+dependency — so editing a helper three modules down correctly re-lints
+the scheduler that declared the contract. Every violation names the full
+call path from the declared method to the offending effect
+(``select -> pkg.helpers.jitter -> pkg.helpers.draw``), because "your
+contract is wrong somewhere below this call" is not actionable and
+"this exact chain reads the RNG" is.
+
+Only **constant** declarations (``batch_capable = True`` as a literal in
+the class body) are checked, mirroring RPR006/RPR007: a property such as
+``FIFOScheduler.batch_capable`` expresses a *conditional* contract whose
+truth depends on runtime configuration, which static analysis should not
+second-guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from ..model import Violation
+from ..registry import Rule, register_rule
+from ..summaries import EffectRecord, FunctionSummary
+from .contracts import _declares_constant_true
+from .determinism import ImpureTieBreakKeyRule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import FileContext
+
+__all__ = [
+    "BatchCapableEffectsRule",
+    "MacroStepEffectsRule",
+    "TransitiveImpureTieBreakRule",
+]
+
+#: Effect kinds that contradict a determinism contract: anything that
+#: makes repeated evaluation return different answers.
+_NONDET_KINDS = ("rng", "clock", "env")
+
+
+def _methods(node: ast.ClassDef, names: Iterable[str]) -> Iterator[ast.FunctionDef]:
+    wanted = set(names)
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+            stmt.name in wanted
+        ):
+            yield stmt  # type: ignore[misc]
+
+
+def _dedup_effects(effects: list[EffectRecord]) -> list[EffectRecord]:
+    """One report per distinct origin statement, deterministic order."""
+    seen: set[tuple[str, str, int]] = set()
+    out: list[EffectRecord] = []
+    for effect in sorted(effects):
+        key = (effect.kind, effect.origin, effect.line)
+        if key not in seen:
+            seen.add(key)
+            out.append(effect)
+    return out
+
+
+def _method_summary(
+    ctx: "FileContext", class_name: str, method: str
+) -> FunctionSummary | None:
+    return ctx.lookup_summary(f"{ctx.module_name}.{class_name}.{method}")
+
+
+class _ContractEffectsRule(Rule):
+    """Shared machinery: flag inferred nondeterminism in the methods that a
+    constant-``True`` contract declaration promises are replayable."""
+
+    #: The class-body flag whose constant-True declaration opts in.
+    contract_flag = ""
+    #: Methods whose transitive effects the contract constrains.
+    checked_methods: tuple[str, ...] = ()
+    #: Why the contradiction matters, appended to every message.
+    consequence = ""
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _declares_constant_true(node, self.contract_flag):
+                continue
+            for func in _methods(node, self.checked_methods):
+                summary = _method_summary(ctx, node.name, func.name)
+                if summary is None:
+                    continue
+                start = f"{node.name}.{func.name}"
+                for effect in _dedup_effects(
+                    summary.effects_of_kind(*_NONDET_KINDS)
+                ):
+                    yield self.violation(
+                        ctx,
+                        func.lineno,
+                        func.col_offset,
+                        f"`{start}()` reaches nondeterminism — "
+                        f"{effect.detail} "
+                        f"(call path: {effect.route(start)}, "
+                        f"line {effect.line}) — while the class declares "
+                        f"`{self.contract_flag} = True`; {self.consequence}",
+                    )
+
+
+@register_rule
+class BatchCapableEffectsRule(_ContractEffectsRule):
+    rule_id = "RPR310"
+    title = "batch_capable selection paths must be effect-free"
+    rationale = (
+        "`batch_capable = True` routes runs through `simulate_batch`, whose "
+        "lockstep loop replays selections purely from the frontier priority "
+        "kernel. If `select()`, `frontier_priorities()`, or `resync()` "
+        "consults an RNG stream, the clock, or the environment — directly "
+        "or through any chain of helpers — the per-instance engine and the "
+        "batched engine observe different values and silently diverge. "
+        "RPR007 checks the class body; this rule checks what the methods "
+        "actually *reach*, across modules, and names the call path."
+    )
+    bad_example = """\
+def _draw(rng):
+    return rng.random()
+
+class JitterScheduler(Scheduler):
+    batch_capable = True
+
+    def frontier_priorities(self, instance):
+        return self._kernel
+
+    def select(self, m, state):
+        return _draw(self._rng)
+"""
+    good_example = """\
+class KernelScheduler(Scheduler):
+    batch_capable = True
+
+    def frontier_priorities(self, instance):
+        return self._kernel
+
+    def select(self, m, state):
+        return sorted(state.ready)[:m]
+"""
+
+    contract_flag = "batch_capable"
+    checked_methods = ("select", "frontier_priorities", "resync")
+    consequence = (
+        "batched lockstep replay resolves selections from the precomputed "
+        "kernel, so the hidden nondeterminism makes batched and "
+        "per-instance runs diverge"
+    )
+
+
+@register_rule
+class MacroStepEffectsRule(_ContractEffectsRule):
+    rule_id = "RPR311"
+    title = "macro_step_safe selection paths must be effect-free"
+    rationale = (
+        "`macro_step_safe = True` lets the engine compress runs of forced "
+        "steps into one macro commit, skipping the per-step re-evaluation "
+        "in between. A `select()` or `key()` that reads an RNG stream, the "
+        "clock, or the environment — anywhere down its helper chain — "
+        "observes *fewer* reads under macro stepping than under per-step "
+        "execution, so the two modes diverge. RPR006 checks the class "
+        "body; this rule checks what the methods transitively reach and "
+        "names the call path."
+    )
+    bad_example = """\
+def _jitter(rng):
+    return rng.random()
+
+class SweepScheduler(Scheduler):
+    macro_step_safe = True
+
+    def select(self, m, state):
+        return _jitter(self._rng)
+"""
+    good_example = """\
+class ChainScheduler(Scheduler):
+    macro_step_safe = True
+
+    def select(self, m, state):
+        return sorted(state.ready)[:m]
+"""
+
+    contract_flag = "macro_step_safe"
+    checked_methods = ("select", "key")
+    consequence = (
+        "macro commits skip the per-step evaluations where those reads "
+        "would have happened, so compressed and per-step runs diverge"
+    )
+
+
+@register_rule
+class TransitiveImpureTieBreakRule(Rule):
+    rule_id = "RPR312"
+    title = "pure tie-breaks must not reach impure effects through helpers"
+    rationale = (
+        "a TieBreak that does not declare `pure = False` promises the "
+        "kernel fast path may materialize its priorities once per job via "
+        "`priority_kernel`. RPR004 catches a `key()` that draws randomness "
+        "*directly*; this rule follows `key()` through every project-local "
+        "helper call — a jitter utility two modules away still makes the "
+        "key impure, and the heap path and kernel path silently diverge. "
+        "The message names the exact call chain."
+    )
+    bad_example = """\
+def _noise(rng):
+    return rng.random()
+
+class JitterTieBreak(TieBreak):
+    def key(self, job, node):
+        return _noise(self._rng)
+"""
+    good_example = """\
+def _noise(rng):
+    return rng.random()
+
+class JitterTieBreak(TieBreak):
+    pure = False  # per-call RNG is the point; kernel path disabled
+
+    def key(self, job, node):
+        return _noise(self._rng)
+"""
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not ImpureTieBreakKeyRule._is_tie_break_subclass(node):
+                continue
+            if ImpureTieBreakKeyRule._declares_impure(node):
+                continue
+            for func in _methods(node, ("key",)):
+                summary = _method_summary(ctx, node.name, func.name)
+                if summary is None:
+                    continue
+                start = f"{node.name}.{func.name}"
+                transitive = [
+                    e
+                    for e in summary.effects_of_kind(*_NONDET_KINDS)
+                    if e.path  # direct effects are RPR004's report
+                ]
+                for effect in _dedup_effects(transitive):
+                    yield self.violation(
+                        ctx,
+                        func.lineno,
+                        func.col_offset,
+                        f"`{start}()` reaches nondeterminism through a "
+                        f"helper chain — {effect.detail} "
+                        f"(call path: {effect.route(start)}, "
+                        f"line {effect.line}); priorities are materialized "
+                        "once per job on the kernel path, so the impure key "
+                        "silently diverges — make the chain pure or declare "
+                        "`pure = False`",
+                    )

@@ -17,6 +17,13 @@ from typing import TYPE_CHECKING, Iterator
 
 from ..model import Violation
 from ..registry import Rule, register_rule
+
+# The canonical nondeterminism tables live in ``repro.lint.summaries`` so
+# that the interprocedural layer and these per-file rules can never drift
+# apart (and so summaries.py needs no import from the rules package).
+from ..summaries import NUMPY_SEEDED_API as _NUMPY_SEEDED_API
+from ..summaries import WALL_CLOCK_CALLS as _WALL_CLOCK_CALLS
+from ..summaries import rng_part as _rng_part
 from .common import attribute_parts, iter_functions
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -28,23 +35,6 @@ __all__ = [
     "UnorderedIterationRule",
     "WallClockRule",
 ]
-
-#: numpy.random attributes that are explicitly-seeded constructors, not
-#: the hidden global-state convenience API.
-_NUMPY_SEEDED_API = frozenset(
-    {
-        "default_rng",
-        "Generator",
-        "SeedSequence",
-        "BitGenerator",
-        "PCG64",
-        "PCG64DXSM",
-        "Philox",
-        "SFC64",
-        "MT19937",
-        "RandomState",
-    }
-)
 
 
 @register_rule
@@ -282,18 +272,6 @@ class MyScheduler:
                         )
 
 
-#: dotted call -> why it is banned. ``time.perf_counter`` stays allowed:
-#: it is the harness timer and never feeds scheduling decisions.
-_WALL_CLOCK_CALLS = {
-    "time.time": "the wall clock",
-    "time.time_ns": "the wall clock",
-    "datetime.datetime.now": "the wall clock",
-    "os.urandom": "the OS entropy pool",
-    "uuid.uuid1": "the host clock/MAC",
-    "uuid.uuid4": "the OS entropy pool",
-}
-
-
 @register_rule
 class WallClockRule(Rule):
     rule_id = "RPR003"
@@ -336,17 +314,6 @@ def elapsed(start):
                 f"`{dotted}` reads {source}, which is nondeterministic; "
                 "use an explicit seed (or time.perf_counter for timing)",
             )
-
-
-#: Attribute-chain parts that mark an expression as an RNG stream
-#: (``self._rng.random()``, ``rng.integers(...)``, ...). RPR001 only sees
-#: module-global draws; inside ``key()`` even a *seeded* per-instance
-#: stream is impure, because every call advances it.
-_RNG_PART_NAMES = frozenset({"rng", "random"})
-
-
-def _rng_part(name: str) -> bool:
-    return name in _RNG_PART_NAMES or name.endswith("_rng") or name.startswith("rng_")
 
 
 @register_rule

@@ -9,13 +9,21 @@ so RPR201 catches the write statically with a per-scope taint analysis:
 names bound from ``build_csr(...)`` / ``*.flat_graph`` (and attributes,
 slices, or unpacked elements of those names) are tainted; ``.copy()`` or
 any other call result clears the taint.
+
+RPR201 is additionally *interprocedural*: when a tainted name is passed
+as an argument to a project-local function, the whole-program effect
+summaries (:mod:`repro.lint.summaries`) are consulted through
+:meth:`FileContext.lookup_call` — if the callee (or anything it calls,
+transitively) writes through that parameter, the violation is reported at
+the offending call site with the full helper chain in the message.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
+from ..callgraph import describe_call
 from ..model import Violation
 from ..registry import Rule, register_rule
 from .common import expression_root
@@ -43,11 +51,19 @@ def _is_build_csr_call(ctx: "FileContext", expr: ast.expr) -> bool:
 
 class _ScopeScanner:
     """Flow-sensitive (statement-ordered) taint scan of one function/module
-    scope. Nested function and class bodies are separate scopes."""
+    scope. Nested function and class bodies are separate scopes.
 
-    def __init__(self, rule: Rule, ctx: "FileContext") -> None:
+    ``class_name`` is the enclosing class when scanning a method body, so
+    ``self.helper(tainted)`` calls resolve against the right class in the
+    interprocedural lookup.
+    """
+
+    def __init__(
+        self, rule: Rule, ctx: "FileContext", class_name: Optional[str] = None
+    ) -> None:
         self.rule = rule
         self.ctx = ctx
+        self.class_name = class_name
         self.tainted: set[str] = set()
         self.violations: list[Violation] = []
 
@@ -131,6 +147,48 @@ class _ScopeScanner:
                 root = self._rooted_tainted(kw.value)
                 if root is not None:
                     self._flag(call, root, "ufunc `out=` writes into")
+        self._check_helper_mutation(call)
+
+    def _check_helper_mutation(self, call: ast.Call) -> None:
+        """Interprocedural leg: a tainted name passed to a project helper
+        that (transitively) writes through the matching parameter."""
+        tainted_args = [
+            (pos, arg.id)
+            for pos, arg in enumerate(call.args)
+            if isinstance(arg, ast.Name) and arg.id in self.tainted
+        ]
+        if not tainted_args:
+            return
+        desc = describe_call(call)
+        if desc is None:
+            return
+        summary = self.ctx.lookup_call(desc, self.class_name)
+        if summary is None:
+            return
+        # Bound method calls (`self.f(x)`) and constructors skip the
+        # implicit `self` slot in the callee's positional parameters.
+        offset = (
+            1
+            if desc[0] in ("self", "cls") or summary.qualname.endswith(".__init__")
+            else 0
+        )
+        for pos, root in tainted_args:
+            hit = summary.mutates_param(pos + offset)
+            if hit is None:
+                continue
+            self.violations.append(
+                self.rule.violation(
+                    self.ctx,
+                    call.lineno,
+                    call.col_offset,
+                    f"passing `{root}`, which is bound from "
+                    "build_csr/flat_graph and frozen (writeable=False), to "
+                    f"`{summary.qualname}`, which performs {hit.detail} "
+                    f"`{hit.param_name}` "
+                    f"(via {hit.route(summary.qualname)}, line {hit.line}); "
+                    "pass a `.copy()` instead",
+                )
+            )
 
     @staticmethod
     def _requests_writeable(call: ast.Call) -> bool:
@@ -253,9 +311,26 @@ def consume(instance):
 
     def check(self, ctx: "FileContext") -> Iterator[Violation]:
         yield from _ScopeScanner(self, ctx).run(ctx.tree.body)
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield from _ScopeScanner(self, ctx).run(node.body)
+        for node, class_name in _function_scopes(ctx.tree):
+            yield from _ScopeScanner(self, ctx, class_name=class_name).run(node.body)
+
+
+def _function_scopes(
+    node: ast.AST, class_name: Optional[str] = None
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, Optional[str]]]:
+    """Every function scope paired with its enclosing class (if any).
+
+    Nested functions inherit the enclosing method's class: a closure inside
+    a method still calls ``self.helper(...)`` against that class.
+    """
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield child, class_name
+            yield from _function_scopes(child, class_name)
+        elif isinstance(child, ast.ClassDef):
+            yield from _function_scopes(child, child.name)
+        else:
+            yield from _function_scopes(child, class_name)
 
 
 @register_rule

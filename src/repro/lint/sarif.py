@@ -1,0 +1,140 @@
+"""SARIF 2.1.0 emitter for ``repro lint`` reports.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests; emitting it lets lint findings annotate PR diffs
+instead of living in CI logs. One run object, one driver
+(``repro-lint``), one ``rules`` entry per registered rule (so the rule
+metadata — title, rationale — travels with the results), one ``result``
+per violation.
+
+Only format-stable fields are emitted: no timestamps, no absolute paths,
+no tool versions beyond the rule-set fingerprint (which is content-based).
+Two runs over the same tree therefore produce byte-identical SARIF, which
+keeps the golden-file test honest and diffs reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from .model import LintReport
+from .registry import Rule
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Rule ids that indicate broken input rather than a policy violation;
+#: code scanning treats them as errors, everything else as warnings.
+_ERROR_RULES = frozenset({"RPR999"})
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, Any]:
+    return {
+        "id": rule.rule_id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {
+            "level": "error" if rule.rule_id in _ERROR_RULES else "warning"
+        },
+    }
+
+
+def _result(violation: Any) -> dict[str, Any]:
+    return {
+        "ruleId": violation.rule_id,
+        "level": "error" if violation.rule_id in _ERROR_RULES else "warning",
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(violation.line, 1),
+                        # SARIF columns are 1-based; ours are 0-based.
+                        "startColumn": violation.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(
+    report: LintReport,
+    rules: Sequence[Rule],
+    ruleset_fingerprint: str,
+) -> dict[str, Any]:
+    """SARIF 2.1.0 log object for a lint report."""
+    known_ids = {rule.rule_id for rule in rules}
+    descriptors = [
+        _rule_descriptor(rule)
+        for rule in sorted(rules, key=lambda r: r.rule_id)
+    ]
+    # RPR999/RPR000 are engine-reserved and have no Rule class; synthesize
+    # descriptors on demand so every result's ruleId resolves.
+    for violation in report.violations:
+        if violation.rule_id not in known_ids:
+            known_ids.add(violation.rule_id)
+            descriptors.append(
+                {
+                    "id": violation.rule_id,
+                    "name": violation.rule_id,
+                    "shortDescription": {"text": "engine-reserved rule"},
+                    "defaultConfiguration": {
+                        "level": "error"
+                        if violation.rule_id in _ERROR_RULES
+                        else "warning"
+                    },
+                }
+            )
+    descriptors.sort(key=lambda d: str(d["id"]))
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+
+    results = []
+    for violation in report.violations:
+        result = _result(violation)
+        result["ruleIndex"] = rule_index[violation.rule_id]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/lint.md",
+                        "semanticVersion": "1.0.0",
+                        "properties": {
+                            "rulesetFingerprint": ruleset_fingerprint,
+                        },
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    report: LintReport,
+    rules: Sequence[Rule],
+    ruleset_fingerprint: str,
+) -> str:
+    """Serialized SARIF with stable key order (byte-identical across runs)."""
+    return json.dumps(
+        to_sarif(report, rules, ruleset_fingerprint), indent=2, sort_keys=True
+    )

@@ -59,6 +59,7 @@ def test_rule_catalog_is_stable():
         "RPR101", "RPR102", "RPR103",  # scheduler contracts
         "RPR201", "RPR202", "RPR203",  # engine safety
         "RPR301",  # picklability
+        "RPR310", "RPR311", "RPR312",  # whole-program contract verification
     }
     assert expected <= set(RULES)
 
@@ -263,6 +264,71 @@ def test_suppression_reason_of_whitespace_does_not_count():
     assert not sup.has_reason
 
 
+class TestMultiLineStatementSuppression:
+    """A pragma on the *first physical line* of a multi-line statement
+    covers violations reported on any of its continuation lines; a pragma
+    on the violating line itself keeps working. Both placements are legal.
+    """
+
+    def test_pragma_on_first_line_covers_continuation_line(self):
+        src = (
+            "import numpy as np\n"
+            "x = (  # repro-lint: disable=RPR001 (fixture: seeded upstream)\n"
+            "    np.random.rand(3),\n"
+            ")\n"
+        )
+        report = lint_source(src, rules=[get_rule("RPR001")])
+        assert report.violations == []
+        assert report.suppressed_count == 1
+
+    def test_pragma_on_continuation_line_still_works(self):
+        src = (
+            "import numpy as np\n"
+            "x = (\n"
+            "    np.random.rand(3),"
+            "  # repro-lint: disable=RPR001 (fixture: seeded upstream)\n"
+            ")\n"
+        )
+        report = lint_source(src, rules=[get_rule("RPR001")])
+        assert report.violations == []
+        assert report.suppressed_count == 1
+
+    def test_unrelated_first_line_pragma_does_not_cover(self):
+        # Pragma sits on a *different* statement's line: must not cover.
+        src = (
+            "import numpy as np"
+            "  # repro-lint: disable=RPR001 (wrong statement on purpose)\n"
+            "x = (\n"
+            "    np.random.rand(3),\n"
+            ")\n"
+        )
+        report = lint_source(src, rules=[get_rule("RPR001")])
+        assert {v.rule_id for v in report.violations} == {"RPR001"}
+
+    def test_compound_header_pragma_does_not_blanket_the_body(self):
+        src = (
+            "import numpy as np\n"
+            "if True:  # repro-lint: disable=RPR001 (header only on purpose)\n"
+            "    x = np.random.rand(3)\n"
+        )
+        report = lint_source(src, rules=[get_rule("RPR001")])
+        assert {v.rule_id for v in report.violations} == {"RPR001"}
+
+    def test_multiline_compound_header_is_covered(self):
+        # The header of a compound statement spans two physical lines; a
+        # pragma on the `if` line covers a violation inside the condition.
+        src = (
+            "import numpy as np\n"
+            "if (  # repro-lint: disable=RPR001 (fixture: probe only)\n"
+            "    np.random.rand() > 0.5\n"
+            "):\n"
+            "    x = 1\n"
+        )
+        report = lint_source(src, rules=[get_rule("RPR001")])
+        assert report.violations == []
+        assert report.suppressed_count == 1
+
+
 # ----------------------------------------------------------------------
 # Engine mechanics
 # ----------------------------------------------------------------------
@@ -314,8 +380,9 @@ def test_lint_paths_rejects_non_python(tmp_path):
 def test_report_json_shape():
     report = lint_source(BARE_EXCEPT, path="bad.py")
     payload = report.to_json()
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["files_checked"] == 1
+    assert payload["baselined"] == 0
     assert payload["violation_count"] == len(payload["violations"])
     entry = payload["violations"][0]
     assert set(entry) == {"path", "line", "col", "rule_id", "message"}

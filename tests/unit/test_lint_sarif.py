@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 emitter: golden-file stability and schema validity.
+
+The golden file pins the exact bytes GitHub code scanning receives for a
+fixed fixture (regenerate it deliberately when the format changes — the
+diff is the review artifact). The schema test validates a full-rule-set
+run against a vendored subset of the official SARIF 2.1.0 schema, so CI
+needs no network access.
+"""
+
+import json
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.lint import LintReport, lint_source
+from repro.lint.registry import RULES, all_rules
+from repro.lint.sarif import SARIF_VERSION, render_sarif, to_sarif
+
+DATA = Path(__file__).resolve().parents[1] / "data"
+GOLDEN = DATA / "lint_report.sarif"
+SCHEMA = DATA / "sarif-2.1.0-subset.schema.json"
+
+
+def _golden_report() -> tuple[LintReport, list]:
+    rules = [RULES["RPR202"], RULES["RPR203"]]
+    report = LintReport()
+    report.merge(
+        lint_source(
+            "try:\n    x = 1\nexcept:\n    pass\n",
+            path="pkg/sloppy.py",
+            rules=rules,
+        )
+    )
+    report.merge(
+        lint_source(
+            "def collect(x, acc=[]):\n    acc.append(x)\n    return acc\n",
+            path="pkg/defaults.py",
+            rules=rules,
+        )
+    )
+    report.sort()
+    return report, rules
+
+
+def test_golden_file_matches_exactly():
+    report, rules = _golden_report()
+    rendered = render_sarif(report, rules, "fixedfingerprint") + "\n"
+    assert rendered == GOLDEN.read_text(encoding="utf-8"), (
+        "SARIF output drifted from the golden file; if the change is "
+        "intentional, regenerate tests/data/lint_report.sarif and review "
+        "the diff"
+    )
+
+
+def test_rendering_is_deterministic():
+    report, rules = _golden_report()
+    first = render_sarif(report, rules, "fp")
+    second = render_sarif(report, rules, "fp")
+    assert first == second
+
+
+@pytest.fixture(scope="module")
+def schema() -> dict:
+    return json.loads(SCHEMA.read_text(encoding="utf-8"))
+
+
+def test_golden_validates_against_schema(schema):
+    jsonschema.validate(json.loads(GOLDEN.read_text(encoding="utf-8")), schema)
+
+
+def test_full_ruleset_log_validates_against_schema(schema):
+    """Every registered rule's bad_example, one log, engine-reserved rules
+    (RPR000/RPR999) included via a reason-less pragma and a syntax error."""
+    report = LintReport()
+    for rule in all_rules():
+        report.merge(
+            lint_source(rule.bad_example, path=f"bad_{rule.rule_id.lower()}.py")
+        )
+    report.merge(lint_source("def broken(:\n", path="broken.py"))
+    report.merge(
+        lint_source(
+            "try:\n    x = 1\nexcept:  # repro-lint: disable=RPR202\n    pass\n",
+            path="unreasoned.py",
+        )
+    )
+    report.sort()
+    log = to_sarif(report, all_rules(), "fp")
+    jsonschema.validate(log, schema)
+
+    assert log["version"] == SARIF_VERSION
+    results = log["runs"][0]["results"]
+    fired = {r["ruleId"] for r in results}
+    assert {"RPR000", "RPR999", "RPR202"} <= fired
+    # Every result's ruleIndex points at the descriptor for its ruleId.
+    descriptors = log["runs"][0]["tool"]["driver"]["rules"]
+    for result in results:
+        assert descriptors[result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_syntax_errors_are_error_level():
+    report = lint_source("def broken(:\n", path="broken.py")
+    log = to_sarif(report, all_rules(), "fp")
+    (result,) = log["runs"][0]["results"]
+    assert result["level"] == "error"
+    assert result["ruleId"] == "RPR999"

@@ -1,0 +1,218 @@
+"""Unit tests for per-function effect summaries and their interprocedural
+closure (:mod:`repro.lint.summaries`)."""
+
+import ast
+import textwrap
+
+from repro.lint.summaries import (
+    FunctionSummary,
+    project_from_sources,
+    summary_fingerprint,
+)
+
+
+def _table(**modules: str):
+    entries = [
+        (f"{name}.py", textwrap.dedent(source), ast.parse(textwrap.dedent(source)))
+        for name, source in modules.items()
+    ]
+    return project_from_sources(entries)
+
+
+def _summary(table, qualname: str) -> FunctionSummary:
+    summary = table.get(qualname)
+    assert summary is not None, f"no summary for {qualname}"
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Local extraction
+# ----------------------------------------------------------------------
+
+
+class TestLocalEffects:
+    def test_rng_stream_draw(self):
+        table = _table(m="def f(rng):\n    return rng.random()\n")
+        (effect,) = _summary(table, "m.f").effects
+        assert effect.kind == "rng"
+        assert effect.path == ()
+
+    def test_numpy_global_rng_vs_seeded_api(self):
+        table = _table(
+            m=(
+                "import numpy as np\n"
+                "def bad():\n    return np.random.rand()\n"
+                "def good(seed):\n    return np.random.default_rng(seed)\n"
+            )
+        )
+        assert _summary(table, "m.bad").effects_of_kind("rng")
+        assert not _summary(table, "m.good").effects
+
+    def test_clock_and_env_reads(self):
+        table = _table(
+            m=(
+                "import time, os\n"
+                "def t():\n    return time.time()\n"
+                "def p():\n    return time.perf_counter()\n"
+                "def e():\n    return os.getenv('HOME')\n"
+            )
+        )
+        assert _summary(table, "m.t").effects_of_kind("clock")
+        assert _summary(table, "m.p").effects_of_kind("clock")
+        assert _summary(table, "m.e").effects_of_kind("env")
+
+    def test_global_statement_and_unordered_iter(self):
+        table = _table(
+            m=(
+                "def g():\n    global _n\n    _n += 1\n"
+                "def u(d):\n    return [k for k in d.keys()]\n"
+            )
+        )
+        assert _summary(table, "m.g").effects_of_kind("global-state")
+        assert _summary(table, "m.u").effects_of_kind("unordered-iter")
+
+    def test_pure_function_is_empty(self):
+        table = _table(m="def f(xs):\n    return sorted(xs)[0]\n")
+        summary = _summary(table, "m.f")
+        assert summary.effects == () and summary.mutations == ()
+
+
+class TestLocalMutations:
+    def test_subscript_store(self):
+        table = _table(m="def f(a, b):\n    b[0] = 1\n")
+        (mut,) = _summary(table, "m.f").mutations
+        assert (mut.param, mut.param_name) == (1, "b")
+
+    def test_mutating_method_and_setflags(self):
+        table = _table(
+            m=(
+                "def f(a):\n    a.fill(0)\n"
+                "def g(a):\n    a.setflags(write=True)\n"
+                "def h(a):\n    a.setflags(write=False)\n"
+            )
+        )
+        assert _summary(table, "m.f").mutates_param(0)
+        assert _summary(table, "m.g").mutates_param(0)
+        assert _summary(table, "m.h").mutates_param(0) is None
+
+    def test_ufunc_out_and_at(self):
+        table = _table(
+            m=(
+                "import numpy as np\n"
+                "def f(a, b):\n    np.add(a, 1, out=b)\n"
+                "def g(a):\n    np.add.at(a, [0], 1)\n"
+            )
+        )
+        assert _summary(table, "m.f").mutates_param(1)
+        assert _summary(table, "m.f").mutates_param(0) is None
+        assert _summary(table, "m.g").mutates_param(0)
+
+    def test_read_only_use_is_not_mutation(self):
+        table = _table(m="def f(a):\n    return a[0] + len(a)\n")
+        assert _summary(table, "m.f").mutations == ()
+
+
+# ----------------------------------------------------------------------
+# Interprocedural closure
+# ----------------------------------------------------------------------
+
+
+class TestPropagation:
+    def test_effect_crosses_modules_with_witness_path(self):
+        table = _table(
+            helpers=(
+                "def _draw(rng):\n    return rng.random()\n"
+                "def _jitter(rng):\n    return _draw(rng)\n"
+            ),
+            sched=(
+                "from helpers import _jitter\n"
+                "class S:\n"
+                "    def select(self, m):\n"
+                "        return _jitter(self._rng)\n"
+            ),
+        )
+        summary = _summary(table, "sched.S.select")
+        (effect,) = summary.effects_of_kind("rng")
+        assert effect.origin == "helpers._draw"
+        assert effect.path == ("helpers._jitter", "helpers._draw")
+        assert effect.route("S.select") == (
+            "S.select -> helpers._jitter -> helpers._draw"
+        )
+
+    def test_mutation_propagates_through_argument_map(self):
+        table = _table(
+            m=(
+                "def deep(z):\n    z[0] = 1\n"
+                "def mid(y):\n    deep(y)\n"
+                "def outer(a, x):\n    mid(x)\n"
+            )
+        )
+        outer = _summary(table, "m.outer")
+        hit = outer.mutates_param(1)
+        assert hit is not None
+        assert hit.param_name == "x"
+        assert hit.path == ("m.mid", "m.deep")
+        assert outer.mutates_param(0) is None
+
+    def test_recursive_cycle_converges(self):
+        table = _table(
+            m=(
+                "def a(rng):\n    return b(rng)\n"
+                "def b(rng):\n    return a(rng) + rng.random()\n"
+            )
+        )
+        assert _summary(table, "m.a").effects_of_kind("rng")
+        assert _summary(table, "m.b").effects_of_kind("rng")
+
+    def test_unresolved_external_calls_add_nothing(self):
+        table = _table(m="import numpy as np\ndef f(x):\n    return np.sort(x)\n")
+        assert _summary(table, "m.f").effects == ()
+
+    def test_reachable_from(self):
+        table = _table(
+            m=(
+                "def leaf():\n    pass\n"
+                "def mid():\n    leaf()\n"
+                "def top():\n    mid()\n"
+                "def island():\n    pass\n"
+            )
+        )
+        reached = table.reachable_from(["m.top"])
+        assert reached == {"m.top", "m.mid", "m.leaf"}
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_stable_for_identical_summaries(self):
+        t1 = _table(m="def f(rng):\n    return rng.random()\n")
+        t2 = _table(m="def f(rng):\n    return rng.random()\n")
+        assert summary_fingerprint(_summary(t1, "m.f")) == summary_fingerprint(
+            _summary(t2, "m.f")
+        )
+
+    def test_ignores_call_routing_but_not_effects(self):
+        # Same observable effects through different internal routing: the
+        # fingerprint must agree (cache survives pure refactors) ...
+        direct = _table(h="def f(rng):\n    return rng.random()\n")
+        pure = _table(h="def f(xs):\n    return sorted(xs)\n")
+        changed = _table(h="import time\ndef f(rng):\n    return time.time()\n")
+        fp_direct = summary_fingerprint(_summary(direct, "h.f"))
+        fp_pure = summary_fingerprint(_summary(pure, "h.f"))
+        fp_changed = summary_fingerprint(_summary(changed, "h.f"))
+        # ... while different effects must disagree.
+        assert len({fp_direct, fp_pure, fp_changed}) == 3
+
+    def test_round_trip_preserves_fingerprint(self):
+        table = _table(
+            m="def f(rng, out):\n    out[0] = rng.random()\n"
+        )
+        summary = _summary(table, "m.f")
+        clone = FunctionSummary.from_json(summary.to_json())
+        assert summary_fingerprint(clone) == summary_fingerprint(summary)
+        assert clone.effects == summary.effects
+        assert clone.mutations == summary.mutations
+        assert clone.calls == summary.calls

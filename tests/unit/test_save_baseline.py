@@ -29,8 +29,20 @@ def tool(tmp_path, monkeypatch):
 
         return run
 
+    def tiny_lint(rounds):
+        # Fixed row: exercises the lint-bench loop and the generic compare
+        # path without timing a real lint run inside a unit test.
+        return {
+            "subjobs": 5,
+            "best_seconds": 0.001,
+            "subjobs_per_sec": 5000.0,
+            "cold_seconds": 0.01,
+            "warm_speedup": 10.0,
+        }
+
     monkeypatch.setattr(mod, "MICROBENCHES", {"tiny": tiny})
     monkeypatch.setattr(mod, "SWEEP_BENCHES", {"tiny_sweep": (tiny_sweep, 1)})
+    monkeypatch.setattr(mod, "LINT_BENCHES", {"tiny_lint": tiny_lint})
     monkeypatch.setattr(mod, "BASELINE_PATH", tmp_path / "BENCH_engine.json")
     return mod
 
@@ -45,9 +57,10 @@ class TestSaveBaseline:
         saved = json.loads(tool.BASELINE_PATH.read_text())
         assert saved["tiny"]["subjobs"] == 40
         assert saved["tiny"]["subjobs_per_sec"] > 0
-        # Shrink the recorded throughput so timing noise at this toy scale
+        # Shrink the recorded throughputs so timing noise at this toy scale
         # cannot trip the 20% tolerance: we test the verdict, not the timer.
-        saved["tiny"]["subjobs_per_sec"] /= 10
+        for row in saved.values():
+            row["subjobs_per_sec"] /= 10
         tool.BASELINE_PATH.write_text(json.dumps(saved))
         assert tool.main(["--compare", "--rounds", "1"]) == 0
         assert "ok" in capsys.readouterr().out
@@ -74,14 +87,15 @@ class TestSaveBaseline:
     def test_only_selects_and_save_merges(self, tool, capsys):
         assert tool.main(["--rounds", "1"]) == 0
         full = json.loads(tool.BASELINE_PATH.read_text())
-        assert set(full) == {"tiny", "tiny_sweep"}
-        # Partial re-record keeps the un-timed bench's entry intact.
+        assert set(full) == {"tiny", "tiny_sweep", "tiny_lint"}
+        # Partial re-record keeps the un-timed benches' entries intact.
         assert tool.main(["--rounds", "1", "--only", "tiny_sweep"]) == 0
         merged = json.loads(tool.BASELINE_PATH.read_text())
-        assert set(merged) == {"tiny", "tiny_sweep"}
+        assert set(merged) == {"tiny", "tiny_sweep", "tiny_lint"}
         assert merged["tiny"] == full["tiny"]
         # Partial compare only times (and reports) the selected bench.
         capsys.readouterr()
         assert tool.main(["--compare", "--rounds", "1", "--only", "tiny"]) == 0
         out = capsys.readouterr().out
-        assert "tiny" in out and "tiny_sweep" not in out
+        assert "tiny" in out
+        assert "tiny_sweep" not in out and "tiny_lint" not in out

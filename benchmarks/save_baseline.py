@@ -14,6 +14,12 @@ least noisy estimator for a deterministic workload on a shared machine.
 Besides the engine benches this also records the lint tooling bench
 (``--only lint_warm_cache_src``): cold vs warm incremental-cache wall
 time over ``src/repro``, with a byte-identical report check.
+
+``--backend numba`` adds the kernel-backend dimension: the engine benches
+are re-timed under the numba backend (kernels compiled outside the
+timers) and recorded/compared as ``<name>_numba`` rows next to the numpy
+defaults. The flag refuses to run where numba is unavailable rather than
+silently recording fallback-to-numpy numbers under a numba label.
 """
 
 from __future__ import annotations
@@ -295,9 +301,36 @@ def all_bench_names() -> list[str]:
     return [*MICROBENCHES, *SWEEP_BENCHES, *LINT_BENCHES]
 
 
-def measure(rounds: int = 3, only: list[str] | None = None) -> dict:
-    """Time every microbench; returns name -> measurement dict."""
+def measure(
+    rounds: int = 3,
+    only: list[str] | None = None,
+    backend: str | None = None,
+) -> dict:
+    """Time every microbench; returns name -> measurement dict.
+
+    With ``backend`` set to a non-default kernel backend the engine
+    benches are timed under it (kernels pre-compiled outside the timers)
+    and recorded under ``<name>_<backend>`` keys — the backend dimension
+    of the baseline. The lint benches never touch the kernels and are
+    skipped for non-default backends.
+    """
     from repro.core import simulate
+
+    suffix = ""
+    if backend is not None and backend != "numpy":
+        from repro.core import kernels
+
+        os.environ[kernels.BACKEND_ENV_VAR] = backend
+        kernels._reset_for_testing()
+        resolved = kernels.get_backend()
+        if resolved.name != backend:
+            raise RuntimeError(
+                f"backend {backend!r} requested but {resolved.name!r} would "
+                "serve the calls (is the dependency installed?); refusing to "
+                f"record {backend} baselines measured on {resolved.name}"
+            )
+        kernels.warmup(resolved)  # compile before any timer starts
+        suffix = f"_{backend}"
 
     selected = set(only) if only is not None else None
 
@@ -316,7 +349,7 @@ def measure(rounds: int = 3, only: list[str] | None = None) -> dict:
             schedule = simulate(instance, m, scheduler_factory(), **sim_kwargs)
             best = min(best, time.perf_counter() - start)
         assert schedule.is_complete
-        out[name] = {
+        out[name + suffix] = {
             "subjobs": int(instance.total_work),
             "best_seconds": round(best, 6),
             "subjobs_per_sec": round(instance.total_work / best, 1),
@@ -330,21 +363,22 @@ def measure(rounds: int = 3, only: list[str] | None = None) -> dict:
             start = time.perf_counter()
             subjobs = run()
             best = min(best, time.perf_counter() - start)
-        out[name] = {
+        out[name + suffix] = {
             "subjobs": int(subjobs),
             "best_seconds": round(best, 6),
             "subjobs_per_sec": round(subjobs / best, 1),
         }
     for name, bench in LINT_BENCHES.items():
-        if not wanted(name):
+        if suffix or not wanted(name):
             continue
         out[name] = bench(rounds)
     return out
 
 
-def save(rounds: int, only: list[str] | None = None) -> int:
-    results = measure(rounds, only)
-    if only is not None:
+def save(rounds: int, only: list[str] | None = None,
+         backend: str | None = None) -> int:
+    results = measure(rounds, only, backend)
+    if only is not None or (backend is not None and backend != "numpy"):
         # Partial re-record: merge into the existing baseline rather than
         # dropping every bench that was not re-timed.
         merged = {}
@@ -386,7 +420,8 @@ def _publish_step_summary(markdown: str) -> None:
         fh.write(markdown + "\n")
 
 
-def compare(rounds: int, only: list[str] | None = None) -> int:
+def compare(rounds: int, only: list[str] | None = None,
+            backend: str | None = None) -> int:
     if not BASELINE_PATH.is_file():
         print(f"no baseline at {BASELINE_PATH}; run without --compare first",
               file=sys.stderr)
@@ -400,7 +435,7 @@ def compare(rounds: int, only: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    results = measure(rounds, only)
+    results = measure(rounds, only, backend)
     status = 0
     rows: list[tuple[str, str, str, str, str]] = []
     for name, row in results.items():
@@ -444,6 +479,14 @@ def main(argv=None) -> int:
         help="comma-separated bench names to run (others are skipped; with "
         "a plain save the rest of the recorded baseline is kept)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("numpy", "numba"),
+        default=None,
+        help="kernel backend to time the engine benches under; a "
+        "non-default backend records/compares `<name>_<backend>` rows "
+        "(and errors out rather than silently timing a fallback)",
+    )
     args = parser.parse_args(argv)
     only = None
     if args.only is not None:
@@ -457,7 +500,9 @@ def main(argv=None) -> int:
             )
             return 2
     try:
-        return compare(args.rounds, only) if args.compare else save(args.rounds, only)
+        if args.compare:
+            return compare(args.rounds, only, args.backend)
+        return save(args.rounds, only, args.backend)
     except Exception as exc:  # the CI guard wants an exit code, not a traceback
         print(f"benchmark harness failed: {type(exc).__name__}: {exc}",
               file=sys.stderr)

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core import DAG, Instance, Job, simulate
+from repro.core.kernels import available_backends
 from repro.schedulers import (
     ArbitraryTieBreak,
     FIFOScheduler,
@@ -19,6 +20,26 @@ from repro.schedulers import (
     WorkStealingScheduler,
 )
 from repro.workloads import layered_tree, quicksort_tree
+
+
+_HAS_NUMBA = "numba" in available_backends()
+
+requires_numba = pytest.mark.skipif(
+    not _HAS_NUMBA, reason="numba not installed in this environment"
+)
+
+
+@pytest.fixture
+def numba_backend(monkeypatch):
+    """Route the engine's kernels through the numba backend for one bench,
+    compiling (or disk-loading) every kernel outside the timed region."""
+    from repro.core import kernels
+
+    monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "numba")
+    kernels._reset_for_testing()
+    kernels.warmup(kernels.get_backend())
+    yield
+    kernels._reset_for_testing()
 
 
 def _chain(n: int) -> DAG:
@@ -97,9 +118,14 @@ def test_mc_on_irregular_trees(benchmark, irregular_stream):
 
 
 def test_srpt_on_irregular_trees(benchmark, irregular_stream):
-    """SRPT cannot use the fast path (its job order is not FIFO), so this
-    tracks the dispatch path's throughput on the same workload."""
-    _throughput(benchmark, irregular_stream, lambda: SRPTScheduler(), 16)
+    """SRPT on the dynamic-job-order fast path: the engine recomputes the
+    (remaining work, job id) walk from its own unfinished counts each
+    step, so ``select()`` is never dispatched (see
+    ``docs/engine-internals.md``, "Dynamic job order")."""
+    schedule = _throughput(
+        benchmark, irregular_stream, lambda: SRPTScheduler(), 16
+    )
+    assert schedule.engine_stats.select_calls == 0
 
 
 def test_worksteal_on_irregular_trees(benchmark, irregular_stream):
@@ -148,6 +174,43 @@ def test_fifo_on_adversarial_combs(benchmark):
     _throughput(
         benchmark, instance, lambda: FIFOScheduler(ArbitraryTieBreak()), 16
     )
+
+
+# ---------------------------------------------------------------------------
+# Backend twins: the same workloads served by the numba kernel backend.
+# Skipped (not failed) without numba; the optional backend-numba CI job
+# runs them and records their baselines as the ``*_numba`` rows in
+# ``BENCH_engine.json`` (``save_baseline.py --backend numba``).
+# ---------------------------------------------------------------------------
+
+
+@requires_numba
+def test_fifo_on_packed_rectangles_numba(benchmark, packed_stream, numba_backend):
+    schedule = _throughput(
+        benchmark, packed_stream, lambda: FIFOScheduler(ArbitraryTieBreak()), 16
+    )
+    assert schedule.engine_stats.backend == "numba"
+
+
+@requires_numba
+def test_srpt_on_irregular_trees_numba(benchmark, irregular_stream, numba_backend):
+    schedule = _throughput(
+        benchmark, irregular_stream, lambda: SRPTScheduler(), 16
+    )
+    assert schedule.engine_stats.backend == "numba"
+
+
+@requires_numba
+def test_fifo_on_adversarial_combs_numba(benchmark, numba_backend):
+    """The dispatch-heavy regime is where the compiled CSR gather's
+    temporary-free loop has the most per-step work to win back."""
+    from repro.workloads import build_fifo_adversary
+
+    instance = build_fifo_adversary(16, n_jobs=24, seed=0).instance
+    schedule = _throughput(
+        benchmark, instance, lambda: FIFOScheduler(ArbitraryTieBreak()), 16
+    )
+    assert schedule.engine_stats.backend == "numba"
 
 
 def test_adversary_cosimulation_build(benchmark):

@@ -4,12 +4,15 @@ Commands
 --------
 ``list``
     Show the experiment registry (id, paper artifact, description).
-``run E3 [--scale smoke|default|full] [--param ms=8,16,32] [--engine-stats]``
+``run E3 [--scale smoke|default|full] [--param ms=8,16,32] [--engine-stats]
+[--backend numpy|numba]``
     Run one experiment and print its regenerated table/figure; exits
     non-zero if any of its claims fail. ``--scale`` picks a parameter
     preset (smoke: seconds; full: the EXPERIMENTS.md headline sweeps);
     ``--param`` overrides individual entries; ``--engine-stats`` appends
-    simulation-engine counters to the notes.
+    simulation-engine counters to the notes. ``--backend`` selects the
+    engine kernel backend (exported as ``REPRO_BACKEND``; also accepted by
+    ``all``, ``chaos``, and ``report``).
 ``all [--jobs N] [--only E1,E3] [--engine-stats] [--task-timeout S]
 [--retries K] [--checkpoint DIR] [--no-resume]``
     Run every experiment (or the ``--only`` subset) at default scale;
@@ -264,9 +267,22 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduction of 'Scheduling Out-Trees Online to "
         "Optimize Maximum Flow' (SPAA 2024)",
     )
+    # Shared by every simulating command: pick the engine kernel backend
+    # (exported as REPRO_BACKEND so pool workers inherit it; unavailable
+    # backends fall back to numpy with a one-time warning).
+    backend_parent = argparse.ArgumentParser(add_help=False)
+    backend_parent.add_argument(
+        "--backend",
+        choices=("numpy", "numba"),
+        default=None,
+        help="engine kernel backend (default: the REPRO_BACKEND env var, "
+        "else numpy); numba falls back to numpy when not installed",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the experiment registry")
-    run_p = sub.add_parser("run", help="run one experiment")
+    run_p = sub.add_parser(
+        "run", help="run one experiment", parents=[backend_parent]
+    )
     run_p.add_argument("experiment_id", help="e.g. E3")
     run_p.add_argument(
         "--param",
@@ -284,7 +300,9 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="append simulation-engine counters to the experiment notes",
     )
-    all_p = sub.add_parser("all", help="run every experiment")
+    all_p = sub.add_parser(
+        "all", help="run every experiment", parents=[backend_parent]
+    )
     all_p.add_argument(
         "--scale", choices=("smoke", "default", "full"), default="default"
     )
@@ -331,7 +349,9 @@ def main(argv: list[str] | None = None) -> int:
         help="ignore existing journal entries in --checkpoint DIR",
     )
     chaos_p = sub.add_parser(
-        "chaos", help="run the randomized fault-injection suite"
+        "chaos",
+        help="run the randomized fault-injection suite",
+        parents=[backend_parent],
     )
     chaos_p.add_argument(
         "--seed",
@@ -349,7 +369,9 @@ def main(argv: list[str] | None = None) -> int:
         help="restrict adversarial availability patterns by name "
         "(e.g. blackout,sawtooth; default: all)",
     )
-    report_p = sub.add_parser("report", help="write a markdown report")
+    report_p = sub.add_parser(
+        "report", help="write a markdown report", parents=[backend_parent]
+    )
     report_p.add_argument("--output", default="report.md")
     report_p.add_argument(
         "--only", default=None, help="comma-separated experiment ids"
@@ -369,6 +391,13 @@ def main(argv: list[str] | None = None) -> int:
 
     add_lint_arguments(lint_p)
     args = parser.parse_args(argv)
+
+    if getattr(args, "backend", None):
+        import os
+
+        from .core.kernels import BACKEND_ENV_VAR
+
+        os.environ[BACKEND_ENV_VAR] = args.backend
 
     if args.command == "list":
         return _cmd_list()

@@ -1,0 +1,243 @@
+"""Pluggable compiled backends for the engine's hot inner kernels.
+
+The simulation engine (:mod:`repro.core.simulator`) spends its time in a
+handful of array kernels: the per-step frontier advance (completion commit
++ CSR child gather), the chain-run Δt scan, the macro-step block fill, the
+sorted-frontier merge, and the batched engine's ragged prefix gather and
+selection-rank permutation. This package extracts those kernels behind a
+small registry so they can be swapped wholesale:
+
+* the ``numpy`` backend (:mod:`.numpy_backend`) is a *pure refactor* of the
+  engine's original array passes — bit-identical by construction, and the
+  reference every other backend is property-tested against;
+* the ``numba`` backend (:mod:`.numba_backend`) compiles loop translations
+  of the same kernels with ``@njit(cache=True)``. It is entirely optional:
+  when numba is not importable, requesting it falls back to ``numpy`` with
+  a one-time :class:`RuntimeWarning`; kernels that have no nopython
+  translation (``batch_select_order`` — a lexsort) silently use the numpy
+  implementation per kernel.
+
+Selection is by the ``REPRO_BACKEND`` environment variable (``numpy`` |
+``numba``; the ``repro`` CLI's ``--backend`` flag sets it), resolved at
+each :func:`get_backend` call so workers spawned with the variable in
+their environment inherit the choice. Backend identity is recorded per run
+in :attr:`~repro.core.simulator.EngineStats.backend` together with
+per-kernel dispatch counts, so ``--engine-stats`` shows exactly which
+backend served a run.
+
+Adding a backend: provide a module exposing one callable per name in
+:data:`KERNEL_NAMES` (signatures documented in :mod:`.numpy_backend`),
+declare ``KERNEL_STYLE`` (``"vectorized"`` or ``"nopython"`` — lint rule
+RPR008 enforces the matching discipline), register it in
+:func:`get_backend`, and extend the parity suite
+(``tests/properties/test_backend_parity.py``) with the new name.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "KERNEL_NAMES",
+    "KernelBackend",
+    "BackendUnavailable",
+    "available_backends",
+    "get_backend",
+    "resolve_backend_name",
+    "warmup",
+]
+
+#: Environment variable naming the active backend (``numpy`` is the default).
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Every kernel a backend must provide (possibly by borrowing the numpy
+#: implementation; :attr:`KernelBackend.supported` records which ones are
+#: native).
+KERNEL_NAMES = (
+    "csr_children",
+    "commit_frontier",
+    "chain_min_dt",
+    "macro_fill",
+    "merge_sorted",
+    "batch_take",
+    "batch_select_order",
+)
+
+
+class BackendUnavailable(RuntimeError):
+    """A requested backend cannot be loaded (missing optional dependency)."""
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One resolved set of engine kernels.
+
+    ``name`` is the backend actually serving calls; ``requested`` is what
+    the caller asked for (they differ only when a request fell back).
+    ``supported`` lists the kernels the backend implements natively — the
+    rest are borrowed from the numpy reference per kernel.
+    """
+
+    name: str
+    requested: str
+    supported: frozenset[str]
+    csr_children: Callable
+    commit_frontier: Callable
+    chain_min_dt: Callable
+    macro_fill: Callable
+    merge_sorted: Callable
+    batch_take: Callable
+    batch_select_order: Callable
+
+
+_CACHE: dict[str, KernelBackend] = {}
+_WARNED: set[str] = set()
+
+
+def _numpy_kernels() -> dict[str, Callable]:
+    from . import numpy_backend
+
+    return {kname: getattr(numpy_backend, kname) for kname in KERNEL_NAMES}
+
+
+def _build_numpy() -> KernelBackend:
+    return KernelBackend(
+        name="numpy",
+        requested="numpy",
+        supported=frozenset(KERNEL_NAMES),
+        **_numpy_kernels(),
+    )
+
+
+def _build_numba() -> KernelBackend:
+    """Load and compile the numba backend.
+
+    Raises :class:`BackendUnavailable` when numba cannot be imported;
+    kernels without a nopython translation are filled in from the numpy
+    reference (per-kernel fallback).
+    """
+    from . import numba_backend
+
+    compiled = numba_backend.load()  # raises BackendUnavailable
+    kernels = _numpy_kernels()
+    kernels.update(compiled)
+    return KernelBackend(
+        name="numba",
+        requested="numba",
+        supported=frozenset(compiled),
+        **kernels,
+    )
+
+
+def resolve_backend_name() -> str:
+    """The backend name currently requested via ``REPRO_BACKEND``."""
+    return os.environ.get(BACKEND_ENV_VAR, "").strip().lower() or "numpy"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends loadable in this environment (``numpy`` always is)."""
+    names = ["numpy"]
+    try:
+        from . import numba_backend
+
+        numba_backend.load()
+    except BackendUnavailable:  # repro-lint: disable=RPR005 (availability probe: absence of the optional dependency is the answer, not a failure)
+        pass
+    else:
+        names.append("numba")
+    return tuple(names)
+
+
+def get_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve a kernel backend by name (default: ``REPRO_BACKEND``).
+
+    Unknown names raise :class:`~repro.core.exceptions.ConfigurationError`
+    — an explicit misconfiguration should be loud. A known-but-unavailable
+    backend (``numba`` without numba installed) degrades gracefully: the
+    numpy reference is returned and a single :class:`RuntimeWarning` is
+    emitted per process.
+    """
+    requested = name if name is not None else resolve_backend_name()
+    cached = _CACHE.get(requested)
+    if cached is not None:
+        return cached
+    if requested == "numpy":
+        backend = _build_numpy()
+    elif requested == "numba":
+        try:
+            backend = _build_numba()
+        except BackendUnavailable as exc:
+            if requested not in _WARNED:
+                _WARNED.add(requested)
+                warnings.warn(
+                    f"{BACKEND_ENV_VAR}={requested} requested but "
+                    f"unavailable ({exc}); falling back to the numpy "
+                    "backend",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            numpy_backend = get_backend("numpy")
+            backend = KernelBackend(
+                name="numpy",
+                requested=requested,
+                supported=numpy_backend.supported,
+                **{
+                    kname: getattr(numpy_backend, kname)
+                    for kname in KERNEL_NAMES
+                },
+            )
+    else:
+        raise ConfigurationError(
+            f"unknown kernel backend {requested!r} "
+            f"(set {BACKEND_ENV_VAR} to one of: numpy, numba)"
+        )
+    _CACHE[requested] = backend
+    return backend
+
+
+def warmup(backend: KernelBackend) -> None:
+    """Exercise every kernel once on tiny inputs.
+
+    For the numba backend this triggers (or loads from the on-disk
+    ``cache=True`` store) every JIT compilation up front, so the first
+    real simulation does not pay compile latency mid-run.
+    """
+    import numpy as np
+
+    indptr = np.array([0, 1, 1], dtype=np.int64)
+    indices = np.array([1], dtype=np.int64)
+    nodes = np.array([0], dtype=np.int64)
+    completion = np.zeros(2, dtype=np.int64)
+    backend.csr_children(indptr, indices, nodes)
+    backend.commit_frontier(indptr, indices, completion, nodes, 1)
+    steps_to_end = np.array([2, 1], dtype=np.int64)
+    backend.chain_min_dt(steps_to_end, nodes, 5)
+    run_nodes = np.array([0, 1], dtype=np.int64)
+    node_index = np.array([0, 1], dtype=np.int64)
+    backend.macro_fill(
+        run_nodes, node_index, steps_to_end, np.zeros(2, dtype=np.int64),
+        nodes, 0, 1,
+    )
+    backend.merge_sorted(
+        np.array([1, 3], dtype=np.int64), np.array([2], dtype=np.int64)
+    )
+    backend.batch_take(
+        np.array([0, 1], dtype=np.int64),
+        np.array([0, 2], dtype=np.int64),
+        np.array([1], dtype=np.int64),
+        1,
+    )
+    backend.batch_select_order(
+        np.zeros(2, dtype=np.int64), np.array([0, 1], dtype=np.int64)
+    )
+
+
+def _reset_for_testing() -> None:
+    """Drop cached backends and warning state (test isolation hook)."""
+    _CACHE.clear()
+    _WARNED.clear()

@@ -1,0 +1,193 @@
+"""Optional ``@njit(cache=True)`` translations of the engine kernels.
+
+Loop translations of the :mod:`.numpy_backend` reference: same inputs,
+same outputs, bit-for-bit (pinned by the four-way backend parity suite).
+The win over the reference is avoiding NumPy's per-call temporaries — the
+multi-range CSR gather alone materializes six intermediate arrays per
+step, where the compiled loop writes the output directly.
+
+numba is an *optional* dependency: importing this module is always safe,
+and :func:`load` raises :class:`~repro.core.kernels.BackendUnavailable`
+when numba is missing (the registry then falls back to numpy with a
+one-time warning). Compilation is lazy — first :func:`load` call per
+process — and ``cache=True`` persists the compiled machine code next to
+this file, so subsequent processes (pool workers included) pay a disk
+load, not a recompile.
+
+Kernel bodies are the ``k_``-prefixed module functions below; lint rule
+RPR008 holds them to the nopython discipline (``KERNEL_STYLE``): no
+object-dtype arrays, no Python container types numba cannot compile.
+
+``batch_select_order`` (a lexsort) has no nopython translation and is
+deliberately absent: the registry fills it from the numpy reference
+(per-kernel fallback — see the fallback matrix in
+``docs/engine-internals.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["KERNEL_STYLE", "load"]
+
+#: Kernels in this module are nopython loop bodies; RPR008 flags
+#: constructs numba's nopython mode rejects (object dtype, dict/set, ...).
+KERNEL_STYLE = "nopython"
+
+#: Compiled kernels, built once per process by :func:`load`.
+_COMPILED: dict[str, Callable] = {}
+
+
+def k_csr_children(indptr, indices, nodes):  # pragma: no cover - jitted
+    total = 0
+    for i in range(nodes.shape[0]):
+        u = nodes[i]
+        total += indptr[u + 1] - indptr[u]
+    out = np.empty(total, np.int64)
+    pos = 0
+    for i in range(nodes.shape[0]):
+        u = nodes[i]
+        for e in range(indptr[u], indptr[u + 1]):
+            out[pos] = indices[e]
+            pos += 1
+    return out
+
+
+def k_commit_frontier(
+    indptr, indices, completion, gids, finish
+):  # pragma: no cover - jitted
+    total = 0
+    for i in range(gids.shape[0]):
+        u = gids[i]
+        completion[u] = finish
+        total += indptr[u + 1] - indptr[u]
+    out = np.empty(total, np.int64)
+    pos = 0
+    for i in range(gids.shape[0]):
+        u = gids[i]
+        for e in range(indptr[u], indptr[u + 1]):
+            out[pos] = indices[e]
+            pos += 1
+    return out
+
+
+def k_chain_min_dt(steps_to_end, gids, bound):  # pragma: no cover - jitted
+    best = bound
+    for i in range(gids.shape[0]):
+        r = steps_to_end[gids[i]]
+        if r < best:
+            best = r
+            if best <= 1:
+                # Chain-run remainders are >= 1, so 1 is the global floor.
+                break
+    return best
+
+
+def k_macro_fill(
+    run_nodes, node_index, steps_to_end, completion, gids, t, dt
+):  # pragma: no cover - jitted
+    c = gids.shape[0]
+    n_cont = 0
+    for i in range(c):
+        if steps_to_end[gids[i]] > dt:
+            n_cont += 1
+    nxt = np.empty(n_cont, np.int64)
+    term = np.empty(c - n_cont, np.int64)
+    a = 0
+    b = 0
+    base = t + 1
+    for i in range(c):
+        g = gids[i]
+        s = node_index[g]
+        for d in range(dt):
+            completion[run_nodes[s + d]] = base + d
+        if steps_to_end[g] > dt:
+            nxt[a] = run_nodes[s + dt]
+            a += 1
+        else:
+            term[b] = run_nodes[s + dt - 1]
+            b += 1
+    return nxt, term
+
+
+def k_merge_sorted(a, b):  # pragma: no cover - jitted
+    na = a.shape[0]
+    nb = b.shape[0]
+    if nb == 0:
+        return a
+    if na == 0:
+        return b
+    out = np.empty(na + nb, np.int64)
+    i = 0
+    j = 0
+    pos = 0
+    while i < na and j < nb:
+        if a[i] <= b[j]:
+            out[pos] = a[i]
+            i += 1
+        else:
+            out[pos] = b[j]
+            j += 1
+        pos += 1
+    while i < na:
+        out[pos] = a[i]
+        i += 1
+        pos += 1
+    while j < nb:
+        out[pos] = b[j]
+        j += 1
+        pos += 1
+    return out
+
+
+def k_batch_take(fkeys, seg, k, total_k):  # pragma: no cover - jitted
+    taken = np.empty(total_k, np.int64)
+    remaining = np.empty(fkeys.shape[0] - total_k, np.int64)
+    ti = 0
+    ri = 0
+    for b in range(k.shape[0]):
+        lo = seg[b]
+        hi = seg[b + 1]
+        kk = k[b]
+        for i in range(lo, lo + kk):
+            taken[ti] = fkeys[i]
+            ti += 1
+        for i in range(lo + kk, hi):
+            remaining[ri] = fkeys[i]
+            ri += 1
+    return taken, remaining
+
+
+#: Kernel name -> python loop body to compile. ``batch_select_order`` is
+#: intentionally missing (numpy fallback).
+_KERNEL_BODIES: dict[str, Callable] = {
+    "csr_children": k_csr_children,
+    "commit_frontier": k_commit_frontier,
+    "chain_min_dt": k_chain_min_dt,
+    "macro_fill": k_macro_fill,
+    "merge_sorted": k_merge_sorted,
+    "batch_take": k_batch_take,
+}
+
+
+def load() -> dict[str, Callable]:
+    """Compile (or fetch the cached) nopython kernels.
+
+    Raises
+    ------
+    BackendUnavailable
+        When numba cannot be imported in this environment.
+    """
+    if _COMPILED:
+        return dict(_COMPILED)
+    from . import BackendUnavailable
+
+    try:
+        from numba import njit
+    except ImportError as exc:
+        raise BackendUnavailable(f"numba is not installed: {exc}") from exc
+    for kname, body in _KERNEL_BODIES.items():
+        _COMPILED[kname] = njit(cache=True)(body)
+    return dict(_COMPILED)

@@ -57,7 +57,7 @@ import abc
 import time
 from dataclasses import dataclass, field, replace
 from functools import cached_property
-from typing import Optional, Protocol, Sequence, Union
+from typing import Iterable, Optional, Protocol, Sequence, Union
 
 import numpy as np
 
@@ -65,8 +65,9 @@ from .availability import AvailabilityLike, AvailabilityTrace, as_trace
 from .exceptions import ConfigurationError, SchedulerProtocolError, SimulationError
 from .instance import Instance, InstanceBatch, pack_instances
 from .job import Job
+from .kernels import get_backend
 from .schedule import Schedule
-from .util import Array, csr_gather
+from .util import Array
 
 __all__ = [
     "Scheduler",
@@ -152,6 +153,24 @@ class Scheduler(abc.ABC):
     #: declarations that contradict per-instance-only hooks.
     batch_capable: bool = False
 
+    #: Opt-in to a *dynamic job walk order* on the fast path. False (the
+    #: default) keeps the FIFO walk: released unfinished jobs in ascending
+    #: job-id order. Setting True declares that the scheduler's ``select``
+    #: walks jobs in exactly the order :meth:`fast_path_job_order` returns
+    #: — which the engine recomputes every step from its authoritative
+    #: unfinished counts — taking whole ready frontiers until capacity
+    #: runs out, like the FIFO contract in every other respect. This is
+    #: what lets non-FIFO job orders that are pure functions of engine
+    #: state (e.g. SRPT's remaining-work order) use the forced-frontier
+    #: fast path, priority commits, and chain-run macro-stepping.
+    #: Macro-safety note: a macro window only commits whole frontiers, and
+    #: committed jobs' unfinished counts only decrease while excluded
+    #: jobs' stay constant — so for any walk order that is monotone in
+    #: (unfinished, job id) the committed prefix cannot be overtaken
+    #: mid-window. Orders that are not monotone in the engine-tracked
+    #: counts must leave :attr:`macro_step_safe` False.
+    dynamic_job_order: bool = False
+
     #: Opt-in to flat ready delivery: when True (and no observer is
     #: attached) the engine calls :meth:`on_ready_gids` with ascending
     #: *global* node ids instead of grouping newly-ready nodes per job for
@@ -165,6 +184,20 @@ class Scheduler(abc.ABC):
         """``gids`` (ascending global node ids spanning any number of jobs)
         became ready at time ``t``. Only called when
         :attr:`wants_ready_gids` is True."""
+
+    def fast_path_job_order(
+        self, jobs: list[int], unfinished: Array
+    ) -> list[int]:
+        """Walk order over ``jobs`` for one fast-path commit scan.
+
+        Only consulted when :attr:`dynamic_job_order` is True. ``jobs``
+        are the released jobs with ready work this step (ascending ids);
+        ``unfinished`` is the engine's authoritative per-job count of
+        uncompleted subjobs. Must return a permutation of ``jobs`` in
+        exactly the order the scheduler's own :meth:`select` would serve
+        them — the engine commits whole frontiers along it.
+        """
+        return jobs
 
     def frontier_priorities(self, instance: Instance) -> Optional[Array]:
         """Flat per-global-node int64 priorities for the engine's
@@ -309,6 +342,14 @@ class EngineStats:
         Histogram of active-instance counts over batched commits, bucketed
         by power of two (key ``b`` counts commits with ``2**b <= active <
         2**(b+1)``) so the dict stays small whatever the batch size.
+    backend:
+        The kernel backend that served this run (``numpy`` | ``numba``,
+        see :mod:`repro.core.kernels`); ``"mixed"`` after accumulating
+        runs served by different backends, ``""`` for an untouched
+        accumulator.
+    kernel_dispatches:
+        Per-kernel dispatch counts (kernel name -> calls) for the
+        extracted hot kernels, merged key-wise on accumulation.
     """
 
     steps: int = 0
@@ -323,6 +364,8 @@ class EngineStats:
     batch_steps: int = 0
     fallback_runs: int = 0
     batch_size_histogram: dict[int, int] = field(default_factory=dict)
+    backend: str = ""
+    kernel_dispatches: dict[str, int] = field(default_factory=dict)
 
     @property
     def ns_per_subjob(self) -> float:
@@ -356,6 +399,20 @@ class EngineStats:
             self.batch_size_histogram[bucket] = (
                 self.batch_size_histogram.get(bucket, 0) + count
             )
+        # Backend/dispatch fields arrived after the first snapshot format;
+        # read them defensively so folds of old pickled/checkpointed
+        # snapshots (which lack the attributes) keep working.
+        other_backend = getattr(other, "backend", "")
+        if other_backend:
+            self.backend = (
+                other_backend
+                if not self.backend or self.backend == other_backend
+                else "mixed"
+            )
+        for kname, count in getattr(other, "kernel_dispatches", {}).items():
+            self.kernel_dispatches[kname] = (
+                self.kernel_dispatches.get(kname, 0) + count
+            )
 
     def delta(self, earlier: "EngineStats") -> "EngineStats":
         """Counter difference ``self - earlier`` (for snapshot windows)."""
@@ -363,6 +420,12 @@ class EngineStats:
             bucket: count - earlier.batch_size_histogram.get(bucket, 0)
             for bucket, count in self.batch_size_histogram.items()
             if count != earlier.batch_size_histogram.get(bucket, 0)
+        }
+        earlier_kd = getattr(earlier, "kernel_dispatches", {})
+        kd = {
+            kname: count - earlier_kd.get(kname, 0)
+            for kname, count in self.kernel_dispatches.items()
+            if count != earlier_kd.get(kname, 0)
         }
         return EngineStats(
             steps=self.steps - earlier.steps,
@@ -378,6 +441,8 @@ class EngineStats:
             batch_steps=self.batch_steps - earlier.batch_steps,
             fallback_runs=self.fallback_runs - earlier.fallback_runs,
             batch_size_histogram=hist,
+            backend=self.backend,
+            kernel_dispatches=kd,
         )
 
     def record_batch_step(self, n_active: int) -> None:
@@ -410,6 +475,14 @@ class EngineStats:
             )
             if sizes:
                 text += f" batch_sizes[{sizes}]"
+        if self.backend:
+            text += f" backend={self.backend}"
+        if self.kernel_dispatches:
+            dispatches = " ".join(
+                f"{kname}:{self.kernel_dispatches[kname]}"
+                for kname in sorted(self.kernel_dispatches)
+            )
+            text += f" kernels[{dispatches}]"
         return text
 
 
@@ -431,6 +504,7 @@ def engine_stats_snapshot() -> EngineStats:
     return replace(
         _GLOBAL_STATS,
         batch_size_histogram=dict(_GLOBAL_STATS.batch_size_histogram),
+        kernel_dispatches=dict(_GLOBAL_STATS.kernel_dispatches),
     )
 
 
@@ -673,6 +747,17 @@ def simulate(
     next_arrival_idx = 0
     n_jobs = len(instance)
 
+    # Kernel backend (REPRO_BACKEND, see repro.core.kernels): the hot inner
+    # kernels below dispatch through it. Dispatch counts are kept in plain
+    # local ints and folded into stats once at the end of the run.
+    backend = get_backend()
+    stats.backend = backend.name
+    k_commit = backend.commit_frontier
+    k_children = backend.csr_children
+    k_min_dt = backend.chain_min_dt
+    k_macro = backend.macro_fill
+    n_commit = n_children = n_min_dt = n_macro = 0
+
     # Hot-loop locals (profiled: attribute chasing dominated the per-step
     # cost — see the HPC guides' "measure, then optimize").
     flat = instance.flat_graph
@@ -707,6 +792,15 @@ def simulate(
         observer is None
         and fault_injector is None
         and scheduler.supports_fast_forward
+    )
+    # Dynamic job walk order (see Scheduler.dynamic_job_order): schedulers
+    # whose job order is a pure function of the engine's own unfinished
+    # counts (e.g. SRPT) hand the fast path their walk order each step —
+    # the FIFO ascending-id walk otherwise.
+    dyn_order = (
+        scheduler.fast_path_job_order
+        if fast_ok and scheduler.dynamic_job_order
+        else None
     )
     # Flat priority kernel (see Scheduler.frontier_priorities): with one the
     # fast path also covers truncated-mid-job steps, committing the cap-best
@@ -848,7 +942,14 @@ def simulate(
             commit_jobs: list[int] = []
             forced = True
             trunc_job = -1
-            for j in range(head, next_arrival_idx):
+            walk: Iterable[int]
+            if dyn_order is None:
+                walk = range(head, next_arrival_idx)
+            else:
+                live = np.nonzero(ready_per_job[head:next_arrival_idx])[0]
+                live += head
+                walk = dyn_order(live.tolist(), unfinished)
+            for j in walk:
                 if cap == 0:
                     break
                 c = int(ready_per_job[j])
@@ -903,11 +1004,10 @@ def simulate(
                             assert fr is not None
                             g = fr if prio_enc is None else fr % n_total
                             macro_gids.append(g)
-                            r = int(steps_to_end[g].min())
-                            if r < dt:
-                                dt = r
-                                if dt == 1:
-                                    break
+                            dt = int(k_min_dt(steps_to_end, g, dt))
+                            n_min_dt += 1
+                            if dt == 1:
+                                break
                     if dt > 1 and avail_vals is not None and t < avail_len:
                         # Inside the explicit trace prefix m_t may vary;
                         # past it the tail is constant and equals cap_t
@@ -924,23 +1024,22 @@ def simulate(
                     if dt > 1:
                         assert run_nodes is not None and node_index is not None
                         assert steps_to_end is not None
-                        span_idx = np.arange(dt, dtype=_INT)
-                        times = t + 1 + span_idx
                         k = 0
                         for j, gids in zip(commit_jobs, macro_gids):
-                            starts = node_index[gids]
-                            # (c, Δt) block of chain nodes: column i holds
-                            # the nodes forced at step t + i; the times row
-                            # broadcasts across the c committed slots.
-                            nodes = run_nodes[starts[:, None] + span_idx]
-                            completion_flat[nodes] = times
-                            rem = steps_to_end[gids]
-                            cont = rem > dt
-                            nxt = run_nodes[starts[cont] + dt]
-                            term = run_nodes[starts[~cont] + (dt - 1)]
-                            kids, _ = csr_gather(
+                            nxt, term = k_macro(
+                                run_nodes,
+                                node_index,
+                                steps_to_end,
+                                completion_flat,
+                                gids,
+                                t,
+                                dt,
+                            )
+                            kids = k_children(
                                 child_indptr, child_indices, term
                             )
+                            n_macro += 1
+                            n_children += 1
                             # (Forest: every child's sole parent — a run
                             # terminal committed in the last column — is
                             # done, so all gathered children are ready.)
@@ -974,15 +1073,22 @@ def simulate(
                     fr = frontiers[j]
                     assert fr is not None  # commit_jobs have live frontiers
                     gids = fr if prio_enc is None else fr % n_total
-                    completion_flat[gids] = finish
                     if fr_contig[j]:
                         # Contiguous CSR rows: concatenated children are one
                         # slice (the common layered shape).
+                        completion_flat[gids] = finish
                         kids = child_indices[
                             child_indptr[gids[0]] : child_indptr[gids[-1] + 1]
                         ]
                     else:
-                        kids, _ = csr_gather(child_indptr, child_indices, gids)
+                        kids = k_commit(
+                            child_indptr,
+                            child_indices,
+                            completion_flat,
+                            gids,
+                            finish,
+                        )
+                        n_commit += 1
                     if not is_forest:
                         np.subtract.at(indeg, kids, 1)
                         kids = np.unique(kids[indeg[kids] == 0])
@@ -1022,8 +1128,10 @@ def simulate(
                     gids = (
                         taken_enc if prio_enc is None else taken_enc % n_total
                     )
-                    completion_flat[gids] = finish
-                    kids, _ = csr_gather(child_indptr, child_indices, gids)
+                    kids = k_commit(
+                        child_indptr, child_indices, completion_flat, gids, finish
+                    )
+                    n_commit += 1
                     if not is_forest:
                         np.subtract.at(indeg, kids, 1)
                         kids = np.unique(kids[indeg[kids] == 0])
@@ -1265,7 +1373,8 @@ def simulate(
             ready_total -= k
             if indeg_list is not None:
                 indeg_list = None
-            kids, _ = csr_gather(child_indptr, child_indices, gids)
+            kids = k_children(child_indptr, child_indices, gids)
+            n_children += 1
             if kids.size:
                 if track_indeg:
                     np.subtract.at(indeg, kids, 1)
@@ -1339,6 +1448,14 @@ def simulate(
                 scheduler.on_nodes_ready(t, job_id, arr)
 
     schedule = Schedule.from_flat(instance, m, completion_flat)
+    for kname, count in (
+        ("commit_frontier", n_commit),
+        ("csr_children", n_children),
+        ("chain_min_dt", n_min_dt),
+        ("macro_fill", n_macro),
+    ):
+        if count:
+            stats.kernel_dispatches[kname] = count
     stats.sim_seconds = time.perf_counter() - t_wall
     _GLOBAL_STATS.add(stats)
     object.__setattr__(schedule, "engine_stats", stats)
@@ -1362,21 +1479,6 @@ _MACRO_BLOCK_BUDGET = 1 << 22
 BatchAvailability = Union[
     AvailabilityLike, Sequence[Optional[AvailabilityLike]], None
 ]
-
-
-def _merge_sorted(a: Array, b: Array) -> Array:
-    """Merge two sorted int64 arrays with disjoint values in O(len)."""
-    if b.size == 0:
-        return a
-    if a.size == 0:
-        return b
-    slots = np.searchsorted(a, b) + np.arange(b.size, dtype=_INT)
-    out = np.empty(a.size + b.size, dtype=a.dtype)
-    out[slots] = b
-    keep = np.ones(out.size, dtype=bool)
-    keep[slots] = False
-    out[keep] = a
-    return out
 
 
 def _normalize_batch_availability(
@@ -1448,12 +1550,27 @@ def _simulate_batch_packed(
     n_inst = batch.n_instances
     is_forest = batch.all_out_forests
 
+    # Kernel backend (REPRO_BACKEND): the lockstep engine's hot kernels
+    # dispatch through it, with local dispatch counters folded into stats
+    # once at the end (same discipline as simulate()).
+    backend = get_backend()
+    stats.backend = backend.name
+    k_commit = backend.commit_frontier
+    k_children = backend.csr_children
+    k_min_dt = backend.chain_min_dt
+    k_macro = backend.macro_fill
+    k_merge = backend.merge_sorted
+    k_take = backend.batch_take
+    n_commit = n_children = n_min_dt = n_macro = 0
+    n_merge = n_take = 0
+
     # Batch-global selection order: instance-major because batch-global
     # job ids are; within a job, (priority, id) — exactly the per-instance
-    # encoded-frontier order. lexsort is stable, so ties keep ascending id.
-    order = np.lexsort((prio_full, batch.job_of_node)).astype(_INT)
-    sel_rank = np.empty(n_total, dtype=_INT)
-    sel_rank[order] = np.arange(n_total, dtype=_INT)
+    # encoded-frontier order (see numpy_backend.batch_select_order).
+    order, sel_rank = backend.batch_select_order(prio_full, batch.job_of_node)
+    stats.kernel_dispatches["batch_select_order"] = (
+        stats.kernel_dispatches.get("batch_select_order", 0) + 1
+    )
     # Instance b's nodes occupy the contiguous rank range
     # [node_off[b], node_off[b+1]) — segment boundaries into the sorted
     # frontier come from one searchsorted against node_off.
@@ -1501,7 +1618,8 @@ def _simulate_batch_packed(
             )
         if p < n_roots and arr_rel[p] == t:
             q = int(np.searchsorted(arr_rel, t, side="right"))
-            fkeys = _merge_sorted(fkeys, arr_keys[p:q])
+            fkeys = k_merge(fkeys, arr_keys[p:q])
+            n_merge += 1
             p = q
         if fkeys.size == 0:
             # The whole batch is idle: jump to the next arrival anywhere.
@@ -1538,16 +1656,8 @@ def _simulate_batch_packed(
 
         # Ragged prefix gather: instance b takes the first k[b] entries of
         # its frontier segment (= its forced/kernel selection this step).
-        csum = np.cumsum(k)
-        idx = (
-            np.repeat(seg[:-1], k)
-            + np.arange(total_k, dtype=_INT)
-            - np.repeat(csum - k, k)
-        )
-        taken = fkeys[idx]
-        keep = np.ones(fkeys.size, dtype=bool)
-        keep[idx] = False
-        remaining = fkeys[keep]
+        taken, remaining = k_take(fkeys, seg, k, total_k)
+        n_take += 1
         gids = order[taken]
         truncated_any = bool(np.any((k < counts) & (k > 0)))
 
@@ -1564,7 +1674,8 @@ def _simulate_batch_packed(
                 dt = total_left  # chain remainders tighten below
             if dt > 1:
                 assert batch.steps_to_end is not None
-                dt = min(dt, int(batch.steps_to_end[gids].min()))
+                dt = int(k_min_dt(batch.steps_to_end, gids, dt))
+                n_min_dt += 1
             if dt > 1:
                 dt = min(dt, max(1, _MACRO_BLOCK_BUDGET // total_k))
             if dt > 1 and traces is not None:
@@ -1593,19 +1704,23 @@ def _simulate_batch_packed(
             assert batch.run_nodes is not None
             assert batch.node_index is not None
             assert batch.steps_to_end is not None
-            starts = batch.node_index[gids]
-            span_idx = np.arange(dt, dtype=_INT)
             # (total_k, Δt) chain block: column i holds the nodes every
             # committing instance is forced to run at step t + i.
-            nodes = batch.run_nodes[starts[:, None] + span_idx]
-            completion_flat[nodes] = t + 1 + span_idx
-            rem = batch.steps_to_end[gids]
-            cont = rem > dt
-            nxt = batch.run_nodes[starts[cont] + dt]
-            term = batch.run_nodes[starts[~cont] + (dt - 1)]
-            kids, _ = csr_gather(child_indptr, child_indices, term)
+            nxt, term = k_macro(
+                batch.run_nodes,
+                batch.node_index,
+                batch.steps_to_end,
+                completion_flat,
+                gids,
+                t,
+                dt,
+            )
+            kids = k_children(child_indptr, child_indices, term)
+            n_macro += 1
+            n_children += 1
             new_keys = np.sort(sel_rank[np.concatenate((nxt, kids))])
-            fkeys = _merge_sorted(remaining, new_keys)
+            fkeys = k_merge(remaining, new_keys)
+            n_merge += 1
             left -= k * dt
             total_left -= total_k * dt
             stats.steps += dt
@@ -1617,8 +1732,8 @@ def _simulate_batch_packed(
             t += dt
             continue
 
-        completion_flat[gids] = t + 1
-        kids, _ = csr_gather(child_indptr, child_indices, gids)
+        kids = k_commit(child_indptr, child_indices, completion_flat, gids, t + 1)
+        n_commit += 1
         if is_forest:
             newly = kids  # sole parent just completed: all ready
         else:
@@ -1628,7 +1743,8 @@ def _simulate_batch_packed(
             if newly.size:
                 newly = np.unique(newly)
         new_keys = np.sort(sel_rank[newly])
-        fkeys = _merge_sorted(remaining, new_keys)
+        fkeys = k_merge(remaining, new_keys)
+        n_merge += 1
         left -= k
         total_left -= total_k
         stats.steps += 1
@@ -1639,6 +1755,17 @@ def _simulate_batch_packed(
         stats.record_batch_step(n_active)
         t += 1
 
+    kd = stats.kernel_dispatches
+    for kname, count in (
+        ("commit_frontier", n_commit),
+        ("csr_children", n_children),
+        ("chain_min_dt", n_min_dt),
+        ("macro_fill", n_macro),
+        ("merge_sorted", n_merge),
+        ("batch_take", n_take),
+    ):
+        if count:
+            kd[kname] = kd.get(kname, 0) + count
     return completion_flat
 
 

@@ -23,10 +23,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.invariants import check_mc_busy, head_tail_shape
-from ..schedulers.lpf import lpf_schedule
+from ..core.instance import Instance
+from ..core.job import Job
+from ..schedulers.lpf import LPFScheduler
 from ..workloads.random_trees import galton_watson_tree, random_attachment_tree
 from ..workloads.recursive import quicksort_tree
-from .runner import ExperimentResult
+from .runner import ExperimentResult, run_trials
 
 __all__ = ["run"]
 
@@ -66,9 +68,14 @@ def run(
         pattern_pass: dict[str, int] = {}
         pattern_strict: dict[str, int] = {}
         pattern_cases: dict[str, int] = {}
-        for _ in range(trials):
-            dag = gen(n_nodes, rng)
-            sched = lpf_schedule(dag, width)
+        # All LPF replays of one generator share (m, scheduler config), so
+        # they run as one homogeneous batched sweep through run_trials
+        # instead of one engine dispatch per trial.
+        dags = [gen(n_nodes, rng) for _ in range(trials)]
+        sweeps = run_trials(
+            [Instance([Job(dag, 0)]) for dag in dags], width, LPFScheduler
+        )
+        for dag, sched in zip(dags, sweeps):
             shape = head_tail_shape(sched, width)
             steps = [nodes for _, nodes in sched.job_steps(0)]
             # The MC contract: input has no idle step except possibly the

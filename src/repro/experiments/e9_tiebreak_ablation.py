@@ -12,7 +12,7 @@ policy) rather than job ordering is FIFO's fatal flaw.
 
 from __future__ import annotations
 
-from ..analysis.competitive import OptReference, run_case
+from ..analysis.competitive import OptReference
 from ..schedulers.base import (
     ArbitraryTieBreak,
     DepthTieBreak,
@@ -23,7 +23,7 @@ from ..schedulers.base import (
 )
 from ..schedulers.fifo import FIFOScheduler
 from ..workloads.adversarial import build_fifo_adversary
-from .runner import ExperimentResult
+from .runner import ExperimentResult, run_trials
 
 __all__ = ["run"]
 
@@ -51,15 +51,22 @@ def run(
         adv = build_fifo_adversary(m, n_jobs=jobs_per_m * m)
         ref = OptReference.witness(adv.opt_witness)
         for name, make in policies:
-            case = run_case(adv.instance, m, FIFOScheduler(make()), ref)
-            per_policy[name].append(case.ratio)
+            # One frozen instance per (m, policy): routed through
+            # run_trials so eligible tie-breaks replay on the batched
+            # engine (random tie-breaks fall back per instance inside it).
+            schedule = run_trials(
+                [adv.instance], m, lambda mk=make: FIFOScheduler(mk())
+            )[0]
+            schedule.validate()
+            ratio = schedule.max_flow / ref.value
+            per_policy[name].append(ratio)
             result.rows.append(
                 {
                     "m": m,
                     "tie_break": name,
-                    "clairvoyant": case.clairvoyant,
-                    "flow": case.max_flow,
-                    "ratio": case.ratio,
+                    "clairvoyant": FIFOScheduler(make()).clairvoyant,
+                    "flow": schedule.max_flow,
+                    "ratio": ratio,
                 }
             )
     result.add_claim(

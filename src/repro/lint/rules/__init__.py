@@ -8,6 +8,7 @@ from . import (
     determinism,
     engine_safety,
     failure_paths,
+    kernel_discipline,
     picklability,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "determinism",
     "engine_safety",
     "failure_paths",
+    "kernel_discipline",
     "picklability",
 ]

@@ -1,0 +1,241 @@
+"""Kernel-backend discipline: RPR008 (honor the declared ``KERNEL_STYLE``).
+
+The kernel backends under ``repro/core/kernels/`` each declare a
+module-level ``KERNEL_STYLE`` constant naming the implementation
+discipline the whole module is held to:
+
+``"vectorized"``
+    Whole-array NumPy passes (the reference backend). A Python-level
+    loop or comprehension here silently de-vectorizes the hot path — the
+    code still produces the right answer, so nothing but a profiler (or
+    this rule) would ever notice the 100x slowdown.
+
+``"nopython"``
+    Loop bodies destined for ``numba.njit`` compilation. Object-dtype
+    arrays and Python container types (dict/set) are rejected by numba's
+    nopython mode — but only at *compile* time, which for this optional
+    backend means only in environments that have numba installed. This
+    rule catches them in every environment, statically.
+
+Both styles ban object-dtype arrays: an ``object`` ndarray boxes every
+element, defeating vectorized and compiled execution alike.
+
+The rule triggers on the declaration, not the directory: any module that
+assigns ``KERNEL_STYLE = "vectorized"`` or ``"nopython"`` is checked, and
+modules without the constant (the registry itself, everything else in the
+repo) are exempt. In the nopython style only the ``k_``-prefixed kernel
+bodies are checked — module-level tables like the kernel-name dict are
+plain Python and never compiled.
+
+Escape hatch: a measured exception (say, a short Python loop over a
+handful of segments that beats the vectorized form) carries a reasoned
+suppression: ``# repro-lint: disable=RPR008 (measured faster)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..model import Violation
+from ..registry import Rule, register_rule
+from .common import iter_functions
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import FileContext
+
+__all__ = ["KernelStyleRule"]
+
+_STYLES = ("vectorized", "nopython")
+
+#: numpy constructors whose dtype parameter is positional; value = the
+#: 0-based position the dtype lands in when passed positionally.
+_DTYPE_POSITIONS = {
+    "empty": 1,
+    "zeros": 1,
+    "ones": 1,
+    "array": 1,
+    "asarray": 1,
+    "arange": 1,  # only the 1-arg form; false negatives are acceptable
+    "full": 2,
+}
+
+
+def _module_kernel_style(tree: ast.Module) -> str | None:
+    """The module's ``KERNEL_STYLE`` constant, or None when undeclared."""
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "KERNEL_STYLE"
+                and isinstance(value, ast.Constant)
+                and value.value in _STYLES
+            ):
+                return value.value
+    return None
+
+
+def _is_object_dtype(ctx: "FileContext", expr: ast.expr) -> bool:
+    """Does this expression denote the numpy object dtype?"""
+    if isinstance(expr, ast.Constant) and expr.value in ("object", "O"):
+        return True
+    if isinstance(expr, ast.Name) and expr.id == "object":
+        return True
+    dotted = ctx.dotted_name(expr)
+    return dotted in ("numpy.object_", "numpy.dtypes.ObjectDType")
+
+
+def _object_dtype_args(ctx: "FileContext", call: ast.Call) -> Iterator[ast.expr]:
+    """Arguments of ``call`` that pass an object dtype (keyword or
+    positional in a known numpy-constructor slot)."""
+    for kw in call.keywords:
+        if kw.arg == "dtype" and _is_object_dtype(ctx, kw.value):
+            yield kw.value
+    dotted = ctx.dotted_name(call.func)
+    if dotted is not None and dotted.startswith("numpy."):
+        pos = _DTYPE_POSITIONS.get(dotted.split(".", 1)[1])
+        if pos is not None and len(call.args) > pos:
+            if _is_object_dtype(ctx, call.args[pos]):
+                yield call.args[pos]
+
+
+@register_rule
+class KernelStyleRule(Rule):
+    rule_id = "RPR008"
+    title = "kernel backends must honor their declared KERNEL_STYLE"
+    rationale = (
+        "kernel-backend modules declare `KERNEL_STYLE`: `\"vectorized\"` "
+        "modules are whole-array passes, where a Python-level loop (or an "
+        "object-dtype array, which boxes every element) silently "
+        "de-vectorizes the engine's hot path; `\"nopython\"` modules are "
+        "numba loop bodies, where object dtype and dict/set only fail at "
+        "compile time — and compile only runs where numba is installed. "
+        "Measured exceptions carry a reasoned suppression "
+        "(`# repro-lint: disable=RPR008 (why)`)."
+    )
+    bad_example = """\
+import numpy as np
+
+KERNEL_STYLE = "vectorized"
+
+def csr_children(indptr, indices, nodes):
+    out = []
+    for u in nodes:
+        out.extend(indices[indptr[u]:indptr[u + 1]])
+    return np.array(out, dtype=object)
+"""
+    good_example = """\
+import numpy as np
+
+KERNEL_STYLE = "vectorized"
+
+def csr_children(indptr, indices, nodes):
+    counts = indptr[nodes + 1] - indptr[nodes]
+    base = np.repeat(indptr[nodes], counts)
+    offs = np.arange(counts.sum(), dtype=np.int64)
+    offs -= np.repeat(np.cumsum(counts) - counts, counts)
+    return indices[base + offs]
+"""
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        style = _module_kernel_style(ctx.tree)
+        if style is None:
+            return
+        for func in iter_functions(ctx.tree):
+            if style == "vectorized":
+                yield from self._check_vectorized(ctx, func)
+            elif func.name.startswith("k_"):
+                yield from self._check_nopython(ctx, func)
+
+    # -- vectorized ------------------------------------------------------
+
+    def _check_vectorized(
+        self, ctx: "FileContext", func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        for node in ast.walk(func):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                kind = "while" if isinstance(node, ast.While) else "for"
+                yield self.violation(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"Python-level `{kind}` loop in `{func.name}` of a "
+                    "vectorized kernel backend; express it as a whole-array "
+                    "pass (or suppress with a measured reason)",
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                yield self.violation(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"comprehension in `{func.name}` of a vectorized kernel "
+                    "backend iterates element-by-element; express it as a "
+                    "whole-array pass (or suppress with a measured reason)",
+                )
+            elif isinstance(node, ast.Call):
+                for arg in _object_dtype_args(ctx, node):
+                    yield self.violation(
+                        ctx,
+                        arg.lineno,
+                        arg.col_offset,
+                        f"object-dtype array in `{func.name}`; boxed "
+                        "elements defeat vectorized execution — use a "
+                        "fixed-width dtype",
+                    )
+
+    # -- nopython --------------------------------------------------------
+
+    def _check_nopython(
+        self, ctx: "FileContext", func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Dict, ast.DictComp)):
+                yield self.violation(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"dict in nopython kernel body `{func.name}`; numba's "
+                    "nopython mode rejects Python dicts at compile time — "
+                    "use typed arrays",
+                )
+            elif isinstance(node, (ast.Set, ast.SetComp)):
+                yield self.violation(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"set in nopython kernel body `{func.name}`; numba's "
+                    "nopython mode rejects Python sets at compile time — "
+                    "use typed arrays",
+                )
+            elif isinstance(node, ast.Call):
+                func_name = (
+                    node.func.id if isinstance(node.func, ast.Name) else ""
+                )
+                if func_name in ("dict", "set", "frozenset"):
+                    yield self.violation(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"`{func_name}(...)` in nopython kernel body "
+                        f"`{func.name}`; numba's nopython mode rejects "
+                        "Python containers at compile time — use typed "
+                        "arrays",
+                    )
+                for arg in _object_dtype_args(ctx, node):
+                    yield self.violation(
+                        ctx,
+                        arg.lineno,
+                        arg.col_offset,
+                        f"object-dtype array in nopython kernel body "
+                        f"`{func.name}`; numba's nopython mode rejects "
+                        "object arrays at compile time — use a fixed-width "
+                        "dtype",
+                    )

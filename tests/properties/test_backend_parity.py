@@ -1,0 +1,213 @@
+"""Four-way kernel-backend parity suite.
+
+The backend registry's contract is that the backend choice is invisible to
+correctness: for every instance in the corpus, the engine running on the
+backend under test — batched *and* per-instance — must produce completion
+arrays bit-identical to the numpy reference backend *and* to the per-node
+reference loop (``_simulate_reference``). That is the four-way check:
+
+1. ``simulate_batch`` under ``REPRO_BACKEND=<backend>``;
+2. per-instance ``simulate`` under ``REPRO_BACKEND=<backend>``;
+3. per-instance ``simulate`` under ``REPRO_BACKEND=numpy``;
+4. the per-node reference loop (backend-free by construction).
+
+The suite is parametrized over ``REPRO_BACKEND``; the numba parameter
+skips (not fails) when numba is not installed, so the full matrix only
+runs in the optional backend-numba CI job. Kernel-level parity tests pin
+each numba translation against the numpy reference on random inputs.
+
+SRPT rides along with FIFO/LPF here because its vectorized path exercises
+the dynamic-job-order fast path plus the ``merge_sorted`` kernel — and its
+heap path is the retained bit-identity reference for that contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import simulate, simulate_batch
+from repro.core.kernels import available_backends, get_backend
+from repro.core.simulator import _simulate_reference, engine_stats_snapshot
+from repro.schedulers import FIFOScheduler, LPFScheduler, ReverseTieBreak
+from repro.schedulers.srpt import SRPTScheduler
+
+from .test_batch_properties import (
+    _adversarial_batch,
+    _chains_batch,
+    _ragged_batch,
+    _random_batch,
+)
+
+_HAS_NUMBA = "numba" in available_backends()
+
+BACKENDS = [
+    "numpy",
+    pytest.param(
+        "numba",
+        marks=pytest.mark.skipif(
+            not _HAS_NUMBA, reason="numba not installed in this environment"
+        ),
+    ),
+]
+
+BUILDERS = (_chains_batch, _random_batch, _adversarial_batch, _ragged_batch)
+CORPUS = [(b, s) for b in BUILDERS for s in range(2)]
+
+SCHEDULERS = {
+    "fifo": lambda: FIFOScheduler(),
+    "fifo-reverse": lambda: FIFOScheduler(ReverseTieBreak()),
+    "lpf": lambda: LPFScheduler(),
+    "srpt": lambda: SRPTScheduler(),
+}
+
+
+@pytest.fixture
+def backend_env(monkeypatch):
+    """Set ``REPRO_BACKEND`` for one test and restore registry state."""
+    from repro.core import kernels
+
+    def activate(name: str) -> None:
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, name)
+        kernels._reset_for_testing()
+
+    yield activate
+    kernels._reset_for_testing()
+
+
+def _four_way(instances, make_scheduler, m, backend, activate):
+    activate(backend)
+    batched = simulate_batch(instances, m, make_scheduler())
+    under_test = [simulate(inst, m, make_scheduler()) for inst in instances]
+    activate("numpy")
+    numpy_runs = [simulate(inst, m, make_scheduler()) for inst in instances]
+    refs = [_simulate_reference(inst, m, make_scheduler()) for inst in instances]
+    for b, inst in enumerate(instances):
+        legs = (
+            batched[b].completion,
+            under_test[b].completion,
+            numpy_runs[b].completion,
+            refs[b].completion,
+        )
+        for i, (w, x, y, z) in enumerate(zip(*legs)):
+            assert np.array_equal(w, x), (
+                f"[{backend}] batched vs per-instance: instance {b} job {i}"
+            )
+            assert np.array_equal(x, y), (
+                f"[{backend}] backend vs numpy reference: instance {b} job {i}"
+            )
+            assert np.array_equal(y, z), (
+                f"[{backend}] numpy vs per-node reference: instance {b} job {i}"
+            )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "builder,seed", CORPUS, ids=[f"{b.__name__[1:]}-{s}" for b, s in CORPUS]
+)
+@pytest.mark.parametrize("policy", sorted(SCHEDULERS))
+def test_four_way_bit_identity(builder, seed, policy, backend, backend_env):
+    batch = builder(seed)
+    for m in (1, 3, 8):
+        _four_way(batch, SCHEDULERS[policy], m, backend, backend_env)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_stats_record_active_backend(backend, backend_env):
+    """EngineStats carries the backend that actually served the run."""
+    backend_env(backend)
+    inst = _random_batch(7)[0]
+    before = engine_stats_snapshot()
+    simulate(inst, 4, FIFOScheduler())
+    delta = engine_stats_snapshot().delta(before)
+    assert delta.backend == get_backend().name
+    assert sum(delta.kernel_dispatches.values()) > 0
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level parity: each numba translation against the numpy reference.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not _HAS_NUMBA, reason="numba not installed")
+@pytest.mark.parametrize("seed", range(5))
+def test_kernel_level_parity(seed):
+    from repro.core.kernels import numpy_backend
+    from repro.core.kernels.numba_backend import load
+
+    compiled = load()
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(10, 200))
+    # A random forest CSR: each node's children listed in ascending order.
+    parents = np.array(
+        [-1] + [int(rng.integers(0, i)) for i in range(1, n)], dtype=np.int64
+    )
+    order = np.argsort(parents[1:], kind="stable")
+    indices = (order + 1).astype(np.int64)
+    counts = np.bincount(parents[1:], minlength=n)
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    nodes = np.unique(rng.integers(0, n, size=rng.integers(1, n + 1)))
+
+    np.testing.assert_array_equal(
+        compiled["csr_children"](indptr, indices, nodes),
+        numpy_backend.csr_children(indptr, indices, nodes),
+    )
+
+    comp_a = np.zeros(n, dtype=np.int64)
+    comp_b = np.zeros(n, dtype=np.int64)
+    kids_a = compiled["commit_frontier"](indptr, indices, comp_a, nodes, 7)
+    kids_b = numpy_backend.commit_frontier(indptr, indices, comp_b, nodes, 7)
+    np.testing.assert_array_equal(kids_a, kids_b)
+    np.testing.assert_array_equal(comp_a, comp_b)
+
+    steps = rng.integers(1, 30, size=n).astype(np.int64)
+    bound = int(rng.integers(1, 40))
+    assert compiled["chain_min_dt"](steps, nodes, bound) == (
+        numpy_backend.chain_min_dt(steps, nodes, bound)
+    )
+
+    a = np.unique(rng.integers(0, 1000, size=rng.integers(0, 30)))
+    b = np.unique(rng.integers(1000, 2000, size=rng.integers(0, 30)))
+    np.testing.assert_array_equal(
+        compiled["merge_sorted"](a, b), numpy_backend.merge_sorted(a, b)
+    )
+
+    n_seg = int(rng.integers(1, 8))
+    lens = rng.integers(0, 6, size=n_seg)
+    seg = np.concatenate(([0], np.cumsum(lens))).astype(np.int64)
+    fkeys = rng.permutation(int(seg[-1])).astype(np.int64)
+    k = np.array([int(rng.integers(0, ln + 1)) for ln in lens], dtype=np.int64)
+    ta, ra = compiled["batch_take"](fkeys, seg, k, int(k.sum()))
+    tb, rb = numpy_backend.batch_take(fkeys, seg, k, int(k.sum()))
+    np.testing.assert_array_equal(ta, tb)
+    np.testing.assert_array_equal(ra, rb)
+
+
+@pytest.mark.skipif(not _HAS_NUMBA, reason="numba not installed")
+@pytest.mark.parametrize("seed", range(3))
+def test_macro_fill_parity(seed):
+    """macro_fill on a genuine chain layout (runs of length >= dt)."""
+    from repro.core.kernels import numpy_backend
+    from repro.core.kernels.numba_backend import load
+
+    compiled = load()
+    rng = np.random.default_rng(seed + 50)
+    # Build disjoint chains laid out contiguously in run_nodes.
+    run_lens = rng.integers(3, 12, size=5)
+    run_nodes = np.arange(int(run_lens.sum()), dtype=np.int64)
+    node_index = run_nodes.copy()  # identity layout
+    steps_to_end = np.concatenate(
+        [np.arange(ln, 0, -1, dtype=np.int64) for ln in run_lens]
+    )
+    starts = np.concatenate(([0], np.cumsum(run_lens)[:-1]))
+    gids = starts.astype(np.int64)  # the chain heads
+    dt = 2
+    comp_a = np.zeros(run_nodes.size, dtype=np.int64)
+    comp_b = np.zeros(run_nodes.size, dtype=np.int64)
+    na, ta = compiled["macro_fill"](
+        run_nodes, node_index, steps_to_end, comp_a, gids, 10, dt
+    )
+    nb, tb = numpy_backend.macro_fill(
+        run_nodes, node_index, steps_to_end, comp_b, gids, 10, dt
+    )
+    np.testing.assert_array_equal(na, nb)
+    np.testing.assert_array_equal(ta, tb)
+    np.testing.assert_array_equal(comp_a, comp_b)

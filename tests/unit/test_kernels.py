@@ -1,0 +1,202 @@
+"""Unit tests for the kernel backend registry (``repro.core.kernels``).
+
+Covers name resolution from ``REPRO_BACKEND``, per-process caching, the
+graceful numba-missing fallback (silent numpy dispatch plus exactly one
+``RuntimeWarning``), unknown-name rejection, per-kernel dispatch counts in
+``EngineStats``, and the warmup / compile-latency smoke (numba only).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.exceptions import ConfigurationError
+from repro.core.kernels import (
+    BACKEND_ENV_VAR,
+    KERNEL_NAMES,
+    BackendUnavailable,
+    available_backends,
+    get_backend,
+    resolve_backend_name,
+    warmup,
+)
+
+_HAS_NUMBA = "numba" in available_backends()
+
+
+@pytest.fixture(autouse=True)
+def clean_registry(monkeypatch):
+    """Each test starts with no cached backends and no env override."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    kernels._reset_for_testing()
+    yield
+    kernels._reset_for_testing()
+
+
+class TestResolution:
+    def test_default_is_numpy(self):
+        assert resolve_backend_name() == "numpy"
+        backend = get_backend()
+        assert backend.name == "numpy"
+        assert backend.requested == "numpy"
+        assert backend.supported == frozenset(KERNEL_NAMES)
+
+    def test_env_var_resolved_per_call(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert get_backend().requested == "numpy"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "NumPy ")
+        assert resolve_backend_name() == "numpy"
+
+    def test_unknown_backend_is_loud(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "cuda")
+        with pytest.raises(ConfigurationError, match="cuda"):
+            get_backend()
+
+    def test_backend_cached_per_name(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_available_backends_always_has_numpy(self):
+        names = available_backends()
+        assert names[0] == "numpy"
+        assert set(names) <= {"numpy", "numba"}
+
+
+class TestFallback:
+    @pytest.fixture
+    def without_numba(self, monkeypatch):
+        """Force the numba backend to be unavailable (even if installed)."""
+        from repro.core.kernels import numba_backend
+
+        def unavailable():
+            raise BackendUnavailable("numba is not installed (forced by test)")
+
+        monkeypatch.setattr(numba_backend, "load", unavailable)
+
+    def test_numba_request_falls_back_to_numpy(self, monkeypatch, without_numba):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numba")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            backend = get_backend()
+        assert backend.name == "numpy"  # what actually serves calls
+        assert backend.requested == "numba"  # what the caller asked for
+        fallback_warnings = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(fallback_warnings) == 1
+        assert "falling back" in str(fallback_warnings[0].message)
+        numpy_backend = get_backend("numpy")
+        for kname in KERNEL_NAMES:
+            assert getattr(backend, kname) is getattr(numpy_backend, kname)
+
+    def test_fallback_warns_only_once(self, monkeypatch, without_numba):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numba")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            get_backend()
+            kernels._CACHE.clear()  # drop the cache, keep the warned set
+            get_backend()
+        fallback_warnings = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(fallback_warnings) == 1
+
+    def test_simulation_dispatches_silently_on_fallback(
+        self, monkeypatch, without_numba
+    ):
+        """REPRO_BACKEND=numba without numba must still run — on numpy."""
+        from repro.core import DAG, Instance, Job, simulate
+        from repro.schedulers import FIFOScheduler
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numba")
+        dag = DAG.from_parents(np.array([-1, 0, 0, 1, 1], dtype=np.int64))
+        inst = Instance([Job(dag, 0)])
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            schedule = simulate(inst, 2, FIFOScheduler())
+        schedule.validate()
+        assert schedule.engine_stats.backend == "numpy"
+
+
+class TestDispatchCounts:
+    def test_kernel_dispatches_recorded(self):
+        from repro.core import DAG, Instance, Job, simulate
+        from repro.core.simulator import engine_stats_snapshot
+        from repro.schedulers import FIFOScheduler
+
+        rng = np.random.default_rng(3)
+        parents = np.array(
+            [-1] + [int(rng.integers(0, i)) for i in range(1, 60)],
+            dtype=np.int64,
+        )
+        inst = Instance([Job(DAG.from_parents(parents), 0)])
+        before = engine_stats_snapshot()
+        simulate(inst, 3, FIFOScheduler())
+        delta = engine_stats_snapshot().delta(before)
+        assert delta.backend == "numpy"
+        assert set(delta.kernel_dispatches) <= set(KERNEL_NAMES)
+        assert sum(delta.kernel_dispatches.values()) > 0
+        assert "backend=numpy" in delta.summary()
+        assert "kernels[" in delta.summary()
+
+    def test_old_snapshot_merge_is_defensive(self):
+        """add() must accept stats objects predating the backend fields."""
+        import dataclasses
+
+        from repro.core.simulator import EngineStats
+
+        class OldStats:
+            """A snapshot in the pre-backend format: every counter except
+            the two new fields."""
+
+        old = OldStats()
+        for f in dataclasses.fields(EngineStats):
+            if f.name not in ("backend", "kernel_dispatches"):
+                default = (
+                    f.default_factory()
+                    if f.default is dataclasses.MISSING
+                    else f.default
+                )
+                setattr(old, f.name, default)
+        old.steps = 5
+
+        fresh = EngineStats()
+        fresh.kernel_dispatches["commit_frontier"] = 2
+        fresh.backend = "numpy"
+        fresh.add(old)  # must not raise
+        assert fresh.steps == 5
+        assert fresh.backend == "numpy"
+        assert fresh.kernel_dispatches == {"commit_frontier": 2}
+
+    def test_conflicting_backends_merge_to_mixed(self):
+        from repro.core.simulator import EngineStats
+
+        a = EngineStats()
+        a.backend = "numpy"
+        b = EngineStats()
+        b.backend = "numba"
+        a.add(b)
+        assert a.backend == "mixed"
+
+
+class TestWarmup:
+    def test_warmup_exercises_every_kernel(self):
+        warmup(get_backend("numpy"))  # must not raise
+
+    @pytest.mark.skipif(not _HAS_NUMBA, reason="numba not installed")
+    def test_cold_vs_warm_compile_latency(self):
+        """After warmup, every numba kernel call is compile-free: a warm
+        call must run orders of magnitude under any plausible compile
+        time. Generous bound — this is a smoke test, not a benchmark."""
+        import time
+
+        backend = get_backend("numba")
+        warmup(backend)  # cold: triggers (or disk-loads) every compile
+        steps = np.array([5, 4, 3], dtype=np.int64)
+        gids = np.array([0, 2], dtype=np.int64)
+        t0 = time.perf_counter()
+        for _ in range(10):
+            backend.chain_min_dt(steps, gids, 9)
+        warm = (time.perf_counter() - t0) / 10
+        assert warm < 0.05, f"warm kernel call took {warm:.3f}s — recompiling?"

@@ -56,6 +56,7 @@ def test_rule_catalog_is_stable():
         "RPR005",  # failure paths
         "RPR006",  # macro-step contract
         "RPR007",  # batch-capable contract
+        "RPR008",  # kernel-backend style discipline
         "RPR101", "RPR102", "RPR103",  # scheduler contracts
         "RPR201", "RPR202", "RPR203",  # engine safety
         "RPR301",  # picklability
@@ -422,3 +423,109 @@ def test_register_rule_rejects_duplicates_and_blank_ids():
 def test_get_rule_unknown_id():
     with pytest.raises(KeyError, match="RPR777"):
         get_rule("RPR777")
+
+
+# ----------------------------------------------------------------------
+# RPR008 — kernel-backend KERNEL_STYLE discipline
+# ----------------------------------------------------------------------
+
+
+class TestKernelStyleScope:
+    RULE = get_rule("RPR008")
+
+    def _lint(self, source):
+        report = lint_source(textwrap.dedent(source), path="x.py",
+                             rules=[self.RULE])
+        return [v for v in report.violations if v.rule_id == "RPR008"]
+
+    def test_silent_without_kernel_style(self):
+        # The same loop outside a declared backend module is fine.
+        assert self._lint(
+            """\
+            def walk(nodes):
+                total = 0
+                for u in nodes:
+                    total += u
+                return total
+            """
+        ) == []
+
+    def test_nopython_allows_loops_but_not_dicts(self):
+        violations = self._lint(
+            """\
+            KERNEL_STYLE = "nopython"
+
+            def k_scan(steps, gids, bound):
+                best = bound
+                for i in range(gids.shape[0]):
+                    best = min(best, steps[gids[i]])
+                return best
+
+            def k_bad(gids):
+                seen = {}
+                for g in gids:
+                    seen[g] = True
+                return seen
+            """
+        )
+        assert len(violations) == 1
+        assert "dict" in violations[0].message
+        assert "k_bad" in violations[0].message
+
+    def test_nopython_ignores_module_level_tables(self):
+        # The kernel-name dispatch dict lives outside the k_ bodies.
+        assert self._lint(
+            """\
+            KERNEL_STYLE = "nopython"
+
+            def k_ok(x):
+                return x + 1
+
+            TABLE = {"ok": k_ok}
+            """
+        ) == []
+
+    def test_vectorized_flags_object_dtype(self):
+        violations = self._lint(
+            """\
+            import numpy as np
+
+            KERNEL_STYLE = "vectorized"
+
+            def pack(values):
+                return np.asarray(values, dtype=np.object_)
+            """
+        )
+        assert len(violations) == 1
+        assert "object-dtype" in violations[0].message
+
+    def test_vectorized_flags_comprehension(self):
+        violations = self._lint(
+            """\
+            KERNEL_STYLE = "vectorized"
+
+            def keys(nodes, prio):
+                return [prio[n] for n in nodes]
+            """
+        )
+        assert len(violations) == 1
+        assert "comprehension" in violations[0].message
+
+    def test_reasoned_suppression_accepted(self):
+        report = lint_source(
+            textwrap.dedent(
+                """\
+                KERNEL_STYLE = "vectorized"
+
+                def take(seg, k):
+                    out = []
+                    for b in range(len(k)):  # repro-lint: disable=RPR008 (<= 8 segments, measured faster than np.repeat)
+                        out.append(seg[b])
+                    return out
+                """
+            ),
+            path="x.py",
+            rules=[self.RULE],
+        )
+        assert [v for v in report.violations if v.rule_id == "RPR008"] == []
+        assert report.suppressed_count == 1

@@ -40,6 +40,14 @@ Commands
     Run the repo's AST-based invariant checks (determinism, scheduler
     contracts, engine safety, picklability) over ``src`` or the given
     paths; exits 1 on violations. See ``docs/lint.md``.
+``serve M [--source poisson|drip|trace] [--policy fifo|lpf|srpt] [--jobs N]
+[--checkpoint PATH] [--resume] [--metrics-out PATH]``
+    Long-lived streaming mode: schedule an unbounded arrival stream with
+    bounded memory, incremental metrics ticks, graceful SIGTERM/SIGINT
+    drain, and crash-safe checkpoints (kill → ``--resume`` reproduces an
+    uninterrupted run's final metrics bit-identically). Exit status: 0
+    complete/drained, 130 interrupted (checkpoint saved), 3 stalled.
+    See ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -261,6 +269,57 @@ def _cmd_demo() -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .streaming import serve
+    from .workloads.arrivals import (
+        AdversarialDripSource,
+        PoissonSource,
+        TraceReplaySource,
+    )
+
+    if args.source == "poisson":
+        source: Any = PoissonSource(
+            rate=args.rate,
+            seed=args.seed,
+            dag_nodes=args.dag_nodes,
+            family=args.family,
+            n_jobs=args.jobs,
+        )
+    elif args.source == "drip":
+        source = AdversarialDripSource(
+            args.m,
+            period=args.period,
+            depth=args.depth,
+            seed=args.seed,
+            n_jobs=args.jobs,
+        )
+    else:  # trace
+        if args.trace_path is None:
+            print("--source trace requires --trace-path", file=sys.stderr)
+            return 2
+        from .core import load_schedule_npz
+
+        source = TraceReplaySource.from_instance(
+            load_schedule_npz(args.trace_path).instance
+        )
+    return serve(
+        source,
+        args.m,
+        policy=args.policy,
+        max_live_subjobs=args.max_live_subjobs,
+        max_live_jobs=args.max_live_jobs,
+        max_jobs=args.jobs,
+        tick_every=args.tick_every,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        stall_timeout=args.stall_timeout if args.stall_timeout > 0 else None,
+        metrics_out=args.metrics_out,
+        quiet=args.quiet,
+        max_steps=args.max_steps,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -386,6 +445,117 @@ def main(argv: list[str] | None = None) -> int:
         "--window", default=None, metavar="START:END", help="time window to draw"
     )
     sub.add_parser("demo", help="a quick guided tour")
+    serve_p = sub.add_parser(
+        "serve",
+        help="long-lived streaming mode over an arrival stream",
+        parents=[backend_parent],
+    )
+    serve_p.add_argument("m", type=int, help="number of machines")
+    serve_p.add_argument(
+        "--source",
+        choices=("poisson", "drip", "trace"),
+        default="poisson",
+        help="arrival stream family (default poisson)",
+    )
+    serve_p.add_argument(
+        "--policy", choices=("fifo", "lpf", "srpt"), default="fifo"
+    )
+    serve_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop admitting after N jobs, then drain (default: unbounded)",
+    )
+    serve_p.add_argument(
+        "--rate",
+        type=float,
+        default=0.5,
+        help="poisson: mean arrivals per time step",
+    )
+    serve_p.add_argument(
+        "--dag-nodes", type=int, default=64, help="poisson: subjobs per job"
+    )
+    serve_p.add_argument(
+        "--family",
+        choices=("attachment", "galton-watson", "layered"),
+        default="attachment",
+        help="poisson: out-tree shape family",
+    )
+    serve_p.add_argument("--seed", type=int, default=0, help="stream seed")
+    serve_p.add_argument(
+        "--period", type=int, default=4, help="drip: steps between arrivals"
+    )
+    serve_p.add_argument(
+        "--depth", type=int, default=None, help="drip: chain-layer depth"
+    )
+    serve_p.add_argument(
+        "--trace-path",
+        default=None,
+        metavar="FILE.npz",
+        help="trace: schedule archive whose instance arrivals are replayed",
+    )
+    serve_p.add_argument(
+        "--max-live-subjobs",
+        type=int,
+        default=None,
+        help="admission bound: shed arrivals past this many live subjobs",
+    )
+    serve_p.add_argument(
+        "--max-live-jobs",
+        type=int,
+        default=None,
+        help="admission bound: shed arrivals past this many live jobs",
+    )
+    serve_p.add_argument(
+        "--tick-every",
+        type=int,
+        default=10_000,
+        metavar="STEPS",
+        help="emit a metrics tick every STEPS time steps (0 disables)",
+    )
+    serve_p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write atomic engine checkpoints to PATH",
+    )
+    serve_p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=5_000,
+        metavar="STEPS",
+        help="checkpoint cadence in time steps (default 5000)",
+    )
+    serve_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore from --checkpoint PATH when it exists",
+    )
+    serve_p.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="watchdog: abort (exit 3) if no step completes for this long "
+        "(0 disables)",
+    )
+    serve_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the final metrics summary as JSON to PATH",
+    )
+    serve_p.add_argument(
+        "--quiet", action="store_true", help="suppress stdout ticks/summary"
+    )
+    serve_p.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N engine steps as if interrupted (testing aid)",
+    )
     lint_p = sub.add_parser("lint", help="run the repo invariant checks")
     from .lint.cli import add_lint_arguments
 
@@ -424,6 +594,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_inspect(args.path, args.gantt, args.window)
     if args.command == "demo":
         return _cmd_demo()
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "lint":
         from .lint.cli import run_lint
 

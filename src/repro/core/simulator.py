@@ -350,6 +350,17 @@ class EngineStats:
     kernel_dispatches:
         Per-kernel dispatch counts (kernel name -> calls) for the
         extracted hot kernels, merged key-wise on accumulation.
+    stream_steps:
+        Time steps advanced by the streaming engine
+        (:class:`repro.streaming.engine.StreamingEngine`), including
+        zero-commit steps; committed streaming steps also count into
+        ``steps``/``selections`` so aggregate throughput stays comparable.
+    stream_retired:
+        Jobs retired (completed and released from memory) by the
+        streaming engine.
+    stream_shed:
+        Jobs rejected by streaming admission control (bounded live
+        window overflow).
     """
 
     steps: int = 0
@@ -366,6 +377,9 @@ class EngineStats:
     batch_size_histogram: dict[int, int] = field(default_factory=dict)
     backend: str = ""
     kernel_dispatches: dict[str, int] = field(default_factory=dict)
+    stream_steps: int = 0
+    stream_retired: int = 0
+    stream_shed: int = 0
 
     @property
     def ns_per_subjob(self) -> float:
@@ -413,6 +427,9 @@ class EngineStats:
             self.kernel_dispatches[kname] = (
                 self.kernel_dispatches.get(kname, 0) + count
             )
+        self.stream_steps += getattr(other, "stream_steps", 0)
+        self.stream_retired += getattr(other, "stream_retired", 0)
+        self.stream_shed += getattr(other, "stream_shed", 0)
 
     def delta(self, earlier: "EngineStats") -> "EngineStats":
         """Counter difference ``self - earlier`` (for snapshot windows)."""
@@ -443,6 +460,10 @@ class EngineStats:
             batch_size_histogram=hist,
             backend=self.backend,
             kernel_dispatches=kd,
+            stream_steps=self.stream_steps - getattr(earlier, "stream_steps", 0),
+            stream_retired=self.stream_retired
+            - getattr(earlier, "stream_retired", 0),
+            stream_shed=self.stream_shed - getattr(earlier, "stream_shed", 0),
         )
 
     def record_batch_step(self, n_active: int) -> None:
@@ -483,6 +504,12 @@ class EngineStats:
                 for kname in sorted(self.kernel_dispatches)
             )
             text += f" kernels[{dispatches}]"
+        if self.stream_steps or self.stream_retired or self.stream_shed:
+            text += (
+                f" stream_steps={self.stream_steps} "
+                f"stream_retired={self.stream_retired} "
+                f"stream_shed={self.stream_shed}"
+            )
         return text
 
 

@@ -31,12 +31,10 @@ from ..analysis.invariants import check_lemma_6_4
 from ..core.instance import Instance
 from ..core.job import Job
 from ..core.schedule import Schedule
-from ..core.simulator import simulate
-from ..schedulers.base import ArbitraryTieBreak
 from ..schedulers.fifo import FIFOScheduler
 from ..schedulers.offline import single_forest_opt
 from ..workloads.random_trees import layered_tree
-from .runner import ExperimentResult
+from .runner import ExperimentResult, run_trials
 
 __all__ = ["run", "semi_batched_known_opt"]
 
@@ -89,10 +87,21 @@ def run(
         paper_artifact="Section 6 closing remark + Conclusion open question 1",
     )
     rng = np.random.default_rng(seed)
+    # Build every semi-batched instance up front, then run them through the
+    # harness's batched sweep path (run_trials) — one per m, but routed via
+    # simulate_batch so the Monte-Carlo engine counters/backends apply
+    # uniformly across experiments.
+    built = []
     for m in ms:
         depth = 2 * m
         inst, opt, witness = semi_batched_known_opt(m, n_batches, depth, rng)
-        sched = simulate(inst, m, FIFOScheduler(ArbitraryTieBreak()))
+        built.append((m, depth, inst, opt, witness))
+    scheds_by_m = {
+        m: run_trials([inst], m, FIFOScheduler)[0]
+        for m, _depth, inst, _opt, _witness in built
+    }
+    for m, depth, inst, opt, witness in built:
+        sched = scheds_by_m[m]
         sched.validate()
         envelope = (math.ceil(math.log2(2 * m * opt)) + 1) * opt
         result.rows.append(

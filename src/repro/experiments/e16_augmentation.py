@@ -18,11 +18,9 @@ FIFO's flaw.
 
 from __future__ import annotations
 
-from ..core.simulator import simulate
-from ..schedulers.base import ArbitraryTieBreak
 from ..schedulers.fifo import FIFOScheduler
 from ..workloads.adversarial import build_fifo_adversary
-from .runner import ExperimentResult
+from .runner import ExperimentResult, run_trials
 
 __all__ = ["run"]
 
@@ -41,7 +39,10 @@ def run(
     for m in ms:
         adv = build_fifo_adversary(m, n_jobs=jobs_per_m * m)
         for f in factors:
-            schedule = simulate(adv.instance, f * m, FIFOScheduler(ArbitraryTieBreak()))
+            # Each (m, f) pair has its own processor count, so each is its
+            # own (single-instance) run_trials sweep — still the batched
+            # engine path, shared with the Monte-Carlo experiments.
+            schedule = run_trials([adv.instance], f * m, FIFOScheduler)[0]
             schedule.validate()
             ratio = schedule.max_flow / adv.opt_upper_bound
             ratios[(m, f)] = ratio

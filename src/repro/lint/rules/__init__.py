@@ -10,6 +10,7 @@ from . import (
     failure_paths,
     kernel_discipline,
     picklability,
+    streaming,
 )
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "failure_paths",
     "kernel_discipline",
     "picklability",
+    "streaming",
 ]

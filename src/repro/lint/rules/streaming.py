@@ -1,0 +1,222 @@
+"""Streaming-path rules: RPR009 (no unbounded accumulation on long-lived
+state).
+
+The streaming service (``repro.streaming``) is designed to run for days
+over 10⁷–10⁸ subjobs: every byte of resident state must be bounded by the
+*live window*, not the length of the stream. The failure mode this rule
+targets is quiet: an ``append`` on a per-run list (completed-job log,
+flow trace, per-tick history) works perfectly in every test and then OOMs
+the service hours into a real run. Nothing crashes at the call site — the
+growth is only visible in aggregate — so a static check at the grow site
+is the cheapest place to catch it.
+
+The check: inside streaming modules (any file under a ``streaming``
+package directory; files outside the ``repro`` package — rule fixtures,
+scratch scripts — are checked too), a class attribute initialized in
+``__init__`` as a list/dict/set is *long-lived state*. A method that
+grows it (``.append``/``.extend``/``.add``/``.update``/``.setdefault``/
+``.insert``, subscript assignment, ``+=``) without the class having any
+retire/compaction path for the same attribute (``.pop``/``.popitem``/
+``.clear``/``.remove``/``.discard``, ``del``, or a rebinding of the
+attribute outside ``__init__``) is flagged.
+
+Bounded-by-design growth (a fixed-size histogram, a structure that is
+drained elsewhere through a callback) carries a reasoned suppression:
+``# repro-lint: disable=RPR009 (bounded: 64 log2 buckets)``. Batch-mode
+code (the rest of ``repro.*``) is exempt — accumulating a whole schedule
+is the entire point there.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import TYPE_CHECKING, Iterator
+
+from ..model import Violation
+from ..registry import Rule, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import FileContext
+
+__all__ = ["UnboundedAccumulationRule"]
+
+#: Methods that add elements to a list/dict/set.
+_GROW_METHODS = frozenset(
+    {"append", "extend", "add", "update", "setdefault", "insert"}
+)
+
+#: Methods that remove elements — evidence of a retire/compaction path.
+_SHRINK_METHODS = frozenset(
+    {"pop", "popitem", "clear", "remove", "discard", "popleft"}
+)
+
+
+def _is_container_init(value: ast.expr) -> bool:
+    """Is ``value`` a list/dict/set display or ``list()``/``dict()``/
+    ``set()``/``collections.deque()`` constructor call?"""
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        return name in ("list", "dict", "set", "defaultdict", "OrderedDict", "deque")
+    return False
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    """``self.<attr>`` → attr name, else None."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _exempt(path: str) -> bool:
+    """Batch-mode repo code is exempt; streaming packages and files outside
+    the repro package (fixtures) are checked."""
+    parts = PurePath(path).parts
+    if "streaming" in parts:
+        return False
+    return "repro" in parts or "tests" in parts or "benchmarks" in parts
+
+
+class _ClassUsage:
+    """Grow/shrink sites for the ``self.*`` container attrs of one class."""
+
+    def __init__(self, cls: ast.ClassDef) -> None:
+        self.containers: set[str] = set()
+        #: attr -> [(lineno, col, description)]
+        self.grow_sites: dict[str, list[tuple[int, int, str]]] = {}
+        self.shrunk: set[str] = set()
+        for func in cls.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            in_init = func.name == "__init__"
+            for node in ast.walk(func):
+                self._visit(node, in_init)
+
+    def _visit(self, node: ast.AST, in_init: bool) -> None:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    # `self.attr[key] = value` grows a dict-like attr.
+                    if isinstance(target, ast.Subscript):
+                        sub_attr = _self_attr(target.value)
+                        if sub_attr is not None and not in_init:
+                            self.grow_sites.setdefault(sub_attr, []).append(
+                                (
+                                    node.lineno,
+                                    node.col_offset,
+                                    f"subscript-assign into `self.{sub_attr}`",
+                                )
+                            )
+                    continue
+                if in_init:
+                    if node.value is not None and _is_container_init(node.value):
+                        self.containers.add(attr)
+                else:
+                    # Rebinding outside __init__ is a compaction path
+                    # (rebuild-and-replace), so the attr is not unbounded.
+                    self.shrunk.add(attr)
+        elif isinstance(node, ast.AugAssign):
+            attr = _self_attr(node.target)
+            if attr is not None and not in_init and isinstance(
+                node.value, (ast.List, ast.ListComp)
+            ):
+                self.grow_sites.setdefault(attr, []).append(
+                    (node.lineno, node.col_offset, f"`self.{attr} += [...]`")
+                )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is None and isinstance(target, ast.Subscript):
+                    attr = _self_attr(target.value)
+                if attr is not None:
+                    self.shrunk.add(attr)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            attr = _self_attr(node.func.value)
+            if attr is None:
+                return
+            method = node.func.attr
+            if method in _GROW_METHODS and not in_init:
+                self.grow_sites.setdefault(attr, []).append(
+                    (
+                        node.func.lineno,
+                        node.func.col_offset,
+                        f"`self.{attr}.{method}(...)`",
+                    )
+                )
+            elif method in _SHRINK_METHODS:
+                self.shrunk.add(attr)
+
+
+@register_rule
+class UnboundedAccumulationRule(Rule):
+    rule_id = "RPR009"
+    title = "no unbounded accumulation on long-lived streaming state"
+    rationale = (
+        "streaming-service state must stay bounded by the live window, not "
+        "the stream length: a list/dict/set attribute that only ever grows "
+        "(`append`, `update`, subscript-assign) with no retire/compaction "
+        "path (`pop`, `clear`, `del`, rebuild) OOMs a long-lived `repro "
+        "serve` run hours in, while passing every bounded test. Growth "
+        "that is bounded by design carries a reasoned suppression "
+        "(`# repro-lint: disable=RPR009 (bounded: why)`). Batch-mode "
+        "`repro.*` modules are exempt — accumulating whole schedules is "
+        "their job."
+    )
+    bad_example = """\
+class StreamTracker:
+    def __init__(self):
+        self.flows = []
+
+    def on_retire(self, index, flow):
+        self.flows.append(flow)
+"""
+    good_example = """\
+class StreamTracker:
+    def __init__(self):
+        self.flow_hist = [0] * 64
+        self.live = {}
+
+    def on_admit(self, index, job):
+        self.live[index] = job
+
+    def on_retire(self, index, flow):
+        self.flow_hist[min(flow.bit_length(), 63)] += 1
+        del self.live[index]
+"""
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        if _exempt(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            usage = _ClassUsage(node)
+            for attr in sorted(usage.containers):
+                if attr in usage.shrunk:
+                    continue
+                for lineno, col, description in usage.grow_sites.get(attr, []):
+                    yield self.violation(
+                        ctx,
+                        lineno,
+                        col,
+                        f"{description} grows long-lived state of "
+                        f"`{node.name}` with no retire/compaction path "
+                        "(no pop/clear/del/rebuild of "
+                        f"`self.{attr}` anywhere in the class); bound it by "
+                        "the live window or suppress with the bound's reason",
+                    )

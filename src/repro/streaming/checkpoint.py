@@ -1,0 +1,93 @@
+"""Atomic on-disk checkpoints for streaming runs.
+
+One checkpoint file holds one engine snapshot (see
+:meth:`~repro.streaming.engine.StreamingEngine.snapshot`), pickled and
+written with the same atomicity discipline as the supervisor's task
+journal (:mod:`repro.experiments.supervisor`): the payload lands in a
+temp file in the target directory first and is moved into place with
+``os.replace``, so a crash — even a ``SIGKILL`` mid-write — leaves
+either the previous complete checkpoint or the new one, never a torn
+file. Corruption from outside causes (disk faults, truncation by other
+tools) is detected by an embedded length-prefixed SHA-256 digest and
+reported as :class:`CheckpointError` rather than deserialized blindly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any
+
+__all__ = ["CheckpointError", "load_checkpoint", "save_checkpoint"]
+
+_MAGIC = b"repro-stream-ckpt:1\n"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unreadable (missing, corrupt, or foreign)."""
+
+
+def save_checkpoint(path: str | os.PathLike, snapshot: dict[str, Any]) -> None:
+    """Atomically write ``snapshot`` to ``path`` (tmp + ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).digest()
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(_MAGIC)
+            handle.write(len(payload).to_bytes(8, "little"))
+            handle.write(digest)
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:  # repro-lint: disable=RPR005 (best-effort tmp cleanup on the error path; the original error propagates)
+            pass
+        raise
+
+
+def load_checkpoint(path: str | os.PathLike) -> dict[str, Any]:
+    """Read and validate a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointError` on a missing, truncated, corrupt, or
+    foreign file — the caller decides whether that aborts the resume or
+    falls back to a fresh run.
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not blob.startswith(_MAGIC):
+        raise CheckpointError(
+            f"{path} is not a repro stream checkpoint (bad magic)"
+        )
+    header_end = len(_MAGIC) + 8 + hashlib.sha256().digest_size
+    if len(blob) < header_end:
+        raise CheckpointError(f"checkpoint {path} is truncated (header)")
+    length = int.from_bytes(blob[len(_MAGIC) : len(_MAGIC) + 8], "little")
+    digest = blob[len(_MAGIC) + 8 : header_end]
+    payload = blob[header_end:]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"checkpoint {path} is truncated "
+            f"(payload {len(payload)} bytes, recorded {length})"
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise CheckpointError(f"checkpoint {path} failed its integrity digest")
+    try:
+        snapshot = pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {path} failed to deserialize: {exc}"
+        ) from exc
+    if not isinstance(snapshot, dict):
+        raise CheckpointError(f"checkpoint {path} holds no snapshot dict")
+    return snapshot

@@ -1,0 +1,560 @@
+"""The streaming engine: long-lived scheduling over an unbounded stream.
+
+Where :func:`repro.core.simulate` materializes a whole :class:`Instance`
+up front, this engine consumes an :class:`~repro.workloads.arrivals.
+ArrivalSource` one arrival at a time and **retires** each job the step it
+completes, so resident state is bounded by the live window (tracked as a
+high-water mark in :class:`~repro.streaming.metrics.StreamMetrics`) no
+matter how many subjobs the stream pushes.
+
+Semantics match the batch engine exactly: at integer step ``t`` the
+engine admits arrivals with release ``<= t``, grants ``m_t`` processors
+(an :class:`~repro.core.AvailabilityTrace` or the constant ``m``), walks
+the live jobs in policy order taking whole ready frontiers until capacity
+runs out (the last job truncated by its intra-job priority kernel), and
+completes the committed subjobs at ``t + 1``. The supported policies are
+the repo's kernelized schedulers:
+
+* ``fifo`` — arrival order across jobs, ascending node id within a job
+  (:class:`~repro.schedulers.base.ArbitraryTieBreak`);
+* ``lpf``  — arrival order across jobs, maximum-height first within a job
+  (:class:`~repro.schedulers.base.LongestPathTieBreak`);
+* ``srpt`` — ascending ``(remaining subjobs, arrival)`` across jobs.
+
+Per-job ready frontiers use the same encoded representation as the batch
+engine's priority commits — ``dense_rank(priority) * n + node``, an int64
+key lexicographic in ``(priority, node)`` — so a mid-job truncation is a
+prefix slice of one sorted array, and the property suite pins the
+streaming run bit-identical to ``simulate`` on any materialized prefix.
+
+Crash safety: :meth:`StreamingEngine.snapshot` captures the full logical
+state — arrival cursor, per-live-job done masks, metrics accumulators —
+and :meth:`StreamingEngine.from_snapshot` rebuilds the scheduler state
+from it (frontiers and indegrees are *recomputed* from done mask + DAG,
+the same reconstruct-from-committed-prefix discipline the engine's
+crash/restart path uses for :class:`~repro.faults.FaultInjector`). The
+engine itself reads no wall clock and draws no entropy, so a restored run
+replays the exact step sequence of an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..core.availability import AvailabilityLike, AvailabilityTrace, as_trace
+from ..core.exceptions import ConfigurationError, SimulationError
+from ..core.job import Job
+from ..core.kernels import get_backend
+from ..core.simulator import EngineStats
+from ..core.util import Array
+from ..schedulers.base import ArbitraryTieBreak, LongestPathTieBreak, TieBreak
+from ..workloads.arrivals import ArrivalSource
+from .metrics import StreamMetrics
+
+__all__ = [
+    "STREAM_POLICIES",
+    "STREAM_SNAPSHOT_VERSION",
+    "StreamStallError",
+    "StreamingEngine",
+]
+
+_INT = np.int64
+_EMPTY = np.empty(0, dtype=_INT)
+
+#: Snapshot schema version (bumped on any incompatible layout change;
+#: :meth:`StreamingEngine.from_snapshot` rejects other versions).
+STREAM_SNAPSHOT_VERSION = 1
+
+#: Policies the streaming engine can run (all kernelized, all pure).
+STREAM_POLICIES = ("fifo", "lpf", "srpt")
+
+
+class StreamStallError(SimulationError):
+    """The stream stopped making progress (livelock / stalled step).
+
+    Raised instead of spinning: the engine bounds the number of
+    consecutive zero-commit steps it will tolerate while work is live
+    (the availability trace's horizon plus one — beyond the explicit
+    prefix the tail grants ``>= 1`` processor, so a longer streak can
+    only mean a logic error or a pathological configuration).
+    """
+
+
+class _LiveJob:
+    """Resident state of one admitted, not-yet-retired job."""
+
+    __slots__ = (
+        "index",
+        "release",
+        "dag",
+        "n",
+        "is_forest",
+        "enc",
+        "frontier",
+        "indegree",
+        "done",
+        "n_done",
+    )
+
+    def __init__(self, index: int, release: int, dag: Any, tie_break: TieBreak) -> None:
+        self.index = index
+        self.release = release
+        self.dag = dag
+        self.n = int(dag.n)
+        self.is_forest = bool(dag.is_out_forest)
+        kernel = tie_break.priority_kernel(Job(dag, release))
+        if kernel is None:  # pragma: no cover - every stream policy is kernelized
+            raise ConfigurationError(
+                "streaming policies require a priority kernel "
+                f"({type(tie_break).__name__} returned None)"
+            )
+        ranks = np.unique(np.asarray(kernel, dtype=_INT), return_inverse=True)[1]
+        if int(ranks.max(initial=0)) == 0:
+            # Constant kernel (FIFO/arbitrary): keys are the node ids.
+            self.enc: Optional[Array] = None
+        else:
+            self.enc = ranks.astype(_INT) * _INT(self.n) + np.arange(self.n, dtype=_INT)
+        roots = np.asarray(dag.roots, dtype=_INT)
+        self.frontier: Array = (
+            roots.copy() if self.enc is None else np.sort(self.enc[roots])
+        )
+        self.indegree: Array = np.asarray(dag.indegree, dtype=_INT).copy()
+        self.done: Array = np.zeros(self.n, dtype=bool)
+        self.n_done = 0
+
+    def ready_nodes(self) -> Array:
+        """Decoded node ids of the current frontier (ascending node id)."""
+        if self.enc is None:
+            return self.frontier.copy()
+        return np.sort(self.frontier % _INT(self.n))
+
+
+class StreamingEngine:
+    """Incremental scheduler over an :class:`ArrivalSource`.
+
+    Parameters
+    ----------
+    source:
+        The arrival stream (index-pure; see :mod:`repro.workloads.arrivals`).
+    m:
+        Processor count (capacity ceiling when a trace is given).
+    policy:
+        One of :data:`STREAM_POLICIES`.
+    availability:
+        Optional fluctuating allocation (trace or int sequence, as for
+        :func:`repro.core.simulate`).
+    max_live_subjobs / max_live_jobs:
+        Admission bounds: an arrival that would push the live window past
+        either bound is **shed** — deterministically, newest-arrival-first
+        (the arrival that overflows is the one rejected) — and counted in
+        the metrics. ``None`` disables the bound.
+    max_jobs:
+        Stop pulling from the source after this many arrivals (admitted
+        or shed); bounds an unbounded stream for finite runs.
+    max_zero_commit_steps:
+        Override the stall bound (consecutive zero-commit steps tolerated
+        while jobs are live). Default: the availability horizon plus one.
+    on_retire:
+        Optional callback ``(job_index, flow)`` invoked as each job
+        retires (tests and tick hooks; the engine stores nothing per
+        retired job).
+    """
+
+    def __init__(
+        self,
+        source: ArrivalSource,
+        m: int,
+        *,
+        policy: str = "fifo",
+        availability: Optional[AvailabilityLike] = None,
+        max_live_subjobs: Optional[int] = None,
+        max_live_jobs: Optional[int] = None,
+        max_jobs: Optional[int] = None,
+        max_zero_commit_steps: Optional[int] = None,
+        on_retire: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        if m < 1:
+            raise ConfigurationError("m must be >= 1")
+        if policy not in STREAM_POLICIES:
+            raise ConfigurationError(
+                f"unknown stream policy {policy!r}; choose from {STREAM_POLICIES}"
+            )
+        for bound_name, bound in (
+            ("max_live_subjobs", max_live_subjobs),
+            ("max_live_jobs", max_live_jobs),
+            ("max_jobs", max_jobs),
+        ):
+            if bound is not None and bound < 1:
+                raise ConfigurationError(f"{bound_name} must be >= 1 (or None)")
+        self._source = source
+        self.m = int(m)
+        self._policy = policy
+        self._tie_break: TieBreak = (
+            LongestPathTieBreak() if policy == "lpf" else ArbitraryTieBreak()
+        )
+        self._trace: Optional[AvailabilityTrace] = (
+            None if availability is None else as_trace(availability, self.m)
+        )
+        self._max_live_subjobs = max_live_subjobs
+        self._max_live_jobs = max_live_jobs
+        limits = [
+            bound for bound in (source.n_jobs, max_jobs) if bound is not None
+        ]
+        self._job_limit: Optional[int] = min(limits) if limits else None
+        if max_zero_commit_steps is not None and max_zero_commit_steps < 1:
+            raise ConfigurationError("max_zero_commit_steps must be >= 1 (or None)")
+        self._stall_limit = (
+            max_zero_commit_steps
+            if max_zero_commit_steps is not None
+            else (self._trace.horizon + 1 if self._trace is not None else 1)
+        )
+        self._on_retire = on_retire
+        self._backend = get_backend()
+
+        self.t = 0
+        self.metrics = StreamMetrics()
+        self.stats = EngineStats(backend=self._backend.name)
+        self._live: dict[int, _LiveJob] = {}
+        self._live_subjobs = 0
+        self._next_index = 0
+        self._next_release: Optional[int] = (
+            source.gap_before(0)
+            if self._job_limit is None or self._job_limit > 0
+            else None
+        )
+        self._draining = False
+        self._zero_commit_streak = 0
+
+    # -- public state ----------------------------------------------------
+
+    @property
+    def live_jobs(self) -> int:
+        return len(self._live)
+
+    @property
+    def live_subjobs(self) -> int:
+        return self._live_subjobs
+
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def complete(self) -> bool:
+        """No live work and no further arrivals."""
+        return not self._live and self._next_release is None
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable hash of (source, m, policy, availability, bounds) —
+        embedded in snapshots so a resume under a different configuration
+        is rejected instead of silently diverging."""
+        trace = (
+            None
+            if self._trace is None
+            else (tuple(self._trace.values), self._trace.tail)
+        )
+        descriptor = (
+            STREAM_SNAPSHOT_VERSION,
+            self._source.fingerprint(),
+            self.m,
+            self._policy,
+            trace,
+            self._max_live_jobs,
+            self._max_live_subjobs,
+            self._job_limit,
+        )
+        return hashlib.sha256(repr(descriptor).encode("utf-8")).hexdigest()
+
+    def begin_drain(self) -> None:
+        """Stop admitting arrivals; the run ends once live work finishes.
+
+        Idempotent. Used by the service layer's SIGTERM/SIGINT graceful
+        shutdown: drain, emit the final tick, checkpoint, exit.
+        """
+        self._draining = True
+        self._next_release = None
+
+    # -- stepping --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance one time step (or skip an idle gap).
+
+        Returns ``False`` once the stream is complete — no live work and
+        no future arrivals — and ``True`` otherwise.
+        """
+        t = self.t
+        self._admit(t)
+        if not self._live:
+            if self._next_release is None:
+                return False
+            # Idle gap: no live work until the next arrival.
+            self.metrics.note_idle_skip(self._next_release - t)
+            self.t = self._next_release
+            return True
+        capacity = (
+            self.m if self._trace is None else self._trace.capacity_at(t)
+        )
+        committed = self._commit(t, capacity)
+        self.metrics.note_step(committed, capacity)
+        self.stats.stream_steps += 1
+        if committed:
+            self.stats.steps += 1
+            self.stats.selections += committed
+            self._zero_commit_streak = 0
+        else:
+            self._zero_commit_streak += 1
+            if self._zero_commit_streak > self._stall_limit:
+                raise StreamStallError(self._stall_diagnosis(t, capacity))
+        self.t = t + 1
+        return True
+
+    def run(self, *, max_steps: Optional[int] = None) -> bool:
+        """Step until the stream completes; ``True`` when it did.
+
+        ``max_steps`` bounds the number of :meth:`step` calls (idle skips
+        count as one step), returning ``False`` if the budget runs out.
+        """
+        remaining = max_steps
+        while remaining is None or remaining > 0:
+            if not self.step():
+                return True
+            if remaining is not None:
+                remaining -= 1
+        return False
+
+    # -- internals -------------------------------------------------------
+
+    def _admit(self, t: int) -> None:
+        while self._next_release is not None and self._next_release <= t:
+            index = self._next_index
+            dag = self._source.dag_at(index)
+            n = int(dag.n)
+            if self._would_overflow(n):
+                self.metrics.note_shed(n)
+                self.stats.stream_shed += 1
+            else:
+                job = _LiveJob(index, self._next_release, dag, self._tie_break)
+                self._live[index] = job
+                self._live_subjobs += n
+                self.metrics.note_admission(n, len(self._live), self._live_subjobs)
+            self._advance_cursor()
+
+    def _would_overflow(self, n: int) -> bool:
+        if (
+            self._max_live_jobs is not None
+            and len(self._live) + 1 > self._max_live_jobs
+        ):
+            return True
+        return (
+            self._max_live_subjobs is not None
+            and self._live_subjobs + n > self._max_live_subjobs
+        )
+
+    def _advance_cursor(self) -> None:
+        self._next_index += 1
+        if self._draining or (
+            self._job_limit is not None and self._next_index >= self._job_limit
+        ):
+            self._next_release = None
+        else:
+            assert self._next_release is not None
+            self._next_release += self._source.gap_before(self._next_index)
+
+    def _policy_order(self) -> list[_LiveJob]:
+        jobs = list(self._live.values())  # insertion order == arrival order
+        if self._policy == "srpt":
+            jobs.sort(key=lambda job: (job.n - job.n_done, job.index))
+        return jobs
+
+    def _commit(self, t: int, capacity: int) -> int:
+        if capacity <= 0:
+            return 0
+        backend = self._backend
+        dispatches = self.stats.kernel_dispatches
+        committed = 0
+        retired: list[_LiveJob] = []
+        for job in self._policy_order():
+            if capacity == 0:
+                break
+            frontier = job.frontier
+            if frontier.size == 0:  # pragma: no cover - live jobs stay ready
+                continue
+            take = frontier.size if frontier.size <= capacity else capacity
+            taken = frontier[:take]
+            job.frontier = frontier[take:] if take < frontier.size else _EMPTY
+            capacity -= take
+            committed += take
+            nodes = taken if job.enc is None else taken % _INT(job.n)
+            job.done[nodes] = True
+            job.n_done += take
+            if job.n_done == job.n:
+                retired.append(job)
+                continue
+            dag = job.dag
+            children = backend.csr_children(
+                dag.child_indptr, dag.child_indices, nodes
+            )
+            dispatches["csr_children"] = dispatches.get("csr_children", 0) + 1
+            if children.size == 0:
+                continue
+            if job.is_forest:
+                job.indegree[children] -= 1
+                newly = children[job.indegree[children] == 0]
+            else:
+                np.subtract.at(job.indegree, children, 1)
+                newly = np.unique(children[job.indegree[children] == 0])
+            if newly.size:
+                add = newly.astype(_INT) if job.enc is None else job.enc[newly]
+                add.sort()
+                job.frontier = backend.merge_sorted(job.frontier, add)
+                dispatches["merge_sorted"] = dispatches.get("merge_sorted", 0) + 1
+        for job in retired:
+            flow = (t + 1) - job.release
+            self.metrics.record_completion(flow)
+            self.metrics.note_retirement(job.n)
+            self.stats.stream_retired += 1
+            del self._live[job.index]
+            self._live_subjobs -= job.n
+            if self._on_retire is not None:
+                self._on_retire(job.index, flow)
+        return committed
+
+    def _stall_diagnosis(self, t: int, capacity: int) -> str:
+        return (
+            f"stream stalled at t={t}: {self._zero_commit_streak} consecutive "
+            f"zero-commit steps (limit {self._stall_limit}) with "
+            f"{len(self._live)} live jobs / {self._live_subjobs} live subjobs, "
+            f"capacity_now={capacity}, next_release={self._next_release}"
+        )
+
+    # -- snapshot / restore ----------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Versioned, picklable snapshot of the full logical state.
+
+        Per live job only the index, release, and a packed done-bitmask
+        are stored; DAGs, priority kernels, frontiers, and indegrees are
+        re-derived on restore (the source is index-pure). Entries are in
+        arrival order, which :meth:`from_snapshot` preserves — FIFO/LPF
+        job order is the dict insertion order.
+        """
+        return {
+            "version": STREAM_SNAPSHOT_VERSION,
+            "fingerprint": self.fingerprint,
+            "t": self.t,
+            "next_index": self._next_index,
+            "next_release": self._next_release,
+            "draining": self._draining,
+            "zero_commit_streak": self._zero_commit_streak,
+            "live_subjobs": self._live_subjobs,
+            "live": [
+                {
+                    "index": job.index,
+                    "release": job.release,
+                    "n": job.n,
+                    "done": np.packbits(job.done).tobytes(),
+                }
+                for job in self._live.values()
+            ],
+            "metrics": self.metrics.state(),
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: dict[str, Any],
+        source: ArrivalSource,
+        m: int,
+        *,
+        policy: str = "fifo",
+        availability: Optional[AvailabilityLike] = None,
+        max_live_subjobs: Optional[int] = None,
+        max_live_jobs: Optional[int] = None,
+        max_jobs: Optional[int] = None,
+        max_zero_commit_steps: Optional[int] = None,
+        on_retire: Optional[Callable[[int, int], None]] = None,
+    ) -> "StreamingEngine":
+        """Rebuild an engine mid-stream from :meth:`snapshot` output.
+
+        The configuration must match the snapshotting run's — the
+        embedded fingerprint is checked, so a resume under a different
+        source/policy/capacity/bounds raises instead of mixing runs.
+        """
+        engine = cls(
+            source,
+            m,
+            policy=policy,
+            availability=availability,
+            max_live_subjobs=max_live_subjobs,
+            max_live_jobs=max_live_jobs,
+            max_jobs=max_jobs,
+            max_zero_commit_steps=max_zero_commit_steps,
+            on_retire=on_retire,
+        )
+        version = snapshot.get("version")
+        if version != STREAM_SNAPSHOT_VERSION:
+            raise ConfigurationError(
+                f"unsupported stream snapshot version {version!r} "
+                f"(this build reads version {STREAM_SNAPSHOT_VERSION})"
+            )
+        if snapshot.get("fingerprint") != engine.fingerprint:
+            raise ConfigurationError(
+                "stream snapshot fingerprint mismatch: the checkpoint was "
+                "written under a different source/policy/capacity "
+                "configuration; resume with the original settings"
+            )
+        engine.t = int(snapshot["t"])
+        engine._next_index = int(snapshot["next_index"])
+        next_release = snapshot["next_release"]
+        engine._next_release = None if next_release is None else int(next_release)
+        engine._draining = bool(snapshot["draining"])
+        engine._zero_commit_streak = int(snapshot["zero_commit_streak"])
+        engine.metrics = StreamMetrics.from_state(snapshot["metrics"])
+        for entry in snapshot["live"]:
+            engine._restore_live(entry)
+        if engine._live_subjobs != int(snapshot["live_subjobs"]):
+            raise ConfigurationError(
+                "stream snapshot is inconsistent: restored live-subjob "
+                f"count {engine._live_subjobs} != recorded "
+                f"{snapshot['live_subjobs']} (source changed under the "
+                "checkpoint?)"
+            )
+        return engine
+
+    def _restore_live(self, entry: dict[str, Any]) -> None:
+        index = int(entry["index"])
+        dag = self._source.dag_at(index)
+        if int(dag.n) != int(entry["n"]):
+            raise ConfigurationError(
+                f"stream snapshot is inconsistent: job {index} has "
+                f"{dag.n} nodes now but {entry['n']} at checkpoint time "
+                "(source changed under the checkpoint)"
+            )
+        job = _LiveJob(index, int(entry["release"]), dag, self._tie_break)
+        done = np.unpackbits(
+            np.frombuffer(entry["done"], dtype=np.uint8), count=job.n
+        ).astype(bool)
+        job.done = done
+        job.n_done = int(done.sum())
+        done_nodes = np.nonzero(done)[0].astype(_INT)
+        if done_nodes.size:
+            children = self._backend.csr_children(
+                dag.child_indptr, dag.child_indices, done_nodes
+            )
+            if children.size:
+                if job.is_forest:
+                    job.indegree[children] -= 1
+                else:
+                    np.subtract.at(job.indegree, children, 1)
+        ready = np.nonzero(~done & (job.indegree == 0))[0].astype(_INT)
+        job.frontier = ready if job.enc is None else np.sort(job.enc[ready])
+        self._live[index] = job
+        self._live_subjobs += job.n

@@ -1,0 +1,210 @@
+"""Incremental metrics for long-lived streaming runs.
+
+Everything here is **logical** (a pure function of the step history): the
+accumulators are plain integers plus a fixed-size log2 flow histogram, so
+state round-trips losslessly through a checkpoint and a resumed run's
+final metrics are bit-identical to an uninterrupted one. Wall-clock
+observations (elapsed time, steps/second) live in the service layer and
+are deliberately excluded from this object.
+
+Flow percentiles come from the histogram: bucket ``b`` counts completed
+jobs whose flow satisfies ``2**(b-1) <= flow < 2**b`` (bucket 0 holds
+flow 0), so a reported decile is the *upper bound* ``2**b - 1`` of the
+smallest bucket covering that fraction of completions. The histogram is
+64 buckets regardless of stream length — resident metric state is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["StreamMetrics"]
+
+#: log2 buckets cover any int64 flow value.
+_N_BUCKETS = 64
+
+#: Checkpoint schema version for :meth:`StreamMetrics.state`.
+_STATE_VERSION = 1
+
+
+class StreamMetrics:
+    """O(1)-state accumulators for one streaming run."""
+
+    __slots__ = (
+        "max_flow",
+        "jobs_admitted",
+        "subjobs_admitted",
+        "jobs_completed",
+        "subjobs_completed",
+        "jobs_shed",
+        "subjobs_shed",
+        "steps",
+        "busy",
+        "capacity_granted",
+        "idle_skipped_steps",
+        "live_job_hwm",
+        "live_subjob_hwm",
+        "flow_hist",
+        "window_start_t",
+        "window_busy",
+        "window_capacity",
+        "window_completions",
+    )
+
+    def __init__(self) -> None:
+        self.max_flow = 0
+        self.jobs_admitted = 0
+        self.subjobs_admitted = 0
+        self.jobs_completed = 0
+        self.subjobs_completed = 0
+        self.jobs_shed = 0
+        self.subjobs_shed = 0
+        #: Time steps actually stepped through (idle gaps are skipped, not
+        #: stepped — they land in ``idle_skipped_steps``).
+        self.steps = 0
+        #: Total node-steps committed (utilization numerator).
+        self.busy = 0
+        #: Sum of granted capacity over stepped steps (utilization denominator).
+        self.capacity_granted = 0
+        self.idle_skipped_steps = 0
+        self.live_job_hwm = 0
+        self.live_subjob_hwm = 0
+        self.flow_hist = [0] * _N_BUCKETS
+        self.window_start_t = 0
+        self.window_busy = 0
+        self.window_capacity = 0
+        self.window_completions = 0
+
+    # -- recording -----------------------------------------------------
+
+    def note_admission(self, n_subjobs: int, live_jobs: int, live_subjobs: int) -> None:
+        self.jobs_admitted += 1
+        self.subjobs_admitted += n_subjobs
+        if live_jobs > self.live_job_hwm:
+            self.live_job_hwm = live_jobs
+        if live_subjobs > self.live_subjob_hwm:
+            self.live_subjob_hwm = live_subjobs
+
+    def note_shed(self, n_subjobs: int) -> None:
+        self.jobs_shed += 1
+        self.subjobs_shed += n_subjobs
+
+    def note_step(self, committed: int, capacity: int) -> None:
+        self.steps += 1
+        self.busy += committed
+        self.capacity_granted += capacity
+        self.window_busy += committed
+        self.window_capacity += capacity
+
+    def note_idle_skip(self, n_steps: int) -> None:
+        self.idle_skipped_steps += n_steps
+
+    def record_completion(self, flow: int) -> None:
+        self.jobs_completed += 1
+        self.window_completions += 1
+        if flow > self.max_flow:
+            self.max_flow = flow
+        self.flow_hist[min(int(flow).bit_length(), _N_BUCKETS - 1)] += 1
+
+    def note_retirement(self, n_subjobs: int) -> None:
+        self.subjobs_completed += n_subjobs
+
+    # -- derived -------------------------------------------------------
+
+    def flow_percentile(self, fraction: float) -> int:
+        """Upper bound on the flow at the given completion fraction
+        (``0 < fraction <= 1``); 0 when nothing has completed."""
+        if self.jobs_completed == 0:
+            return 0
+        threshold = fraction * self.jobs_completed
+        running = 0
+        for bucket, count in enumerate(self.flow_hist):
+            running += count
+            if running >= threshold:
+                return (1 << bucket) - 1
+        return self.max_flow
+
+    def flow_deciles(self) -> list[int]:
+        """Histogram upper bounds at the 10th..90th completion percentiles."""
+        return [self.flow_percentile(q / 10.0) for q in range(1, 10)]
+
+    def utilization(self) -> float:
+        """Committed node-steps over granted capacity, cumulative."""
+        return self.busy / self.capacity_granted if self.capacity_granted else 0.0
+
+    # -- ticks ---------------------------------------------------------
+
+    def tick(self, t: int, live_jobs: int, live_subjobs: int) -> dict[str, Any]:
+        """One incremental metrics emission; resets the window accumulators.
+
+        The returned dict is JSON-serializable (plain ints/floats only).
+        """
+        span = max(1, t - self.window_start_t)
+        out: dict[str, Any] = {
+            "t": t,
+            "max_flow": self.max_flow,
+            "jobs_completed": self.jobs_completed,
+            "subjobs_completed": self.subjobs_completed,
+            "jobs_admitted": self.jobs_admitted,
+            "jobs_shed": self.jobs_shed,
+            "live_jobs": live_jobs,
+            "live_subjobs": live_subjobs,
+            "live_subjob_hwm": self.live_subjob_hwm,
+            "flow_deciles": self.flow_deciles(),
+            "window_throughput": self.window_completions / span,
+            "window_utilization": (
+                self.window_busy / self.window_capacity if self.window_capacity else 0.0
+            ),
+        }
+        self.window_start_t = t
+        self.window_busy = 0
+        self.window_capacity = 0
+        self.window_completions = 0
+        return out
+
+    def summary(self) -> dict[str, Any]:
+        """Final logical metrics of a run (the bit-identity surface: two
+        runs of the same stream must produce equal summaries, interrupted
+        or not)."""
+        return {
+            "max_flow": self.max_flow,
+            "jobs_admitted": self.jobs_admitted,
+            "subjobs_admitted": self.subjobs_admitted,
+            "jobs_completed": self.jobs_completed,
+            "subjobs_completed": self.subjobs_completed,
+            "jobs_shed": self.jobs_shed,
+            "subjobs_shed": self.subjobs_shed,
+            "steps": self.steps,
+            "busy": self.busy,
+            "capacity_granted": self.capacity_granted,
+            "idle_skipped_steps": self.idle_skipped_steps,
+            "live_job_hwm": self.live_job_hwm,
+            "live_subjob_hwm": self.live_subjob_hwm,
+            "flow_deciles": self.flow_deciles(),
+            "utilization": self.utilization(),
+        }
+
+    # -- checkpointing -------------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        """Versioned snapshot of every accumulator (plain ints only)."""
+        payload = {slot: getattr(self, slot) for slot in self.__slots__}
+        payload["flow_hist"] = list(self.flow_hist)
+        payload["version"] = _STATE_VERSION
+        return payload
+
+    @classmethod
+    def from_state(cls, state: Optional[dict[str, Any]]) -> "StreamMetrics":
+        metrics = cls()
+        if state is None:
+            return metrics
+        version = state.get("version")
+        if version != _STATE_VERSION:
+            raise ValueError(
+                f"unsupported StreamMetrics state version {version!r} "
+                f"(this build reads version {_STATE_VERSION})"
+            )
+        for slot in cls.__slots__:
+            setattr(metrics, slot, state[slot])
+        metrics.flow_hist = list(metrics.flow_hist)
+        return metrics

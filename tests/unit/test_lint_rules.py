@@ -57,12 +57,106 @@ def test_rule_catalog_is_stable():
         "RPR006",  # macro-step contract
         "RPR007",  # batch-capable contract
         "RPR008",  # kernel-backend style discipline
+        "RPR009",  # streaming unbounded-accumulation discipline
         "RPR101", "RPR102", "RPR103",  # scheduler contracts
         "RPR201", "RPR202", "RPR203",  # engine safety
         "RPR301",  # picklability
         "RPR310", "RPR311", "RPR312",  # whole-program contract verification
     }
     assert expected <= set(RULES)
+
+
+# ----------------------------------------------------------------------
+# RPR009 — unbounded accumulation on long-lived streaming state
+# ----------------------------------------------------------------------
+
+
+class TestUnboundedAccumulationScope:
+    GROWING = textwrap.dedent(
+        """\
+        class Tracker:
+            def __init__(self):
+                self.history = []
+
+            def on_event(self, item):
+                self.history.append(item)
+        """
+    )
+
+    def _violations(self, source, path):
+        rule = get_rule("RPR009")
+        report = lint_source(source, path=path, rules=[rule])
+        return [v for v in report.violations if v.rule_id == "RPR009"]
+
+    def test_fires_in_streaming_package(self):
+        assert self._violations(self.GROWING, "src/repro/streaming/engine.py")
+
+    def test_exempt_in_batch_mode_layers(self):
+        for path in (
+            "src/repro/core/simulator.py",
+            "src/repro/experiments/runner.py",
+            "src/repro/analysis/fairness.py",
+            "tests/unit/test_x.py",
+        ):
+            assert not self._violations(self.GROWING, path), path
+
+    def test_retire_path_bounds_the_attr(self):
+        src = textwrap.dedent(
+            """\
+            class Window:
+                def __init__(self):
+                    self.live = {}
+
+                def admit(self, index, job):
+                    self.live[index] = job
+
+                def retire(self, index):
+                    del self.live[index]
+            """
+        )
+        assert not self._violations(src, "src/repro/streaming/engine.py")
+
+    def test_dict_grow_without_retire_fires(self):
+        src = textwrap.dedent(
+            """\
+            class Window:
+                def __init__(self):
+                    self.live = {}
+
+                def admit(self, index, job):
+                    self.live[index] = job
+            """
+        )
+        assert self._violations(src, "src/repro/streaming/engine.py")
+
+    def test_rebinding_counts_as_compaction(self):
+        src = textwrap.dedent(
+            """\
+            class Window:
+                def __init__(self):
+                    self.recent = []
+
+                def note(self, item):
+                    self.recent.append(item)
+
+                def compact(self):
+                    self.recent = self.recent[-64:]
+            """
+        )
+        assert not self._violations(src, "src/repro/streaming/engine.py")
+
+    def test_suppression_with_reason_is_honored(self):
+        src = textwrap.dedent(
+            """\
+            class Hist:
+                def __init__(self):
+                    self.counts = {}
+
+                def note(self, bucket):
+                    self.counts[bucket] = self.counts.get(bucket, 0) + 1  # repro-lint: disable=RPR009 (bounded: 64 log2 buckets)
+            """
+        )
+        assert not self._violations(src, "src/repro/streaming/metrics.py")
 
 
 # ----------------------------------------------------------------------

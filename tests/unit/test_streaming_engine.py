@@ -1,0 +1,315 @@
+"""Unit tests for the streaming engine, metrics, and checkpoint format."""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.streaming import (
+    CheckpointError,
+    StreamingEngine,
+    StreamMetrics,
+    StreamStallError,
+    load_checkpoint,
+    save_checkpoint,
+    serve,
+)
+from repro.workloads.arrivals import AdversarialDripSource, PoissonSource
+
+
+def _summary(engine):
+    return json.dumps(engine.metrics.summary(), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Bounded memory: the high-water mark tracks the live window, not the
+# stream length
+# ----------------------------------------------------------------------
+
+
+class TestBoundedState:
+    def test_hwm_is_independent_of_stream_length(self):
+        """10x the jobs must not move the live-subjob high-water mark:
+        resident state is bounded by the live window (the 10⁷-subjob
+        acceptance criterion, scaled down for CI)."""
+        hwms = []
+        for n_jobs in (40, 400):
+            source = AdversarialDripSource(4, period=16, depth=4, seed=0, n_jobs=n_jobs)
+            engine = StreamingEngine(source, 4, policy="fifo")
+            engine.run()
+            assert engine.complete
+            hwms.append(engine.metrics.live_subjob_hwm)
+        assert hwms[0] == hwms[1]
+
+    def test_retirement_empties_the_live_window(self):
+        source = PoissonSource(rate=0.5, seed=2, dag_nodes=10, n_jobs=30)
+        engine = StreamingEngine(source, 4)
+        engine.run()
+        assert engine.live_jobs == 0
+        assert engine.live_subjobs == 0
+        assert engine.stats.stream_retired == 30
+
+    def test_admission_bound_sheds_deterministically(self):
+        source = PoissonSource(rate=5.0, seed=4, dag_nodes=20, n_jobs=60)
+        runs = []
+        for _ in range(2):
+            engine = StreamingEngine(source, 2, max_live_subjobs=100)
+            engine.run()
+            assert engine.metrics.live_subjob_hwm <= 100
+            assert engine.metrics.jobs_shed > 0
+            assert (
+                engine.metrics.jobs_admitted + engine.metrics.jobs_shed == 60
+            )
+            runs.append(_summary(engine))
+        assert runs[0] == runs[1]
+
+    def test_max_live_jobs_bound(self):
+        source = PoissonSource(rate=5.0, seed=4, dag_nodes=8, n_jobs=40)
+        engine = StreamingEngine(source, 2, max_live_jobs=3)
+        engine.run()
+        assert engine.metrics.live_job_hwm <= 3
+        assert engine.metrics.jobs_shed > 0
+
+
+# ----------------------------------------------------------------------
+# Liveness guards
+# ----------------------------------------------------------------------
+
+
+class TestStallGuard:
+    def test_zero_capacity_beyond_limit_raises(self):
+        source = PoissonSource(rate=1.0, seed=0, dag_nodes=6, n_jobs=5)
+        engine = StreamingEngine(
+            source,
+            4,
+            availability=[0] * 50,
+            max_zero_commit_steps=3,
+        )
+        with pytest.raises(StreamStallError):
+            engine.run()
+
+    def test_trace_horizon_default_allows_blackouts(self):
+        """The default stall limit clears any finite-trace blackout: tail
+        capacity >= 1 guarantees eventual progress."""
+        source = PoissonSource(rate=1.0, seed=0, dag_nodes=6, n_jobs=5)
+        engine = StreamingEngine(source, 4, availability=[0] * 30)
+        engine.run()
+        assert engine.complete
+
+    def test_idle_gaps_are_skipped_not_stepped(self):
+        source = PoissonSource(rate=0.01, seed=1, dag_nodes=4, n_jobs=3)
+        engine = StreamingEngine(source, 4)
+        engine.run()
+        assert engine.metrics.idle_skipped_steps > 0
+        # Skipped steps never enter the utilization denominator.
+        assert engine.metrics.utilization() > 0.0
+
+
+# ----------------------------------------------------------------------
+# Engine configuration validation
+# ----------------------------------------------------------------------
+
+
+class TestValidation:
+    def test_rejects_unknown_policy(self):
+        source = PoissonSource(rate=0.5, seed=0, dag_nodes=4, n_jobs=2)
+        with pytest.raises(ConfigurationError):
+            StreamingEngine(source, 2, policy="lifo")
+
+    def test_rejects_nonpositive_m(self):
+        source = PoissonSource(rate=0.5, seed=0, dag_nodes=4, n_jobs=2)
+        with pytest.raises(ConfigurationError):
+            StreamingEngine(source, 0)
+
+    def test_drain_stops_admission(self):
+        source = PoissonSource(rate=0.5, seed=3, dag_nodes=8, n_jobs=50)
+        engine = StreamingEngine(source, 4)
+        for _ in range(5):
+            engine.step()
+        admitted_at_drain = engine.metrics.jobs_admitted
+        engine.begin_drain()
+        engine.run()
+        assert engine.metrics.jobs_admitted == admitted_at_drain
+        assert engine.live_jobs == 0
+
+
+# ----------------------------------------------------------------------
+# Checkpoint file format
+# ----------------------------------------------------------------------
+
+
+class TestCheckpointFormat:
+    def _snapshot(self):
+        source = PoissonSource(rate=0.5, seed=1, dag_nodes=8, n_jobs=10)
+        engine = StreamingEngine(source, 3)
+        for _ in range(4):
+            engine.step()
+        return engine.snapshot()
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        snapshot = self._snapshot()
+        save_checkpoint(path, snapshot)
+        assert load_checkpoint(path) == snapshot
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "absent.ckpt")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        path.write_bytes(b"not a checkpoint")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        save_checkpoint(path, self._snapshot())
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-7])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_corruption_detected(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        save_checkpoint(path, self._snapshot())
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        first = self._snapshot()
+        save_checkpoint(path, first)
+        second = dict(first, t=first["t"] + 1)
+        save_checkpoint(path, second)
+        assert load_checkpoint(path)["t"] == first["t"] + 1
+        assert list(tmp_path.iterdir()) == [path]  # no leftover temp files
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+class TestStreamMetrics:
+    def test_state_roundtrip(self):
+        metrics = StreamMetrics()
+        metrics.note_admission(10, 1, 10)
+        metrics.note_step(4, 4)
+        metrics.record_completion(17)
+        metrics.note_retirement(10)
+        restored = StreamMetrics.from_state(metrics.state())
+        assert restored.summary() == metrics.summary()
+        assert restored.state() == metrics.state()
+
+    def test_state_version_checked(self):
+        state = StreamMetrics().state()
+        state["version"] = 999
+        with pytest.raises(ValueError):
+            StreamMetrics.from_state(state)
+
+    def test_flow_deciles_monotone(self):
+        metrics = StreamMetrics()
+        for flow in (1, 2, 3, 5, 9, 17, 33, 100, 1000):
+            metrics.record_completion(flow)
+        deciles = metrics.flow_deciles()
+        assert deciles == sorted(deciles)
+        assert deciles[-1] >= 511  # 1000 lands in the 2^10 bucket
+
+    def test_tick_resets_window(self):
+        metrics = StreamMetrics()
+        metrics.note_step(3, 4)
+        metrics.record_completion(5)
+        tick = metrics.tick(10, live_jobs=1, live_subjobs=3)
+        assert tick["window_utilization"] == 0.75
+        second = metrics.tick(20, live_jobs=1, live_subjobs=3)
+        assert second["window_utilization"] == 0.0
+        assert second["window_throughput"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# serve() in-process (no signals)
+# ----------------------------------------------------------------------
+
+
+class TestServeLoop:
+    def test_interrupt_and_resume_reproduce_clean_run(self, tmp_path, capsys):
+        import io
+
+        source_kwargs = dict(rate=0.7, seed=6, dag_nodes=10, n_jobs=40)
+        clean_out = tmp_path / "clean.json"
+        status = serve(
+            PoissonSource(**source_kwargs),
+            3,
+            tick_every=0,
+            metrics_out=clean_out,
+            quiet=True,
+            install_signals=False,
+            stall_timeout=None,
+            out=io.StringIO(),
+            err=io.StringIO(),
+        )
+        assert status == 0
+
+        ckpt = tmp_path / "serve.ckpt"
+        resumed_out = tmp_path / "resumed.json"
+        status = serve(
+            PoissonSource(**source_kwargs),
+            3,
+            tick_every=0,
+            checkpoint_path=ckpt,
+            checkpoint_every=10,
+            max_steps=25,
+            quiet=True,
+            install_signals=False,
+            stall_timeout=None,
+            out=io.StringIO(),
+            err=io.StringIO(),
+        )
+        assert status == 130
+        status = serve(
+            PoissonSource(**source_kwargs),
+            3,
+            tick_every=0,
+            checkpoint_path=ckpt,
+            checkpoint_every=10,
+            resume=True,
+            metrics_out=resumed_out,
+            quiet=True,
+            install_signals=False,
+            stall_timeout=None,
+            out=io.StringIO(),
+            err=io.StringIO(),
+        )
+        assert status == 0
+
+        clean = json.loads(clean_out.read_text())
+        resumed = json.loads(resumed_out.read_text())
+        clean.pop("resumed")
+        resumed.pop("resumed")
+        assert clean == resumed
+
+    def test_stall_exit_status_and_checkpoint(self, tmp_path):
+        import io
+
+        source = PoissonSource(rate=1.0, seed=0, dag_nodes=6, n_jobs=5)
+        ckpt = tmp_path / "stalled.ckpt"
+        status = serve(
+            source,
+            4,
+            availability=[0] * 50,
+            max_zero_commit_steps=3,
+            checkpoint_path=ckpt,
+            tick_every=0,
+            quiet=True,
+            install_signals=False,
+            stall_timeout=None,
+            out=io.StringIO(),
+            err=io.StringIO(),
+        )
+        assert status == 3
+        # The stalled state was checkpointed for post-mortem/resume.
+        assert load_checkpoint(ckpt)["t"] > 0

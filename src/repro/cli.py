@@ -41,7 +41,7 @@ Commands
     contracts, engine safety, picklability) over ``src`` or the given
     paths; exits 1 on violations. See ``docs/lint.md``.
 ``serve M [--source poisson|drip|trace] [--policy fifo|lpf|srpt] [--jobs N]
-[--checkpoint PATH] [--resume] [--metrics-out PATH]``
+[--checkpoint PATH] [--resume] [--metrics-out PATH] [--arena auto|on|off]``
     Long-lived streaming mode: schedule an unbounded arrival stream with
     bounded memory, incremental metrics ticks, graceful SIGTERM/SIGINT
     drain, and crash-safe checkpoints (kill → ``--resume`` reproduces an
@@ -317,6 +317,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics_out=args.metrics_out,
         quiet=args.quiet,
         max_steps=args.max_steps,
+        arena=args.arena,
     )
 
 
@@ -555,6 +556,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="N",
         help="stop after N engine steps as if interrupted (testing aid)",
+    )
+    serve_p.add_argument(
+        "--arena",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="commit path: resident-arena fast path (on/auto) or the "
+        "per-job reference loop (off); bit-identical outputs either way "
+        "(default auto)",
     )
     lint_p = sub.add_parser("lint", help="run the repo invariant checks")
     from .lint.cli import add_lint_arguments

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -28,10 +28,38 @@ __all__ = [
     "FlatInstanceGraph",
     "FlatChainRuns",
     "InstanceBatch",
+    "concat_csr_blocks",
     "pack_instances",
 ]
 
 _INT = np.int64
+
+
+def concat_csr_blocks(
+    blocks: Iterable[tuple[Array, Array, int]],
+) -> tuple[Array, Array]:
+    """Concatenate CSR blocks into one flat id space.
+
+    Each block is ``(indptr, indices, node_shift)``: rows are appended in
+    block order, edge targets are shifted by ``node_shift`` into the
+    global id space, and row pointers are rebased onto the running edge
+    tail. This offset-shift concat is the packing primitive shared by
+    :attr:`Instance.flat_graph`, :func:`pack_instances`, and the
+    streaming arena's compaction rebuild
+    (:class:`repro.streaming.arena.StreamArena`).
+    """
+    indptr_parts = [np.zeros(1, dtype=_INT)]
+    index_parts: list[Array] = []
+    edge_offset = 0
+    for indptr, indices, shift in blocks:
+        indptr_parts.append(indptr[1:] + edge_offset)
+        index_parts.append(indices + shift)
+        edge_offset += indices.size
+    child_indptr = np.concatenate(indptr_parts)
+    child_indices = (
+        np.concatenate(index_parts) if index_parts else np.empty(0, dtype=_INT)
+    )
+    return child_indptr, child_indices
 
 
 @dataclass(frozen=True)
@@ -188,17 +216,9 @@ class Instance:
         sizes = np.array([j.dag.n for j in self.jobs], dtype=_INT)
         offsets = np.zeros(len(self.jobs) + 1, dtype=_INT)
         np.cumsum(sizes, out=offsets[1:])
-        indptr_parts = [np.zeros(1, dtype=_INT)]
-        index_parts: list[Array] = []
-        edge_offset = 0
-        for node_offset, job in zip(offsets[:-1].tolist(), self.jobs):
-            dag = job.dag
-            indptr_parts.append(dag.child_indptr[1:] + edge_offset)
-            index_parts.append(dag.child_indices + node_offset)
-            edge_offset += dag.child_indices.size
-        child_indptr = np.concatenate(indptr_parts)
-        child_indices = (
-            np.concatenate(index_parts) if index_parts else np.empty(0, dtype=_INT)
+        child_indptr, child_indices = concat_csr_blocks(
+            (job.dag.child_indptr, job.dag.child_indices, node_offset)
+            for node_offset, job in zip(offsets[:-1].tolist(), self.jobs)
         )
         indegree = np.concatenate([j.dag.indegree for j in self.jobs])
         for arr in (offsets, child_indptr, child_indices, indegree):
@@ -492,14 +512,14 @@ def pack_instances(instances: Sequence[Instance]) -> InstanceBatch:
     job_off = np.zeros(len(insts) + 1, dtype=_INT)
     np.cumsum(job_sizes, out=job_off[1:])
 
-    indptr_parts = [np.zeros(1, dtype=_INT)]
-    index_parts: list[Array] = []
-    edge_offset = 0
-    for b, inst in enumerate(insts):
-        flat = inst.flat_graph
-        indptr_parts.append(flat.child_indptr[1:] + edge_offset)
-        index_parts.append(flat.child_indices + int(node_off[b]))
-        edge_offset += flat.child_indices.size
+    child_indptr, child_indices = concat_csr_blocks(
+        (
+            inst.flat_graph.child_indptr,
+            inst.flat_graph.child_indices,
+            int(node_off[b]),
+        )
+        for b, inst in enumerate(insts)
+    )
     # One repeat over global job ids beats B per-instance repeat/shift
     # round-trips for sweeps of thousands of small instances.
     per_job_sizes = np.concatenate(
@@ -507,10 +527,6 @@ def pack_instances(instances: Sequence[Instance]) -> InstanceBatch:
     )
     job_of_node = np.repeat(
         np.arange(int(job_off[-1]), dtype=_INT), per_job_sizes
-    )
-    child_indptr = np.concatenate(indptr_parts)
-    child_indices = (
-        np.concatenate(index_parts) if index_parts else np.empty(0, dtype=_INT)
     )
     indegree = np.concatenate([inst.flat_graph.indegree for inst in insts])
     releases = np.array(

@@ -66,6 +66,8 @@ KERNEL_NAMES = (
     "merge_sorted",
     "batch_take",
     "batch_select_order",
+    "arena_gather",
+    "arena_commit",
 )
 
 
@@ -93,6 +95,8 @@ class KernelBackend:
     merge_sorted: Callable
     batch_take: Callable
     batch_select_order: Callable
+    arena_gather: Callable
+    arena_commit: Callable
 
 
 _CACHE: dict[str, KernelBackend] = {}
@@ -234,6 +238,18 @@ def warmup(backend: KernelBackend) -> None:
     )
     backend.batch_select_order(
         np.zeros(2, dtype=np.int64), np.array([0, 1], dtype=np.int64)
+    )
+    fbuf = np.array([1, 3, 0, 0], dtype=np.int64)
+    backend.arena_gather(
+        fbuf, np.array([0], dtype=np.int64), np.array([1], dtype=np.int64), 1
+    )
+    backend.arena_commit(
+        fbuf,
+        np.array([0], dtype=np.int64),  # offsets
+        np.array([2], dtype=np.int64),  # sizes
+        np.array([0], dtype=np.int64),  # slots
+        np.array([0, 1], dtype=np.int64),  # seg
+        np.array([2], dtype=np.int64),  # new_keys
     )
 
 

@@ -160,6 +160,41 @@ def k_batch_take(fkeys, seg, k, total_k):  # pragma: no cover - jitted
     return taken, remaining
 
 
+def k_arena_gather(fbuf, starts, k, total_k):  # pragma: no cover - jitted
+    taken = np.empty(total_k, np.int64)
+    pos = 0
+    for i in range(starts.shape[0]):
+        s = starts[i]
+        for j in range(k[i]):
+            taken[pos] = fbuf[s + j]
+            pos += 1
+    return taken
+
+
+def k_arena_commit(
+    fbuf, offsets, sizes, slots, seg, new_keys
+):  # pragma: no cover - jitted
+    for i in range(slots.shape[0]):
+        s = slots[i]
+        off = offsets[s]
+        size = sizes[s]
+        add = np.sort(new_keys[seg[i] : seg[i + 1]])
+        cnt = add.shape[0]
+        # Backward in-place merge: the resident slice grows by cnt
+        # without a scratch buffer (slot capacity covers it).
+        w = size + cnt - 1
+        a = size - 1
+        b = cnt - 1
+        while b >= 0:
+            if a >= 0 and fbuf[off + a] > add[b]:
+                fbuf[off + w] = fbuf[off + a]
+                a -= 1
+            else:
+                fbuf[off + w] = add[b]
+                b -= 1
+            w -= 1
+
+
 #: Kernel name -> python loop body to compile. ``batch_select_order`` is
 #: intentionally missing (numpy fallback).
 _KERNEL_BODIES: dict[str, Callable] = {
@@ -169,6 +204,8 @@ _KERNEL_BODIES: dict[str, Callable] = {
     "macro_fill": k_macro_fill,
     "merge_sorted": k_merge_sorted,
     "batch_take": k_batch_take,
+    "arena_gather": k_arena_gather,
+    "arena_commit": k_arena_commit,
 }
 
 

@@ -361,6 +361,17 @@ class EngineStats:
     stream_shed:
         Jobs rejected by streaming admission control (bounded live
         window overflow).
+    stream_arena_steps:
+        Streaming steps committed through the vectorized arena path
+        (one batched pass over the whole live window instead of a
+        per-job Python walk; see :mod:`repro.streaming.arena`).
+    stream_epoch_steps:
+        Arena epoch macro-commits — each one batches ``Δt`` consecutive
+        forced streaming steps into a single write.
+    stream_epoch_compressed:
+        Total time steps covered by epoch macro-commits (each also
+        counts into ``stream_steps``/``steps``, so throughput stays
+        comparable across paths).
     """
 
     steps: int = 0
@@ -380,6 +391,9 @@ class EngineStats:
     stream_steps: int = 0
     stream_retired: int = 0
     stream_shed: int = 0
+    stream_arena_steps: int = 0
+    stream_epoch_steps: int = 0
+    stream_epoch_compressed: int = 0
 
     @property
     def ns_per_subjob(self) -> float:
@@ -430,6 +444,11 @@ class EngineStats:
         self.stream_steps += getattr(other, "stream_steps", 0)
         self.stream_retired += getattr(other, "stream_retired", 0)
         self.stream_shed += getattr(other, "stream_shed", 0)
+        self.stream_arena_steps += getattr(other, "stream_arena_steps", 0)
+        self.stream_epoch_steps += getattr(other, "stream_epoch_steps", 0)
+        self.stream_epoch_compressed += getattr(
+            other, "stream_epoch_compressed", 0
+        )
 
     def delta(self, earlier: "EngineStats") -> "EngineStats":
         """Counter difference ``self - earlier`` (for snapshot windows)."""
@@ -464,6 +483,12 @@ class EngineStats:
             stream_retired=self.stream_retired
             - getattr(earlier, "stream_retired", 0),
             stream_shed=self.stream_shed - getattr(earlier, "stream_shed", 0),
+            stream_arena_steps=self.stream_arena_steps
+            - getattr(earlier, "stream_arena_steps", 0),
+            stream_epoch_steps=self.stream_epoch_steps
+            - getattr(earlier, "stream_epoch_steps", 0),
+            stream_epoch_compressed=self.stream_epoch_compressed
+            - getattr(earlier, "stream_epoch_compressed", 0),
         )
 
     def record_batch_step(self, n_active: int) -> None:
@@ -496,6 +521,12 @@ class EngineStats:
             )
             if sizes:
                 text += f" batch_sizes[{sizes}]"
+        if self.stream_arena_steps or self.stream_epoch_steps:
+            text += (
+                f" stream_arena_steps={self.stream_arena_steps} "
+                f"stream_epoch_steps={self.stream_epoch_steps} "
+                f"stream_epoch_compressed={self.stream_epoch_compressed}"
+            )
         if self.backend:
             text += f" backend={self.backend}"
         if self.kernel_dispatches:

@@ -25,7 +25,11 @@ assigns ``KERNEL_STYLE = "vectorized"`` or ``"nopython"`` is checked, and
 modules without the constant (the registry itself, everything else in the
 repo) are exempt. In the nopython style only the ``k_``-prefixed kernel
 bodies are checked — module-level tables like the kernel-name dict are
-plain Python and never compiled.
+plain Python and never compiled. Nopython bodies additionally must not
+*return* Python container displays (a list/tuple-of-lists built in the
+body): numba reflects such containers across the nopython boundary, which
+is deprecated, slow, and type-fragile — kernels return typed ndarrays
+(``np.empty`` + fill), as every registry kernel does.
 
 Escape hatch: a measured exception (say, a short Python loop over a
 handful of segments that beats the vectorized form) carries a reasoned
@@ -197,6 +201,24 @@ def csr_children(indptr, indices, nodes):
         self, ctx: "FileContext", func: ast.FunctionDef | ast.AsyncFunctionDef
     ) -> Iterator[Violation]:
         for node in ast.walk(func):
+            if isinstance(node, ast.Return) and node.value is not None:
+                returned = (
+                    list(node.value.elts)
+                    if isinstance(node.value, ast.Tuple)
+                    else [node.value]
+                )
+                for expr in returned:
+                    if isinstance(expr, (ast.List, ast.ListComp)):
+                        yield self.violation(
+                            ctx,
+                            expr.lineno,
+                            expr.col_offset,
+                            f"nopython kernel body `{func.name}` returns a "
+                            "Python list; reflecting containers across the "
+                            "nopython boundary is deprecated and "
+                            "type-fragile — return a typed ndarray "
+                            "(np.empty + fill)",
+                        )
             if isinstance(node, (ast.Dict, ast.DictComp)):
                 yield self.violation(
                     ctx,

@@ -20,8 +20,20 @@ retire/compaction path for the same attribute (``.pop``/``.popitem``/
 ``.clear``/``.remove``/``.discard``, ``del``, or a rebinding of the
 attribute outside ``__init__``) is flagged.
 
-Bounded-by-design growth (a fixed-size histogram, a structure that is
-drained elsewhere through a callback) carries a reasoned suppression:
+**Free lists are not retirement.** A no-argument ``.pop()`` whose result
+is consumed (``slot = self._free_slots.pop()``) recycles an element —
+the classic arena free-list idiom — and says nothing about the
+container's bound: the list's size tracks retired-but-unrecycled slots,
+which is bounded only by a design argument (recycling keeps up with
+retirement) the rule cannot check. Such pops therefore do **not** count
+as a retire/compaction path; a free list that only ever ``append``s and
+recycles needs a reasoned suppression at the grow site, not a baseline
+entry. A discarding pop (a bare ``self.log.pop()`` statement, ``.pop(0)``,
+``.popleft()``) remains shrink evidence as before.
+
+Bounded-by-design growth (a fixed-size histogram, a free list bounded by
+the slot high-water mark, a structure that is drained elsewhere through a
+callback) carries a reasoned suppression:
 ``# repro-lint: disable=RPR009 (bounded: 64 log2 buckets)``. Batch-mode
 code (the rest of ``repro.*``) is exempt — accumulating a whole schedule
 is the entire point there.
@@ -102,10 +114,18 @@ class _ClassUsage:
             if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             in_init = func.name == "__init__"
+            # Calls whose value is discarded (bare expression statements):
+            # only these pops count as retirement — a pop whose result is
+            # consumed is free-list recycling, not a shrink path.
+            discards = {
+                id(stmt.value)
+                for stmt in ast.walk(func)
+                if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)
+            }
             for node in ast.walk(func):
-                self._visit(node, in_init)
+                self._visit(node, in_init, discards)
 
-    def _visit(self, node: ast.AST, in_init: bool) -> None:
+    def _visit(self, node: ast.AST, in_init: bool, discards: set[int]) -> None:
         if isinstance(node, (ast.Assign, ast.AnnAssign)):
             targets = node.targets if isinstance(node, ast.Assign) else [node.target]
             for target in targets:
@@ -159,6 +179,11 @@ class _ClassUsage:
                     )
                 )
             elif method in _SHRINK_METHODS:
+                if method == "pop" and not node.args and id(node) not in discards:
+                    # `x = self.attr.pop()`: element recycling (free-list
+                    # idiom) — the container's bound rests on recycling
+                    # keeping up, which needs a reasoned suppression.
+                    return
                 self.shrunk.add(attr)
 
 
@@ -171,7 +196,9 @@ class UnboundedAccumulationRule(Rule):
         "the stream length: a list/dict/set attribute that only ever grows "
         "(`append`, `update`, subscript-assign) with no retire/compaction "
         "path (`pop`, `clear`, `del`, rebuild) OOMs a long-lived `repro "
-        "serve` run hours in, while passing every bounded test. Growth "
+        "serve` run hours in, while passing every bounded test. A consumed "
+        "no-arg `.pop()` is free-list recycling, not retirement, and does "
+        "not discharge the bound. Growth "
         "that is bounded by design carries a reasoned suppression "
         "(`# repro-lint: disable=RPR009 (bounded: why)`). Batch-mode "
         "`repro.*` modules are exempt — accumulating whole schedules is "

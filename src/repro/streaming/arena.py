@@ -1,0 +1,454 @@
+"""Resident SoA arena: the streaming engine's vectorized live window.
+
+:class:`StreamArena` packs every live job of a
+:class:`~repro.streaming.engine.StreamingEngine` into one mutable
+structure-of-arrays — the streaming counterpart of the batch engine's
+:class:`~repro.core.instance.InstanceBatch`, with two differences the
+batch layout does not need:
+
+* **Admission appends.** A new job's node block lands at the node tail
+  and its (offset-shifted) CSR rows land at the edge tail, using the
+  same :func:`~repro.core.instance.concat_csr_blocks` packing invariant:
+  because node rows and edge targets are appended together, a single
+  ``indptr`` array stays valid across every block, including the holes
+  left by retired jobs (a dead block's rows still point at its old edge
+  slice; nothing ever gathers them again).
+* **Retirement holes + amortized compaction.** Retiring a job is O(1):
+  the slot is marked dead, its arrival entry tombstoned, and its slot id
+  pushed on a free list for reuse. Node/edge space is reclaimed lazily —
+  when an admission needs room and the dead span covers at least half
+  the buffer (or exceeds the live span), :meth:`_compact` rebuilds the
+  live blocks front-to-back in arrival order. Each compaction reclaims
+  at least half the buffer, so its O(live + dead) cost amortizes to O(1)
+  per admitted node, and the buffer capacity tracks roughly twice the
+  live-node high-water mark (``live_subjob_hwm``) instead of the stream
+  length.
+
+Per-node state mirrors the per-job reference (``_LiveJob``) exactly:
+encoded int64 frontier keys (``dense_rank(priority) * n + node``; a
+constant kernel stores ``arange(n)`` so decoding is uniformly
+``key % n``), indegrees, done *stamps* (int64, nonzero == done — stamps
+rather than bools so :func:`~repro.core.kernels.numpy_backend.macro_fill`
+can write completion times straight into the done array during epoch
+macro-stepping), and the chain-run arrays (``run_nodes`` / ``run_pos`` /
+``steps_left``) shifted into arena-global ids.
+
+The engine drives the arena through the kernel registry
+(``arena_gather`` / ``arena_commit`` / ``csr_children`` / ``macro_fill``
+/ ``chain_min_dt``), so one streaming step over J live jobs is a handful
+of whole-window array passes — and under ``REPRO_BACKEND=numba`` each of
+those passes is a compiled nopython loop.
+
+:class:`SrptRanker` is the incremental replacement for SRPT's per-step
+Python sort: a sorted array of composite int64 keys
+``remaining * 2**32 + arrival_index`` with searchsorted batch
+insert/delete over the dirty set (the jobs whose ``n_done`` changed this
+step), property-tested for pop-order identity against the sort-based
+reference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.instance import concat_csr_blocks
+from ..core.util import Array, csr_gather
+
+__all__ = ["SrptRanker", "StreamArena"]
+
+_INT = np.int64
+
+#: Initial node/edge buffer capacity (grows geometrically).
+_MIN_NODE_CAP = 1024
+
+#: Initial slot-axis / arrival-log capacity.
+_MIN_SLOT_CAP = 64
+
+#: Composite SRPT rank keys are ``remaining * 2**32 + index``; the engine
+#: validates both factors against these bounds at admission.
+SRPT_INDEX_LIMIT = 1 << 32
+SRPT_REMAINING_LIMIT = 1 << 30
+
+
+class SrptRanker:
+    """Incremental ``(remaining subjobs, arrival index)`` slot ordering.
+
+    Maintains two parallel arrays — sorted composite keys and their
+    slots — so the per-step SRPT order is a plain read instead of a
+    Python sort of the whole live set. Only dirty slots (admitted,
+    committed-into, or retired this step) are re-keyed, via
+    searchsorted batch delete/insert; keys are unique because arrival
+    indices are.
+    """
+
+    def __init__(self) -> None:
+        self._keys = np.empty(0, dtype=_INT)
+        self._slots = np.empty(0, dtype=_INT)
+
+    def __len__(self) -> int:
+        return int(self._keys.size)
+
+    @staticmethod
+    def compose(remaining: Any, index: Any) -> Any:
+        """Lift ``(remaining, index)`` into one sortable int64 key."""
+        return remaining * _INT(SRPT_INDEX_LIMIT) + index
+
+    def insert(self, keys: Array, slots: Array) -> None:
+        """Add slots under the given (not necessarily sorted) keys."""
+        order = np.argsort(keys)
+        keys = keys[order]
+        pos = np.searchsorted(self._keys, keys)
+        self._keys = np.insert(self._keys, pos, keys)
+        self._slots = np.insert(self._slots, pos, slots[order])
+
+    def remove(self, keys: Array) -> None:
+        """Drop the slots currently ranked under ``keys`` (all present)."""
+        pos = np.searchsorted(self._keys, np.sort(keys))
+        self._keys = np.delete(self._keys, pos)
+        self._slots = np.delete(self._slots, pos)
+
+    def rebuild(self, keys: Array, slots: Array) -> None:
+        """Re-rank from scratch (epoch macro-commits dirty every slot)."""
+        order = np.argsort(keys)
+        self._keys = keys[order]
+        self._slots = slots[order]
+
+    def order(self) -> Array:
+        """Live slots in ``(remaining, index)`` order (do not mutate)."""
+        return self._slots
+
+
+class StreamArena:
+    """Mutable SoA packing of the live window (see module docstring).
+
+    Node-axis arrays (all int64, capacity-padded; a job's block is
+    ``[slot_off[s], slot_off[s] + slot_n[s])``):
+
+    ``indptr`` / ``indices``
+        The live window's concatenated CSR (edge targets arena-global).
+    ``enc``
+        Per-node encoded priority key (``rank * n + node``).
+    ``done_stamp``
+        Nonzero once the node committed (the value is the completion
+        time; only the zero/nonzero distinction is semantic).
+    ``indegree``
+        Remaining-parent counts, decremented as parents commit.
+    ``fbuf``
+        Resident frontier buffer: slot ``s``'s ready keys are the sorted
+        prefix ``fbuf[slot_off[s] : slot_off[s] + slot_fsize[s]]`` (a
+        slot's region has capacity ``n``, which always suffices).
+    ``slot_of``
+        Node -> owning slot.
+    ``run_nodes`` / ``run_pos`` / ``steps_left``
+        Arena-global chain-run decomposition (epoch macro-stepping).
+    """
+
+    def __init__(self) -> None:
+        self._alloc_nodes(_MIN_NODE_CAP)
+        self._alloc_edges(_MIN_NODE_CAP)
+        self.indptr = np.zeros(_MIN_NODE_CAP + 1, dtype=_INT)
+        self.slot_index = np.zeros(_MIN_SLOT_CAP, dtype=_INT)
+        self.slot_release = np.zeros(_MIN_SLOT_CAP, dtype=_INT)
+        self.slot_off = np.zeros(_MIN_SLOT_CAP, dtype=_INT)
+        self.slot_n = np.zeros(_MIN_SLOT_CAP, dtype=_INT)
+        self.slot_n_done = np.zeros(_MIN_SLOT_CAP, dtype=_INT)
+        self.slot_fsize = np.zeros(_MIN_SLOT_CAP, dtype=_INT)
+        self.slot_live = np.zeros(_MIN_SLOT_CAP, dtype=bool)
+        self._slot_forest = np.zeros(_MIN_SLOT_CAP, dtype=bool)
+        self._slot_arrival_pos = np.zeros(_MIN_SLOT_CAP, dtype=_INT)
+        self._node_tail = 0
+        self._edge_tail = 0
+        self._slot_tail = 0
+        # Retired slot ids awaiting reuse (see the suppression at the
+        # grow site in :meth:`retire` for the boundedness argument).
+        self._free_slots: list[int] = []
+        self._arrival = np.full(_MIN_SLOT_CAP, -1, dtype=_INT)
+        self._arrival_len = 0
+        self.live_jobs = 0
+        self.live_nodes = 0
+        self.nonforest_live = 0
+        self.compactions = 0
+
+    # -- allocation ------------------------------------------------------
+
+    def _alloc_nodes(self, cap: int) -> None:
+        self.enc = np.zeros(cap, dtype=_INT)
+        self.done_stamp = np.zeros(cap, dtype=_INT)
+        self.indegree = np.zeros(cap, dtype=_INT)
+        self.fbuf = np.zeros(cap, dtype=_INT)
+        self.slot_of = np.zeros(cap, dtype=_INT)
+        self.run_nodes = np.zeros(cap, dtype=_INT)
+        self.run_pos = np.zeros(cap, dtype=_INT)
+        self.steps_left = np.zeros(cap, dtype=_INT)
+
+    def _alloc_edges(self, cap: int) -> None:
+        self.indices = np.zeros(cap, dtype=_INT)
+
+    @property
+    def node_capacity(self) -> int:
+        """Current node-buffer capacity (compaction keeps this within a
+        small constant of the live-node high-water mark)."""
+        return int(self.fbuf.size)
+
+    def _grow_nodes(self, need: int) -> None:
+        cap = self.fbuf.size
+        while cap < need:
+            cap *= 2
+        keep = self._node_tail
+        old = (
+            self.enc, self.done_stamp, self.indegree, self.fbuf,
+            self.slot_of, self.run_nodes, self.run_pos, self.steps_left,
+        )
+        old_indptr = self.indptr
+        self._alloc_nodes(cap)
+        for src, name in zip(
+            old,
+            (
+                "enc", "done_stamp", "indegree", "fbuf",
+                "slot_of", "run_nodes", "run_pos", "steps_left",
+            ),
+        ):
+            getattr(self, name)[:keep] = src[:keep]
+        self.indptr = np.zeros(cap + 1, dtype=_INT)
+        self.indptr[: keep + 1] = old_indptr[: keep + 1]
+
+    def _grow_edges(self, need: int) -> None:
+        cap = self.indices.size
+        while cap < need:
+            cap *= 2
+        old = self.indices
+        self._alloc_edges(cap)
+        self.indices[: self._edge_tail] = old[: self._edge_tail]
+
+    def _ensure_room(self, n: int, e: int) -> None:
+        if (
+            self._node_tail + n <= self.fbuf.size
+            and self._edge_tail + e <= self.indices.size
+        ):
+            return
+        dead = self._node_tail - self.live_nodes
+        # Compact instead of growing when it reclaims at least half the
+        # buffer (or the holes already outweigh the live span) — this is
+        # what keeps steady-state capacity keyed to the live HWM.
+        if 2 * dead >= self.fbuf.size or dead > self.live_nodes:
+            self._compact()
+        if self._node_tail + n > self.fbuf.size:
+            self._grow_nodes(self._node_tail + n)
+        if self._edge_tail + e > self.indices.size:
+            self._grow_edges(self._edge_tail + e)
+
+    def _new_slot(self) -> int:
+        if self._free_slots:
+            return self._free_slots.pop()
+        if self._slot_tail == self.slot_n.size:
+            cap = 2 * self.slot_n.size
+            for name in (
+                "slot_index", "slot_release", "slot_off", "slot_n",
+                "slot_n_done", "slot_fsize", "_slot_arrival_pos",
+            ):
+                src = getattr(self, name)
+                buf = np.zeros(cap, dtype=_INT)
+                buf[: src.size] = src
+                setattr(self, name, buf)
+            for name in ("slot_live", "_slot_forest"):
+                src = getattr(self, name)
+                buf = np.zeros(cap, dtype=bool)
+                buf[: src.size] = src
+                setattr(self, name, buf)
+        slot = self._slot_tail
+        self._slot_tail += 1
+        return slot
+
+    def _append_arrival(self, slot: int) -> None:
+        if self._arrival_len == self._arrival.size:
+            live = self._arrival[: self._arrival_len]
+            live = live[live >= 0]
+            cap = max(2 * live.size, _MIN_SLOT_CAP)
+            buf = np.full(cap, -1, dtype=_INT)
+            buf[: live.size] = live
+            self._arrival = buf
+            self._arrival_len = int(live.size)
+            self._slot_arrival_pos[live] = np.arange(live.size, dtype=_INT)
+        self._arrival[self._arrival_len] = slot
+        self._slot_arrival_pos[slot] = self._arrival_len
+        self._arrival_len += 1
+
+    # -- admission / retirement ------------------------------------------
+
+    def admit(
+        self,
+        index: int,
+        release: int,
+        dag: Any,
+        enc: Optional[Array],
+        done: Optional[Array] = None,
+    ) -> int:
+        """Append one job's block; returns its slot id.
+
+        ``enc`` is the encoded priority array (``None`` for a constant
+        kernel — node ids are stored so decoding stays ``key % n``).
+        ``done`` (restore path) rebuilds indegrees and the ready frontier
+        from the snapshot's done mask, exactly like the per-job restore.
+        """
+        n = int(dag.n)
+        e = int(dag.child_indices.size)
+        self._ensure_room(n, e)
+        slot = self._new_slot()
+        off = self._node_tail
+        lo = slot_lo = off
+        hi = off + n
+        self.indptr[lo : hi + 1] = self._edge_tail + dag.child_indptr
+        self.indices[self._edge_tail : self._edge_tail + e] = (
+            dag.child_indices + off
+        )
+        self.enc[lo:hi] = np.arange(n, dtype=_INT) if enc is None else enc
+        self.slot_of[lo:hi] = slot
+        runs = dag.chain_runs
+        self.run_nodes[lo:hi] = runs.order + off
+        self.run_pos[lo:hi] = runs.index_of + off
+        self.steps_left[lo:hi] = runs.steps_to_end
+        indeg = np.asarray(dag.indegree, dtype=_INT).copy()
+        forest = bool(dag.is_out_forest)
+        if done is None:
+            n_done = 0
+            self.done_stamp[lo:hi] = 0
+            ready = np.asarray(dag.roots, dtype=_INT)
+        else:
+            n_done = int(done.sum())
+            self.done_stamp[lo:hi] = done.astype(_INT)
+            done_nodes = np.nonzero(done)[0].astype(_INT)
+            if done_nodes.size:
+                children, _ = csr_gather(
+                    dag.child_indptr, dag.child_indices, done_nodes
+                )
+                if children.size:
+                    if forest:
+                        indeg[children] -= 1
+                    else:
+                        np.subtract.at(indeg, children, 1)
+            ready = np.nonzero(~done & (indeg == 0))[0].astype(_INT)
+        self.indegree[lo:hi] = indeg
+        keys = ready if enc is None else enc[ready]
+        self.fbuf[slot_lo : slot_lo + ready.size] = np.sort(keys)
+        self.slot_index[slot] = index
+        self.slot_release[slot] = release
+        self.slot_off[slot] = off
+        self.slot_n[slot] = n
+        self.slot_n_done[slot] = n_done
+        self.slot_fsize[slot] = ready.size
+        self.slot_live[slot] = True
+        self._slot_forest[slot] = forest
+        self._append_arrival(slot)
+        self._node_tail += n
+        self._edge_tail += e
+        self.live_jobs += 1
+        self.live_nodes += n
+        if not forest:
+            self.nonforest_live += 1
+        return slot
+
+    def retire(self, slot: int) -> None:
+        """Release a completed slot: O(1), space reclaimed on compaction."""
+        n = int(self.slot_n[slot])
+        self.slot_live[slot] = False
+        self._arrival[int(self._slot_arrival_pos[slot])] = -1
+        self._free_slots.append(slot)  # repro-lint: disable=RPR009 (bounded: free-list length never exceeds the slot-axis high-water mark — _new_slot recycles before growing the axis, so entries track retired-not-yet-reused slots within a fixed capacity)
+        self.live_jobs -= 1
+        self.live_nodes -= n
+        if not self._slot_forest[slot]:
+            self.nonforest_live -= 1
+
+    def order_arrival(self) -> Array:
+        """Live slots in admission order (tombstones filtered lazily)."""
+        arr = self._arrival[: self._arrival_len]
+        if self._arrival_len > 2 * self.live_jobs + _MIN_SLOT_CAP:
+            live = arr[arr >= 0]
+            self._arrival[: live.size] = live
+            self._arrival_len = int(live.size)
+            if live.size:
+                self._slot_arrival_pos[live] = np.arange(
+                    live.size, dtype=_INT
+                )
+            return live.copy()
+        return arr[arr >= 0]
+
+    # -- compaction ------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Rebuild the node/edge buffers with live blocks front-to-back.
+
+        Blocks keep their arrival order (admission offsets are monotone,
+        so this is also ascending-offset order); slot ids are stable —
+        only ``slot_off`` and the arena-global node values shift.
+        """
+        order = self.order_arrival()
+        offs = self.slot_off[order].copy()
+        ns = self.slot_n[order].copy()
+        new_off = np.zeros(order.size + 1, dtype=_INT)
+        np.cumsum(ns, out=new_off[1:])
+        cap = self.fbuf.size
+        old = {
+            "enc": self.enc, "done_stamp": self.done_stamp,
+            "indegree": self.indegree, "fbuf": self.fbuf,
+            "slot_of": self.slot_of, "run_nodes": self.run_nodes,
+            "run_pos": self.run_pos, "steps_left": self.steps_left,
+        }
+        old_indptr, old_indices = self.indptr, self.indices
+        self._alloc_nodes(cap)
+        copy_names = ("enc", "done_stamp", "indegree", "fbuf", "steps_left")
+        for i in range(order.size):
+            src = int(offs[i])
+            dst = int(new_off[i])
+            n = int(ns[i])
+            shift = dst - src
+            for name in copy_names:
+                getattr(self, name)[dst : dst + n] = old[name][src : src + n]
+            self.slot_of[dst : dst + n] = order[i]
+            self.run_nodes[dst : dst + n] = old["run_nodes"][src : src + n] + shift
+            self.run_pos[dst : dst + n] = old["run_pos"][src : src + n] + shift
+        new_indptr, new_indices = concat_csr_blocks(
+            (
+                old_indptr[int(offs[i]) : int(offs[i]) + int(ns[i]) + 1]
+                - old_indptr[int(offs[i])],
+                old_indices[
+                    int(old_indptr[int(offs[i])]) : int(
+                        old_indptr[int(offs[i]) + int(ns[i])]
+                    )
+                ]
+                - int(offs[i]),
+                int(new_off[i]),
+            )
+            for i in range(order.size)
+        )
+        self.indptr = np.zeros(cap + 1, dtype=_INT)
+        self.indptr[: new_indptr.size] = new_indptr
+        edge_cap = self.indices.size
+        self._alloc_edges(max(edge_cap, new_indices.size))
+        self.indices[: new_indices.size] = new_indices
+        self.slot_off[order] = new_off[:-1]
+        self._node_tail = int(new_off[-1])
+        self._edge_tail = int(new_indices.size)
+        self.compactions += 1
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot_live(self) -> list[dict[str, Any]]:
+        """Per-live-job snapshot entries, arrival order — byte-identical
+        to the per-job reference's (index, release, n, packed done)."""
+        out = []
+        for s in self.order_arrival().tolist():
+            off = int(self.slot_off[s])
+            n = int(self.slot_n[s])
+            out.append(
+                {
+                    "index": int(self.slot_index[s]),
+                    "release": int(self.slot_release[s]),
+                    "n": n,
+                    "done": np.packbits(
+                        self.done_stamp[off : off + n] != 0
+                    ).tobytes(),
+                }
+            )
+        return out

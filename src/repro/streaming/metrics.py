@@ -96,6 +96,22 @@ class StreamMetrics:
         self.window_busy += committed
         self.window_capacity += capacity
 
+    def note_macro(self, committed: int, capacity: int, dt: int) -> None:
+        """``dt`` consecutive steps, each committing ``committed`` of
+        ``capacity`` — the epoch macro-step's exact reconstruction.
+
+        Equivalent to ``dt`` :meth:`note_step` calls by construction: a
+        macro window only exists when the per-step commit count and the
+        granted capacity are provably constant across it, so every
+        accumulator (cumulative and windowed) lands on the same value the
+        per-step path would produce.
+        """
+        self.steps += dt
+        self.busy += committed * dt
+        self.capacity_granted += capacity * dt
+        self.window_busy += committed * dt
+        self.window_capacity += capacity * dt
+
     def note_idle_skip(self, n_steps: int) -> None:
         self.idle_skipped_steps += n_steps
 

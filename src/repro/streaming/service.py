@@ -162,6 +162,7 @@ def serve(
     quiet: bool = False,
     install_signals: bool = True,
     max_steps: Optional[int] = None,
+    arena: str | bool = "auto",
     out: Optional[TextIO] = None,
     err: Optional[TextIO] = None,
 ) -> int:
@@ -170,9 +171,21 @@ def serve(
     ``max_steps`` bounds the number of engine steps and then behaves like
     an abort signal (checkpoint + status 130) — the in-process stand-in
     for a kill, used by tests.
+
+    ``arena`` selects the engine's commit path: ``"on"`` (or ``True``)
+    forces the resident-arena fast path, ``"off"`` (or ``False``) the
+    per-job reference loop, and ``"auto"`` — the default — takes the
+    arena. The paths are bit-identical on ticks, checkpoints, and the
+    summary, so the flag never appears in any of them.
     """
     out = out if out is not None else sys.stdout
     err = err if err is not None else sys.stderr
+    if arena in ("auto", "on", True):
+        use_arena = True
+    elif arena in ("off", False):
+        use_arena = False
+    else:
+        raise ValueError(f"arena must be 'auto', 'on', or 'off' (got {arena!r})")
     engine_kwargs: dict[str, Any] = dict(
         policy=policy,
         availability=availability,
@@ -180,6 +193,7 @@ def serve(
         max_live_jobs=max_live_jobs,
         max_jobs=max_jobs,
         max_zero_commit_steps=max_zero_commit_steps,
+        arena=use_arena,
     )
     resumed = False
     if resume and checkpoint_path is not None and os.path.exists(checkpoint_path):
@@ -247,7 +261,15 @@ def serve(
                     "(signal again to abort)",
                     file=err,
                 )
-            alive = engine.step()
+            # Cap epoch macro-windows at the next tick/checkpoint boundary
+            # so a macro-stepped run crosses each boundary at the same t
+            # as a per-step run (tick and checkpoint bit-identity).
+            t_limit = None
+            if next_tick is not None:
+                t_limit = next_tick
+            if next_ckpt is not None and (t_limit is None or next_ckpt < t_limit):
+                t_limit = next_ckpt
+            alive = engine.step(t_limit=t_limit)
             steps_taken += 1
             if watchdog is not None:
                 watchdog.beat()

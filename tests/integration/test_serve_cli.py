@@ -108,6 +108,19 @@ def test_sigkill_then_resume_is_bit_identical(tmp_path):
     assert clean == resumed
 
 
+def test_arena_flag_paths_are_bit_identical(tmp_path):
+    """`--arena on` and `--arena off` produce identical metrics JSON —
+    the commit path is invisible to every observable surface."""
+    args = [a if a != "400" else "150" for a in STREAM_ARGS]
+    outputs = {}
+    for mode in ("on", "off"):
+        out = tmp_path / f"arena-{mode}.json"
+        result = run_serve(*args, "--arena", mode, "--metrics-out", str(out))
+        assert result.returncode == 0, result.stderr
+        outputs[mode] = json.loads(out.read_text())
+    assert outputs["on"] == outputs["off"]
+
+
 def test_max_steps_interrupt_exit_status(tmp_path):
     ckpt = tmp_path / "int.ckpt"
     result = run_serve(

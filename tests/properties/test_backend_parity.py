@@ -180,6 +180,67 @@ def test_kernel_level_parity(seed):
     np.testing.assert_array_equal(ta, tb)
     np.testing.assert_array_equal(ra, rb)
 
+    # arena_gather: ragged prefix take over a resident frontier buffer.
+    np.testing.assert_array_equal(
+        compiled["arena_gather"](fkeys, seg[:-1].copy(), k, int(k.sum())),
+        numpy_backend.arena_gather(fkeys, seg[:-1].copy(), k, int(k.sum())),
+    )
+
+
+@pytest.mark.skipif(not _HAS_NUMBA, reason="numba not installed")
+@pytest.mark.parametrize("seed", range(5))
+def test_arena_commit_parity(seed):
+    """arena_commit mutates fbuf in place; both backends must leave the
+    whole buffer (merged frontiers + untouched slack) byte-identical."""
+    from repro.core.kernels import numpy_backend
+    from repro.core.kernels.numba_backend import load
+
+    compiled = load()
+    rng = np.random.default_rng(seed + 100)
+    n_slots = int(rng.integers(1, 6))
+    slot_cap = 12
+    offsets = (np.arange(n_slots) * slot_cap).astype(np.int64)
+    sizes = rng.integers(0, 6, size=n_slots).astype(np.int64)
+    fbuf = np.zeros(n_slots * slot_cap, dtype=np.int64)
+    pool = rng.permutation(10_000)
+    cursor = 0
+    new_per_slot = []
+    for s in range(n_slots):
+        total = int(sizes[s]) + int(rng.integers(0, 5))
+        draw = np.sort(pool[cursor : cursor + total]).astype(np.int64)
+        cursor += total
+        fbuf[offsets[s] : offsets[s] + sizes[s]] = draw[: sizes[s]]
+        new_per_slot.append(rng.permutation(draw[sizes[s] :]))
+    touched = [s for s in range(n_slots) if new_per_slot[s].size]
+    if not touched:
+        touched = [0]  # degenerate: commit an empty batch to slot 0
+    slots = np.array(touched, dtype=np.int64)
+    seg = np.concatenate(
+        ([0], np.cumsum([new_per_slot[s].size for s in touched]))
+    ).astype(np.int64)
+    new_keys = (
+        np.concatenate([new_per_slot[s] for s in touched])
+        if seg[-1]
+        else np.empty(0, dtype=np.int64)
+    )
+    fbuf_a, fbuf_b = fbuf.copy(), fbuf.copy()
+    compiled["arena_commit"](fbuf_a, offsets, sizes.copy(), slots, seg, new_keys)
+    numpy_backend.arena_commit(fbuf_b, offsets, sizes.copy(), slots, seg, new_keys)
+    np.testing.assert_array_equal(fbuf_a, fbuf_b)
+
+
+def test_registry_covers_arena_kernels():
+    """The registry's kernel roster includes the arena kernels and the
+    numpy reference implements every name natively."""
+    from repro.core.kernels import KERNEL_NAMES
+
+    backend = get_backend("numpy")
+    assert "arena_gather" in KERNEL_NAMES
+    assert "arena_commit" in KERNEL_NAMES
+    assert backend.supported == frozenset(KERNEL_NAMES)
+    for kname in KERNEL_NAMES:
+        assert callable(getattr(backend, kname))
+
 
 @pytest.mark.skipif(not _HAS_NUMBA, reason="numba not installed")
 @pytest.mark.parametrize("seed", range(3))

@@ -1,0 +1,249 @@
+"""Unit tests for the streaming arena: ranker order, dispatch
+accounting, compaction bounds, and the service-level ``arena`` switch.
+
+The property suite (``tests/properties/test_streaming_arena.py``) pins
+the arena path's *semantics* against the per-job reference; this module
+pins the pieces those properties cannot see from the outside — that the
+incremental SRPT ranker pops in exactly the sort-based reference order
+under arbitrary insert/remove/rebuild sequences, that
+``EngineStats.kernel_dispatches`` counts exactly the kernel calls the
+engine actually made (the per-job accounting used to pay two dict
+probes per call on the hot loop; the accumulate-locals-flush-once
+rewrite must not change the numbers), and that compaction keeps the
+arena's node buffers keyed to the live high-water mark instead of the
+stream length.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.streaming import StreamingEngine
+from repro.streaming.arena import SrptRanker
+from repro.streaming.service import serve
+from repro.workloads.arrivals import PoissonSource
+
+_INT = np.int64
+
+
+class TestSrptRanker:
+    """Pop-order identity against the sort-based reference."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_ops_match_sort_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        ranker = SrptRanker()
+        live: dict[int, tuple[int, int]] = {}  # slot -> (remaining, index)
+        next_index = 0
+
+        def reference_order() -> list[int]:
+            return [
+                slot
+                for slot, _ in sorted(live.items(), key=lambda kv: kv[1])
+            ]
+
+        for _ in range(120):
+            op = rng.choice(("insert", "remove", "update", "rebuild"))
+            if op == "insert" or not live:
+                count = int(rng.integers(1, 5))
+                slots, keys = [], []
+                for _ in range(count):
+                    slot = next_index  # unique is all that matters
+                    remaining = int(rng.integers(1, 50))
+                    live[slot] = (remaining, next_index)
+                    keys.append(SrptRanker.compose(remaining, next_index))
+                    slots.append(slot)
+                    next_index += 1
+                ranker.insert(
+                    np.array(keys, dtype=_INT), np.array(slots, dtype=_INT)
+                )
+            elif op == "remove":
+                count = int(rng.integers(1, min(len(live), 4) + 1))
+                chosen = rng.choice(list(live), size=count, replace=False)
+                ranker.remove(
+                    np.array(
+                        [SrptRanker.compose(*live[s]) for s in chosen],
+                        dtype=_INT,
+                    )
+                )
+                for slot in chosen:
+                    del live[slot]
+            elif op == "update":
+                # A commit: remaining decreases — re-key via remove+insert,
+                # exactly as the engine's dirty-set pass does.
+                count = int(rng.integers(1, min(len(live), 4) + 1))
+                chosen = rng.choice(list(live), size=count, replace=False)
+                ranker.remove(
+                    np.array(
+                        [SrptRanker.compose(*live[s]) for s in chosen],
+                        dtype=_INT,
+                    )
+                )
+                keys = []
+                for slot in chosen:
+                    remaining, index = live[slot]
+                    remaining = max(1, remaining - int(rng.integers(1, 5)))
+                    live[slot] = (remaining, index)
+                    keys.append(SrptRanker.compose(remaining, index))
+                ranker.insert(
+                    np.array(keys, dtype=_INT),
+                    np.asarray(chosen, dtype=_INT),
+                )
+            else:
+                ranker.rebuild(
+                    np.array(
+                        [SrptRanker.compose(*live[s]) for s in live],
+                        dtype=_INT,
+                    ),
+                    np.array(list(live), dtype=_INT),
+                )
+            assert ranker.order().tolist() == reference_order()
+            assert len(ranker) == len(live)
+
+    def test_compose_is_lexicographic(self):
+        # (remaining, index) order survives the int64 packing.
+        pairs = [(2, 9), (2, 10), (3, 0), (1, 2**31)]
+        keys = [SrptRanker.compose(_INT(r), _INT(i)) for r, i in pairs]
+        assert sorted(range(4), key=keys.__getitem__) == sorted(
+            range(4), key=pairs.__getitem__
+        )
+
+
+def _counting_backend(engine: StreamingEngine) -> dict[str, int]:
+    """Swap the engine's backend for a call-counting shim; returns the
+    live counter dict."""
+    counts: dict[str, int] = {}
+    backend = engine._backend
+
+    def wrap(name):
+        kernel = getattr(backend, name)
+
+        def counted(*args, **kwargs):
+            counts[name] = counts.get(name, 0) + 1
+            return kernel(*args, **kwargs)
+
+        return counted
+
+    engine._backend = dataclasses.replace(
+        backend,
+        **{
+            name: wrap(name)
+            for name in (
+                "csr_children",
+                "merge_sorted",
+                "arena_gather",
+                "arena_commit",
+                "chain_min_dt",
+                "macro_fill",
+            )
+        },
+    )
+    return counts
+
+
+class TestDispatchAccounting:
+    """``kernel_dispatches`` equals the calls the engine actually made."""
+
+    def _run(self, *, arena: bool, policy: str = "srpt"):
+        source = PoissonSource(rate=0.6, seed=17, dag_nodes=15, n_jobs=50)
+        engine = StreamingEngine(source, 4, policy=policy, arena=arena)
+        counts = _counting_backend(engine)
+        engine.run()
+        return engine, counts
+
+    @pytest.mark.parametrize("policy", ("fifo", "srpt"))
+    def test_per_job_counts_are_exact(self, policy):
+        engine, counts = self._run(arena=False, policy=policy)
+        assert counts["csr_children"] > 0
+        assert counts["merge_sorted"] > 0
+        recorded = {
+            name: count
+            for name, count in engine.stats.kernel_dispatches.items()
+            if count
+        }
+        assert recorded == counts
+
+    def test_arena_counts_are_exact(self):
+        engine, counts = self._run(arena=True)
+        assert counts["arena_gather"] > 0
+        assert counts["arena_commit"] > 0
+        recorded = {
+            name: count
+            for name, count in engine.stats.kernel_dispatches.items()
+            if count
+        }
+        assert recorded == counts
+
+
+class TestCompaction:
+    def test_node_capacity_tracks_live_hwm_not_stream_length(self):
+        # ~7000 total subjobs stream through a live window the retire
+        # flow keeps small; without compaction the node buffers would
+        # grow with the stream.
+        source = PoissonSource(rate=0.25, seed=3, dag_nodes=12, n_jobs=600)
+        engine = StreamingEngine(source, 8, policy="fifo", arena=True)
+        engine.run()
+        arena = engine._arena
+        assert arena is not None
+        assert arena.compactions > 0
+        total_nodes = 12 * 600
+        hwm = engine.metrics.live_subjob_hwm
+        assert arena.node_capacity < total_nodes
+        # Geometric growth + compact-at-half-dead keeps capacity within a
+        # small constant of the high-water mark (1024 is the floor).
+        assert arena.node_capacity <= max(4 * hwm, 2048)
+
+    def test_arena_empties_when_stream_drains(self):
+        source = PoissonSource(rate=0.5, seed=8, dag_nodes=10, n_jobs=40)
+        engine = StreamingEngine(source, 4, policy="lpf", arena=True)
+        engine.run()
+        arena = engine._arena
+        assert arena is not None
+        assert arena.live_jobs == 0
+        assert arena.live_nodes == 0
+        assert engine.live_subjobs == 0
+        assert arena.order_arrival().size == 0
+
+
+class TestServeArenaSwitch:
+    def _serve(self, tmp_path, arena):
+        out = tmp_path / f"metrics-{arena}.json"
+        status = serve(
+            PoissonSource(rate=0.5, seed=21, dag_nodes=10, n_jobs=120),
+            4,
+            policy="srpt",
+            availability=[3, 1, 2, 3, 3],
+            tick_every=0,
+            quiet=True,
+            install_signals=False,
+            metrics_out=out,
+            arena=arena,
+        )
+        assert status == 0
+        return out.read_text()
+
+    def test_on_off_metrics_identical(self, tmp_path):
+        assert self._serve(tmp_path, "on") == self._serve(tmp_path, "off")
+
+    def test_auto_takes_arena(self):
+        engine = StreamingEngine(
+            PoissonSource(rate=0.5, seed=1, dag_nodes=8, n_jobs=5), 2
+        )
+        assert engine.arena  # constructor default
+        off = StreamingEngine(
+            PoissonSource(rate=0.5, seed=1, dag_nodes=8, n_jobs=5),
+            2,
+            arena=False,
+        )
+        assert not off.arena
+
+    def test_bad_value_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="arena"):
+            serve(
+                PoissonSource(rate=0.5, seed=1, dag_nodes=8, n_jobs=5),
+                2,
+                arena="maybe",
+                quiet=True,
+                install_signals=False,
+            )
